@@ -1,0 +1,66 @@
+//! Linear centered kernel alignment (Kornblith et al.).
+
+use egeria_tensor::linalg::center_columns;
+use egeria_tensor::{Result, Tensor, TensorError};
+
+/// Linear CKA similarity between `(n, d₁)` and `(n, d₂)` activation
+/// matrices; 1 means identical representations up to orthogonal transform
+/// and isotropic scaling.
+pub fn cka(x: &Tensor, y: &Tensor) -> Result<f32> {
+    if x.rank() != 2 || y.rank() != 2 || x.dims()[0] != y.dims()[0] {
+        return Err(TensorError::ShapeMismatch {
+            op: "cka",
+            lhs: x.dims().to_vec(),
+            rhs: y.dims().to_vec(),
+        });
+    }
+    let xc = center_columns(x)?;
+    let yc = center_columns(y)?;
+    let xty = xc.transpose2d()?.matmul(&yc)?;
+    let xtx = xc.transpose2d()?.matmul(&xc)?;
+    let yty = yc.transpose2d()?.matmul(&yc)?;
+    let denom = xtx.norm() * yty.norm();
+    if denom < 1e-12 {
+        return Ok(0.0);
+    }
+    Ok((xty.sq_norm() / denom).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_tensor::Rng;
+
+    #[test]
+    fn self_similarity_is_one() {
+        let mut rng = Rng::new(1);
+        let x = Tensor::randn(&[20, 5], &mut rng);
+        assert!((cka(&x, &x).unwrap() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn invariant_to_isotropic_scaling() {
+        let mut rng = Rng::new(2);
+        let x = Tensor::randn(&[20, 5], &mut rng);
+        let y = Tensor::randn(&[20, 5], &mut rng);
+        let a = cka(&x, &y).unwrap();
+        let b = cka(&x.mul_scalar(7.0), &y).unwrap();
+        assert!((a - b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn independent_matrices_have_low_cka() {
+        let mut rng = Rng::new(3);
+        let x = Tensor::randn(&[100, 4], &mut rng);
+        let y = Tensor::randn(&[100, 4], &mut rng);
+        assert!(cka(&x, &y).unwrap() < 0.3);
+    }
+
+    #[test]
+    fn constant_matrix_yields_zero() {
+        let mut rng = Rng::new(4);
+        let x = Tensor::full(&[10, 3], 1.0);
+        let y = Tensor::randn(&[10, 3], &mut rng);
+        assert_eq!(cka(&x, &y).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Representation-similarity metrics and time-series tools.
+//!
+//! Three activation-comparison metrics from the paper:
+//!
+//! - [`sp_loss`]: the Similarity-Preserving loss (Tung & Mori) of Appendix B
+//!   — Egeria's *plasticity* metric (Equation 1),
+//! - [`pwcca`]: projection-weighted CCA (Morcos et al.) — the *post hoc*
+//!   convergence analysis of Figures 1 and 15 (requires a fully-trained
+//!   model, which is why the online system uses SP loss instead),
+//! - [`cka`]: linear centered kernel alignment, included as a third lens for
+//!   the heatmap experiments.
+//!
+//! Plus the time-series machinery of Algorithm 1: the moving average of
+//! Equation 2 ([`series::moving_average`]) and the windowed least-squares
+//! slope ([`series::window_slope`]).
+
+pub mod cka;
+pub mod pwcca;
+pub mod series;
+pub mod sp;
+
+pub use pwcca::pwcca_distance;
+pub use sp::sp_loss;

@@ -1,0 +1,201 @@
+//! Projection-weighted canonical correlation analysis (Morcos et al.).
+//!
+//! PWCCA compares two activation matrices `X (n×d₁)`, `Y (n×d₂)` elicited by
+//! the same `n` inputs: compute CCA correlations between their column
+//! spaces, then weight each canonical direction by how much of `X` it
+//! accounts for. [`pwcca_distance`] returns `1 − similarity ∈ [0, 1]`; low
+//! means converged toward the comparison model, matching the paper's use in
+//! Figures 1 and 15.
+
+use egeria_tensor::linalg::{center_columns, qr, svd};
+use egeria_tensor::{Result, Tensor, TensorError};
+
+/// PWCCA similarity between two activation matrices with matching row
+/// (sample) counts. Returns a value in `[0, 1]`; 1 means identical
+/// subspaces.
+pub fn pwcca_similarity(x: &Tensor, y: &Tensor) -> Result<f32> {
+    if x.rank() != 2 || y.rank() != 2 || x.dims()[0] != y.dims()[0] {
+        return Err(TensorError::ShapeMismatch {
+            op: "pwcca",
+            lhs: x.dims().to_vec(),
+            rhs: y.dims().to_vec(),
+        });
+    }
+    let n = x.dims()[0];
+    if n < 2 {
+        return Err(TensorError::Numerical("pwcca needs >= 2 samples".into()));
+    }
+    let xc = center_columns(x)?;
+    let yc = center_columns(y)?;
+    // Orthonormal bases of the (centered) column spaces. Guard rank
+    // deficiency by dropping near-zero directions via SVD.
+    let qx = orthonormal_basis(&xc)?;
+    let qy = orthonormal_basis(&yc)?;
+    if qx.dims()[1] == 0 || qy.dims()[1] == 0 {
+        // A constant activation has no variance to correlate.
+        return Ok(0.0);
+    }
+    let m = qx.transpose2d()?.matmul(&qy)?;
+    let (u, rho, _v) = svd(&m)?;
+    // Canonical directions of X in sample space: H = Qx · U.
+    let h = qx.matmul(&u)?;
+    let k = rho.len();
+    // Projection weights: α_i = Σ_j |⟨h_i, x_j⟩| over the columns of X.
+    let proj = h.transpose2d()?.matmul(&xc)?; // (k, d1)
+    let d1 = xc.dims()[1];
+    let mut alphas = vec![0.0f32; k];
+    for (i, a) in alphas.iter_mut().enumerate() {
+        *a = proj.data()[i * d1..(i + 1) * d1]
+            .iter()
+            .map(|&v| v.abs())
+            .sum();
+    }
+    let total: f32 = alphas.iter().sum();
+    if total <= 1e-12 {
+        return Ok(0.0);
+    }
+    let sim: f32 = alphas
+        .iter()
+        .zip(rho.iter())
+        .map(|(&a, &r)| a / total * r.clamp(0.0, 1.0))
+        .sum();
+    Ok(sim.clamp(0.0, 1.0))
+}
+
+/// PWCCA distance `1 − similarity` (the paper's Figure 1 y-axis: lower =
+/// more converged).
+pub fn pwcca_distance(x: &Tensor, y: &Tensor) -> Result<f32> {
+    Ok(1.0 - pwcca_similarity(x, y)?)
+}
+
+/// Flattens a `(b, …)` activation into the `(b, features)` matrix PWCCA
+/// expects, averaging spatial positions for rank-4 maps (the standard
+/// practice for CNN activations, keeping the feature dimension at channel
+/// count).
+pub fn activation_matrix(a: &Tensor) -> Result<Tensor> {
+    match a.rank() {
+        2 => Ok(a.clone()),
+        3 => a.reshape(&[a.dims()[0], a.dims()[1] * a.dims()[2]]),
+        4 => {
+            // (b, c, h, w) → average over h, w → (b, c).
+            egeria_tensor::conv::global_avg_pool(a)
+        }
+        _ => Err(TensorError::ShapeMismatch {
+            op: "activation_matrix",
+            lhs: a.dims().to_vec(),
+            rhs: vec![],
+        }),
+    }
+}
+
+fn orthonormal_basis(a: &Tensor) -> Result<Tensor> {
+    let (n, d) = (a.dims()[0], a.dims()[1]);
+    if d <= n {
+        let (q, r) = qr(a)?;
+        // Drop columns whose diagonal is numerically zero (rank deficiency).
+        let keep: Vec<usize> = (0..d)
+            .filter(|&i| r.at(&[i, i]).map(|v| v.abs() > 1e-5).unwrap_or(false))
+            .collect();
+        select_columns(&q, &keep)
+    } else {
+        // Wide activations: use the top-n left singular vectors.
+        let (u, s, _) = svd(a)?;
+        let keep: Vec<usize> = (0..s.len()).filter(|&i| s[i] > 1e-5).collect();
+        select_columns(&u, &keep)
+    }
+}
+
+fn select_columns(m: &Tensor, cols: &[usize]) -> Result<Tensor> {
+    let (rows, all) = (m.dims()[0], m.dims()[1]);
+    let mut out = Tensor::zeros(&[rows, cols.len()]);
+    for (j, &c) in cols.iter().enumerate() {
+        if c >= all {
+            return Err(TensorError::AxisOutOfRange { axis: c, rank: all });
+        }
+        for i in 0..rows {
+            out.data_mut()[i * cols.len() + j] = m.data()[i * all + c];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_tensor::Rng;
+
+    #[test]
+    fn identical_matrices_have_distance_zero() {
+        let mut rng = Rng::new(1);
+        let x = Tensor::randn(&[20, 5], &mut rng);
+        let d = pwcca_distance(&x, &x).unwrap();
+        assert!(d < 1e-3, "self-distance {d}");
+    }
+
+    #[test]
+    fn invariant_to_invertible_linear_maps() {
+        // CCA compares subspaces, so Y = X·A for invertible A is identical.
+        let mut rng = Rng::new(2);
+        let x = Tensor::randn(&[30, 4], &mut rng);
+        let a = Tensor::randn(&[4, 4], &mut rng).add(&Tensor::eye(4).mul_scalar(3.0)).unwrap();
+        let y = x.matmul(&a).unwrap();
+        let d = pwcca_distance(&x, &y).unwrap();
+        assert!(d < 0.02, "distance under linear map {d}");
+    }
+
+    #[test]
+    fn independent_random_matrices_are_far() {
+        let mut rng = Rng::new(3);
+        let x = Tensor::randn(&[60, 4], &mut rng);
+        let y = Tensor::randn(&[60, 4], &mut rng);
+        let d = pwcca_distance(&x, &y).unwrap();
+        assert!(d > 0.4, "independent distance {d}");
+    }
+
+    #[test]
+    fn distance_in_unit_interval() {
+        let mut rng = Rng::new(4);
+        for _ in 0..5 {
+            let x = Tensor::randn(&[15, 6], &mut rng);
+            let y = Tensor::randn(&[15, 3], &mut rng);
+            let d = pwcca_distance(&x, &y).unwrap();
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn partial_overlap_is_intermediate() {
+        let mut rng = Rng::new(5);
+        let x = Tensor::randn(&[40, 4], &mut rng);
+        let noise = Tensor::randn(&[40, 4], &mut rng);
+        let near = x.add(&noise.mul_scalar(0.2)).unwrap();
+        let d_near = pwcca_distance(&x, &near).unwrap();
+        let d_far = pwcca_distance(&x, &noise).unwrap();
+        assert!(d_near < d_far, "{d_near} vs {d_far}");
+    }
+
+    #[test]
+    fn constant_activation_yields_zero_similarity() {
+        let mut rng = Rng::new(6);
+        let x = Tensor::full(&[10, 3], 2.5);
+        let y = Tensor::randn(&[10, 3], &mut rng);
+        assert!((pwcca_distance(&x, &y).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activation_matrix_shapes() {
+        let a4 = Tensor::zeros(&[2, 3, 4, 4]);
+        assert_eq!(activation_matrix(&a4).unwrap().dims(), &[2, 3]);
+        let a3 = Tensor::zeros(&[2, 5, 6]);
+        assert_eq!(activation_matrix(&a3).unwrap().dims(), &[2, 30]);
+        let a2 = Tensor::zeros(&[2, 7]);
+        assert_eq!(activation_matrix(&a2).unwrap().dims(), &[2, 7]);
+    }
+
+    #[test]
+    fn rejects_mismatched_sample_counts() {
+        let x = Tensor::zeros(&[4, 2]);
+        let y = Tensor::zeros(&[5, 2]);
+        assert!(pwcca_distance(&x, &y).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Time-series smoothing and slope analysis for Algorithm 1.
+
+use egeria_tensor::linalg::linear_fit;
+use egeria_tensor::{Result, TensorError};
+
+/// Equation 2's moving average: the mean of the last `w` values, or of all
+/// values when fewer than `w` exist.
+pub fn moving_average(values: &[f32], w: usize) -> Result<f32> {
+    if values.is_empty() || w == 0 {
+        return Err(TensorError::Numerical(
+            "moving_average needs a non-empty history and w > 0".into(),
+        ));
+    }
+    let take = w.min(values.len());
+    let slice = &values[values.len() - take..];
+    Ok(slice.iter().sum::<f32>() / take as f32)
+}
+
+/// The least-squares slope of the last `w` points of a series (Algorithm
+/// 1's `windowLinearFit`), with x = 0, 1, 2, ….
+///
+/// Returns `None` when fewer than 2 points are available (no trend can be
+/// estimated yet).
+pub fn window_slope(values: &[f32], w: usize) -> Option<f32> {
+    let take = w.min(values.len());
+    if take < 2 {
+        return None;
+    }
+    let ys = &values[values.len() - take..];
+    let xs: Vec<f32> = (0..take).map(|i| i as f32).collect();
+    linear_fit(&xs, ys).ok().map(|(slope, _)| slope)
+}
+
+/// Standard deviation of the last `w` values of a series (population
+/// formula); `None` with fewer than 2 points.
+pub fn window_std(values: &[f32], w: usize) -> Option<f32> {
+    let take = w.min(values.len());
+    if take < 2 {
+        return None;
+    }
+    let slice = &values[values.len() - take..];
+    let mean = slice.iter().sum::<f32>() / take as f32;
+    let var = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / take as f32;
+    Some(var.sqrt())
+}
+
+/// The relative change of a loss series over its last `w` values:
+/// `|mean(second half) − mean(first half)| / mean(first half)`.
+///
+/// Egeria's bootstrapping monitor declares the critical period over when
+/// this drops below the configured rate (10% by default, §4.2.2).
+pub fn relative_change(values: &[f32], w: usize) -> Option<f32> {
+    let take = w.min(values.len());
+    if take < 4 {
+        return None;
+    }
+    let slice = &values[values.len() - take..];
+    let half = take / 2;
+    let first: f32 = slice[..half].iter().sum::<f32>() / half as f32;
+    let second: f32 = slice[half..].iter().sum::<f32>() / (take - half) as f32;
+    if first.abs() < 1e-12 {
+        return Some(0.0);
+    }
+    Some((second - first).abs() / first.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_matches_equation_2() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        // i >= W: average the last W.
+        assert_eq!(moving_average(&v, 2).unwrap(), 3.5);
+        // i < W: average everything so far.
+        assert_eq!(moving_average(&v, 10).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn moving_average_rejects_empty() {
+        assert!(moving_average(&[], 3).is_err());
+        assert!(moving_average(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn window_slope_flat_series_is_zero() {
+        let v = vec![2.0; 10];
+        assert!(window_slope(&v, 5).unwrap().abs() < 1e-7);
+    }
+
+    #[test]
+    fn window_slope_detects_trends() {
+        let up: Vec<f32> = (0..10).map(|i| i as f32 * 0.5).collect();
+        assert!((window_slope(&up, 10).unwrap() - 0.5).abs() < 1e-5);
+        let down: Vec<f32> = (0..10).map(|i| -(i as f32)).collect();
+        assert!(window_slope(&down, 10).unwrap() < -0.9);
+    }
+
+    #[test]
+    fn window_slope_uses_only_the_window() {
+        // Steep history followed by a flat window: slope ≈ 0.
+        let mut v: Vec<f32> = (0..10).map(|i| i as f32 * 10.0).collect();
+        v.extend(vec![90.0; 10]);
+        assert!(window_slope(&v, 10).unwrap().abs() < 1e-5);
+    }
+
+    #[test]
+    fn window_slope_needs_two_points() {
+        assert!(window_slope(&[1.0], 5).is_none());
+        assert!(window_slope(&[], 5).is_none());
+    }
+
+    #[test]
+    fn window_std_flat_is_zero_and_spread_is_positive() {
+        assert_eq!(window_std(&[2.0; 8], 5), Some(0.0));
+        let noisy = [1.0, 3.0, 1.0, 3.0];
+        assert!(window_std(&noisy, 4).unwrap() > 0.9);
+        assert!(window_std(&[1.0], 4).is_none());
+    }
+
+    #[test]
+    fn relative_change_drops_as_loss_stabilizes() {
+        let falling: Vec<f32> = (0..20).map(|i| 10.0 / (1.0 + i as f32)).collect();
+        let stable = vec![1.0; 20];
+        let rc_fall = relative_change(&falling, 20).unwrap();
+        let rc_stable = relative_change(&stable, 20).unwrap();
+        assert!(rc_fall > 0.3, "falling change {rc_fall}");
+        assert!(rc_stable < 1e-6);
+    }
+
+    #[test]
+    fn relative_change_needs_history() {
+        assert!(relative_change(&[1.0, 2.0, 3.0], 10).is_none());
+    }
+}

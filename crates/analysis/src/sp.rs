@@ -1,0 +1,124 @@
+//! Similarity-Preserving loss (Appendix B of the paper).
+//!
+//! Given activations `A_T`, `A_R` of the training and reference model for
+//! the same mini-batch, reshape each to `(b, ·)`, form the batch Gram
+//! matrices `G = Q·Qᵀ`, L2-normalize each row, and report
+//! `‖G_T − G_R‖²_F / b²`. The loss compares *pair-wise similarity
+//! structure*, so it is invariant to per-sample activation scaling — the
+//! property that makes it a semantically meaningful plasticity signal.
+
+use egeria_tensor::{Result, Tensor, TensorError};
+
+/// Row-normalized batch Gram matrix `(b, b)` of a `(b, …)` activation.
+pub fn similarity_matrix(a: &Tensor) -> Result<Tensor> {
+    let b = *a.dims().first().ok_or(TensorError::ShapeMismatch {
+        op: "sp_loss",
+        lhs: a.dims().to_vec(),
+        rhs: vec![],
+    })?;
+    if b == 0 {
+        return Err(TensorError::Numerical("empty batch in sp_loss".into()));
+    }
+    let q = a.reshape(&[b, a.numel() / b])?;
+    let mut g = q.matmul(&q.transpose2d()?)?;
+    for i in 0..b {
+        let row = &mut g.data_mut()[i * b..(i + 1) * b];
+        let norm: f32 = row.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// The SP loss between two same-batch activations (Equation 1's
+/// `SP_loss(A_T, A_R)`).
+pub fn sp_loss(a_t: &Tensor, a_r: &Tensor) -> Result<f32> {
+    if a_t.dims().first() != a_r.dims().first() {
+        return Err(TensorError::ShapeMismatch {
+            op: "sp_loss",
+            lhs: a_t.dims().to_vec(),
+            rhs: a_r.dims().to_vec(),
+        });
+    }
+    let b = a_t.dims()[0] as f32;
+    let gt = similarity_matrix(a_t)?;
+    let gr = similarity_matrix(a_r)?;
+    Ok(gt.sub(&gr)?.sq_norm() / (b * b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_tensor::Rng;
+
+    #[test]
+    fn identical_activations_have_zero_loss() {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn(&[8, 4, 3, 3], &mut rng);
+        assert!(sp_loss(&a, &a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn loss_is_symmetric_and_nonnegative() {
+        let mut rng = Rng::new(2);
+        let a = Tensor::randn(&[6, 10], &mut rng);
+        let b = Tensor::randn(&[6, 10], &mut rng);
+        let ab = sp_loss(&a, &b).unwrap();
+        let ba = sp_loss(&b, &a).unwrap();
+        assert!(ab >= 0.0);
+        assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invariant_to_global_scaling() {
+        // Scaling all activations scales Gram rows uniformly; row
+        // normalization cancels it.
+        let mut rng = Rng::new(3);
+        let a = Tensor::randn(&[5, 7], &mut rng);
+        let b = Tensor::randn(&[5, 7], &mut rng);
+        let l1 = sp_loss(&a, &b).unwrap();
+        let l2 = sp_loss(&a.mul_scalar(3.0), &b).unwrap();
+        assert!((l1 - l2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn different_shapes_same_batch_are_comparable() {
+        // Train and reference activations may differ in feature shape only
+        // if architectures diverge — same arch means same shape, but the
+        // metric itself only requires matching batch size.
+        let mut rng = Rng::new(4);
+        let a = Tensor::randn(&[4, 8], &mut rng);
+        let b = Tensor::randn(&[4, 2, 2, 2], &mut rng);
+        assert!(sp_loss(&a, &b).is_ok());
+        let c = Tensor::randn(&[5, 8], &mut rng);
+        assert!(sp_loss(&a, &c).is_err());
+    }
+
+    #[test]
+    fn closer_models_have_lower_loss() {
+        let mut rng = Rng::new(5);
+        let a = Tensor::randn(&[8, 16], &mut rng);
+        let noise = Tensor::randn(&[8, 16], &mut rng);
+        let near = a.add(&noise.mul_scalar(0.05)).unwrap();
+        let far = a.add(&noise.mul_scalar(1.0)).unwrap();
+        assert!(sp_loss(&a, &near).unwrap() < sp_loss(&a, &far).unwrap());
+    }
+
+    #[test]
+    fn similarity_matrix_rows_are_unit_norm() {
+        let mut rng = Rng::new(6);
+        let a = Tensor::randn(&[6, 12], &mut rng);
+        let g = similarity_matrix(&a).unwrap();
+        for i in 0..6 {
+            let norm: f32 = g.data()[i * 6..(i + 1) * 6]
+                .iter()
+                .map(|&x| x * x)
+                .sum::<f32>()
+                .sqrt();
+            assert!((norm - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the similarity metrics and series tools.
+
+use egeria_analysis::cka::cka;
+use egeria_analysis::pwcca::pwcca_distance;
+use egeria_analysis::series::{moving_average, window_slope, window_std};
+use egeria_analysis::sp_loss;
+use egeria_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sp_loss_zero_iff_same_gram(seed in any::<u64>(), b in 2usize..8, d in 2usize..10) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[b, d], &mut rng);
+        prop_assert!(sp_loss(&a, &a).unwrap() < 1e-9);
+        // Any orthogonal-ish perturbation keeps it non-negative.
+        let other = Tensor::randn(&[b, d], &mut rng);
+        prop_assert!(sp_loss(&a, &other).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn sp_loss_symmetric(seed in any::<u64>(), b in 2usize..8) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[b, 6], &mut rng);
+        let c = Tensor::randn(&[b, 6], &mut rng);
+        let ab = sp_loss(&a, &c).unwrap();
+        let ba = sp_loss(&c, &a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sp_loss_scale_invariant(seed in any::<u64>(), scale in 0.1f32..10.0) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[5, 7], &mut rng);
+        let c = Tensor::randn(&[5, 7], &mut rng);
+        let base = sp_loss(&a, &c).unwrap();
+        let scaled = sp_loss(&a.mul_scalar(scale), &c).unwrap();
+        prop_assert!((base - scaled).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pwcca_distance_stays_in_unit_interval(seed in any::<u64>(), n in 6usize..20, d in 2usize..5) {
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn(&[n, d], &mut rng);
+        let y = Tensor::randn(&[n, d], &mut rng);
+        let dist = pwcca_distance(&x, &y).unwrap();
+        prop_assert!((0.0..=1.0).contains(&dist));
+        prop_assert!(pwcca_distance(&x, &x).unwrap() < 1e-2);
+    }
+
+    #[test]
+    fn cka_bounded_and_reflexive(seed in any::<u64>(), n in 5usize..15, d in 2usize..6) {
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn(&[n, d], &mut rng);
+        let y = Tensor::randn(&[n, d], &mut rng);
+        let v = cka(&x, &y).unwrap();
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((cka(&x, &x).unwrap() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn moving_average_bounded_by_extremes(values in prop::collection::vec(-100.0f32..100.0, 1..50), w in 1usize..20) {
+        let avg = moving_average(&values, w).unwrap();
+        let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(avg >= lo - 1e-4 && avg <= hi + 1e-4);
+    }
+
+    #[test]
+    fn window_slope_sign_matches_trend(start in -10.0f32..10.0, step in 0.01f32..2.0, n in 3usize..30) {
+        let up: Vec<f32> = (0..n).map(|i| start + step * i as f32).collect();
+        prop_assert!(window_slope(&up, n).unwrap() > 0.0);
+        let down: Vec<f32> = up.iter().rev().copied().collect();
+        prop_assert!(window_slope(&down, n).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn window_std_nonnegative_and_zero_for_constants(v in -50.0f32..50.0, n in 2usize..30) {
+        let series = vec![v; n];
+        // Tolerance scales with |v|: the variance of a constant series is
+        // pure floating-point cancellation noise.
+        prop_assert!(window_std(&series, n).unwrap().abs() < 1e-4 * v.abs().max(1.0));
+    }
+}

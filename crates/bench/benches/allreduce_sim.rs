@@ -1,0 +1,71 @@
+//! Criterion bench: cost of the event-driven iteration simulator itself
+//! (it must stay negligible next to the training it models — a 10⁴-
+//! iteration trace should cost well under a second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use egeria_simsys::arch::{ArchSpec, FlopsModel, PaperScale};
+use egeria_simsys::device::ClusterSpec;
+use egeria_simsys::iteration::{iteration_time, CommPolicy, IterationSetting};
+use egeria_simsys::tta::{epoch_times, IterTrace};
+
+fn bench_sim(c: &mut Criterion) {
+    let spec = ArchSpec::scaled(
+        "resnet50",
+        &[50_000, 120_000, 300_000, 500_000],
+        Some(&[3, 4, 6, 3]),
+        FlopsModel::PerBlockUniform,
+        PaperScale::resnet50_imagenet(),
+    );
+    let cluster = ClusterSpec::v100_cluster(5);
+    c.bench_function("iteration_time_vanilla", |b| {
+        b.iter(|| {
+            iteration_time(
+                &spec,
+                &cluster,
+                IterationSetting {
+                    frozen_prefix: 1,
+                    fp_cached: true,
+                    batch_size: 32,
+                },
+                CommPolicy::Vanilla,
+            )
+        })
+    });
+    c.bench_function("iteration_time_bytescheduler", |b| {
+        b.iter(|| {
+            iteration_time(
+                &spec,
+                &cluster,
+                IterationSetting {
+                    frozen_prefix: 0,
+                    fp_cached: false,
+                    batch_size: 32,
+                },
+                CommPolicy::ByteScheduler,
+            )
+        })
+    });
+    let trace: Vec<IterTrace> = (0..100u32)
+        .flat_map(|e| {
+            (0..100).map(move |i| IterTrace {
+                epoch: e,
+                frozen_prefix: (i % 4) as u16,
+                fp_cached: i % 2 == 0,
+            })
+        })
+        .collect();
+    c.bench_function("epoch_times_10k_iters", |b| {
+        b.iter(|| epoch_times(&spec, &cluster, &trace, 32, CommPolicy::Vanilla))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_sim
+}
+criterion_main!(benches);

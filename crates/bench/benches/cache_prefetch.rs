@@ -1,0 +1,59 @@
+//! Criterion bench: activation-cache hit path vs recomputing the frozen
+//! forward pass (§4.3's trade-off on real components).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use egeria_core::cache::ActivationCache;
+use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+use egeria_models::{Batch, Input, Model, Targets};
+use egeria_tensor::{Rng, Tensor};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_vs_recompute");
+    group.sample_size(30);
+    let mut model = resnet_cifar(
+        ResNetCifarConfig {
+            n: 3,
+            width: 4,
+            classes: 8,
+            ..Default::default()
+        },
+        1,
+    );
+    model.freeze_prefix(2).unwrap();
+    let mut rng = Rng::new(2);
+    let batch = Batch {
+        input: Input::Image(Tensor::randn(&[16, 3, 10, 10], &mut rng)),
+        targets: Targets::Classes((0..16).map(|i| i % 8).collect()),
+        sample_ids: (0..16).collect(),
+    };
+    let dir = std::env::temp_dir().join(format!("egeria_bench_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cache = ActivationCache::new(&dir, 5).unwrap();
+    let boundary = model.capture_activation(&batch, 1).unwrap();
+    cache.put_batch(&batch.sample_ids, &boundary, 2).unwrap();
+
+    group.bench_function("recompute_frozen_fp", |b| {
+        b.iter(|| model.capture_activation(&batch, 1).unwrap())
+    });
+    group.bench_function("cache_hit_memory", |b| {
+        b.iter(|| cache.get_batch(&batch.sample_ids, 2).unwrap().unwrap())
+    });
+    group.bench_function("cache_prefetch_from_disk", |b| {
+        b.iter(|| {
+            // Force the disk path by invalidating the memory window.
+            cache.prefetch(&batch.sample_ids).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_cache
+}
+criterion_main!(benches);

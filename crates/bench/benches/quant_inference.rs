@@ -1,0 +1,42 @@
+//! Criterion bench: int8 vs f32 inference kernels (Table 2 row 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use egeria_quant::fake::fake_f16;
+use egeria_quant::qtensor::{qmatmul, Granularity, QTensor};
+use egeria_tensor::{Rng, Tensor};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_inference");
+    for &n in &[64usize, 128] {
+        let mut rng = Rng::new(2);
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        let qa = QTensor::quantize(&a, Granularity::PerTensor).unwrap();
+        let qb = QTensor::quantize(&b, Granularity::PerTensor).unwrap();
+        group.bench_with_input(BenchmarkId::new("matmul_f32", n), &(), |bench, _| {
+            bench.iter(|| a.matmul(&b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_int8", n), &(), |bench, _| {
+            bench.iter(|| qmatmul(&qa, &qb).unwrap())
+        });
+        // Quantization overhead itself (per reference refresh).
+        group.bench_with_input(BenchmarkId::new("quantize_int8", n), &(), |bench, _| {
+            bench.iter(|| QTensor::quantize(&a, Granularity::PerTensor).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fake_f16", n), &(), |bench, _| {
+            bench.iter(|| fake_f16(&a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_inference
+}
+criterion_main!(benches);

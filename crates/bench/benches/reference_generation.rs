@@ -1,0 +1,43 @@
+//! Criterion bench: reference-model generation latency (§6.5: the paper
+//! measures 0.5–1.5 s for paper-scale models; this measures our scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+use egeria_models::transformer::{Seq2SeqTransformer, TransformerConfig};
+use egeria_models::Model;
+use egeria_quant::{quantize_reference, Precision};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_generation");
+    let resnet = resnet_cifar(
+        ResNetCifarConfig {
+            n: 9,
+            width: 4,
+            classes: 8,
+            ..Default::default()
+        },
+        1,
+    );
+    let transformer = Seq2SeqTransformer::new("t", TransformerConfig::base(16), 2).unwrap();
+    let models: Vec<(&str, &dyn Model)> = vec![("resnet56", &resnet), ("transformer_base", &transformer)];
+    for (name, model) in models {
+        group.bench_function(format!("int8_static/{name}"), |b| {
+            b.iter(|| quantize_reference(model, Precision::Int8).unwrap())
+        });
+        group.bench_function(format!("f32_snapshot/{name}"), |b| {
+            b.iter(|| quantize_reference(model, Precision::F32).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: SP loss vs PWCCA compute cost.
+//!
+//! Appendix D of the paper claims PWCCA takes ~10× more computation than SP
+//! loss at equal inputs; this bench measures both on identically-shaped
+//! activation pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use egeria_analysis::cka::cka;
+use egeria_analysis::pwcca::{activation_matrix, pwcca_distance};
+use egeria_analysis::sp_loss;
+use egeria_tensor::{Rng, Tensor};
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("activation_similarity");
+    for &(b, ch, hw) in &[(16usize, 16usize, 8usize), (32, 32, 8)] {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn(&[b, ch, hw, hw], &mut rng);
+        let r = Tensor::randn(&[b, ch, hw, hw], &mut rng);
+        let am = activation_matrix(&a).unwrap();
+        let rm = activation_matrix(&r).unwrap();
+        // Production cost: SP consumes the raw feature map (b × c·h·w).
+        group.bench_with_input(BenchmarkId::new("sp_loss", format!("{b}x{ch}x{hw}")), &(), |bench, _| {
+            bench.iter(|| sp_loss(&a, &r).unwrap())
+        });
+        // Like-for-like with PWCCA: both on the channel-pooled (b × c)
+        // matrices — the setting of the paper's ~10× compute-gap claim.
+        group.bench_with_input(BenchmarkId::new("sp_loss_pooled", format!("{b}x{ch}x{hw}")), &(), |bench, _| {
+            bench.iter(|| sp_loss(&am, &rm).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pwcca", format!("{b}x{ch}x{hw}")), &(), |bench, _| {
+            bench.iter(|| pwcca_distance(&am, &rm).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cka", format!("{b}x{ch}x{hw}")), &(), |bench, _| {
+            bench.iter(|| cka(&am, &rm).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_metrics
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench: real training iterations — unfrozen vs frozen vs
+//! frozen-with-cached-FP (the host-machine counterpart of Figure 10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+use egeria_models::{Batch, Input, Model, Targets};
+use egeria_tensor::{Rng, Tensor};
+
+fn setup() -> (impl Model, Batch) {
+    let model = resnet_cifar(
+        ResNetCifarConfig {
+            n: 3,
+            width: 4,
+            classes: 8,
+            ..Default::default()
+        },
+        1,
+    );
+    let mut rng = Rng::new(2);
+    let batch = Batch {
+        input: Input::Image(Tensor::randn(&[16, 3, 10, 10], &mut rng)),
+        targets: Targets::Classes((0..16).map(|i| i % 8).collect()),
+        sample_ids: (0..16).collect(),
+    };
+    (model, batch)
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(20);
+    {
+        let (mut m, batch) = setup();
+        group.bench_function("unfrozen", |b| {
+            b.iter(|| {
+                let r = m.train_step(&batch, None).unwrap();
+                m.zero_grad();
+                r.loss
+            })
+        });
+    }
+    {
+        let (mut m, batch) = setup();
+        m.freeze_prefix(2).unwrap();
+        group.bench_function("frozen_prefix_2", |b| {
+            b.iter(|| {
+                let r = m.train_step(&batch, None).unwrap();
+                m.zero_grad();
+                r.loss
+            })
+        });
+    }
+    {
+        let (mut m, batch) = setup();
+        m.freeze_prefix(2).unwrap();
+        let boundary = m.train_step(&batch, Some(1)).unwrap().captured.unwrap();
+        m.zero_grad();
+        group.bench_function("frozen_prefix_2_cached_fp", |b| {
+            b.iter(|| {
+                let r = m.train_step_from(&batch, 2, &boundary, None).unwrap();
+                m.zero_grad();
+                r.loss
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_steps
+}
+criterion_main!(benches);

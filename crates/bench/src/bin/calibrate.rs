@@ -1,0 +1,36 @@
+//! Calibration: wall-clock cost of one training epoch per workload.
+//!
+//! Not a paper figure — this sizes the experiment sweep for the host CPU.
+
+use egeria_bench::workloads::{Workload, ALL_KINDS};
+use std::time::Instant;
+
+fn main() {
+    for kind in ALL_KINDS {
+        let mut w = Workload::make(kind, 42);
+        let loader = w.loader(1);
+        let plans = loader.epoch_plan(0);
+        let mut opt = w.optimizer();
+        let start = Instant::now();
+        let mut loss_sum = 0.0f32;
+        for plan in &plans {
+            let batch = w.train.materialize(&plan.indices).expect("materialize");
+            let r = w.model.train_step(&batch, None).expect("train step");
+            loss_sum += r.loss;
+            opt.step(&mut w.model.params_mut()).expect("optimizer step");
+            w.model.zero_grad();
+        }
+        let dt = start.elapsed().as_secs_f64();
+        println!(
+            "{:18} {:3} iters/epoch  {:7.3} s/epoch  ({:5.1} ms/iter, mean loss {:.3}, {} modules, {} epochs planned -> ~{:.1} s/run)",
+            w.name,
+            plans.len(),
+            dt,
+            dt * 1000.0 / plans.len() as f64,
+            loss_sum / plans.len() as f32,
+            w.model.modules().len(),
+            w.epochs,
+            dt * w.epochs as f64,
+        );
+    }
+}

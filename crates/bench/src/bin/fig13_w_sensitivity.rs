@@ -1,0 +1,43 @@
+//! Figure 13: sensitivity of the linear-fitting window `W`.
+//!
+//! Egeria runs of ResNet-56 across `W ∈ {3, 6, 12, 20, 30}` (scaled from
+//! the paper's 5–50 range to our shorter schedules), reporting the final
+//! accuracy and how much got frozen. Expected shape: accuracy is flat for
+//! moderate-to-large `W`; only very small `W` freezes eagerly and can dent
+//! accuracy.
+
+use egeria_bench::experiments::{converged_metric, default_egeria, run_workload};
+use egeria_bench::runner::{write_csv, ResultsDir};
+use egeria_bench::workloads::Kind;
+
+fn main() {
+    let results = ResultsDir::resolve().expect("results dir");
+    let mut rows = Vec::new();
+    for w in [3usize, 6, 12, 24] {
+        eprintln!("== W = {w}");
+        let cfg = default_egeria(Kind::ResNet56).with_window(w);
+        let out = run_workload(Kind::ResNet56, 42, Some(cfg), None).expect("run");
+        let acc = converged_metric(&out.report, true);
+        let max_prefix = out
+            .report
+            .iterations
+            .iter()
+            .map(|i| i.frozen_prefix)
+            .max()
+            .unwrap_or(0);
+        let first_freeze = out
+            .report
+            .events
+            .iter()
+            .find(|e| e.kind == "freeze")
+            .map(|e| e.iteration as i64)
+            .unwrap_or(-1);
+        rows.push(format!("{w},{acc:.4},{max_prefix},{first_freeze}"));
+    }
+    write_csv(
+        &results.path("fig13_w_sensitivity.csv"),
+        "window_w,final_accuracy,max_frozen_prefix,first_freeze_iteration",
+        &rows,
+    )
+    .expect("write fig 13");
+}

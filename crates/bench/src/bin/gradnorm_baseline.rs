@@ -1,0 +1,117 @@
+//! §6.2 ablation: gradient-norm-guided freezing vs Egeria's plasticity.
+//!
+//! The paper: "We also test freezing layers based on gradient norm on
+//! CIFAR-10 and find that achieving the same speedup will lose 2% of
+//! accuracy." This binary trains ResNet-56 three ways — vanilla baseline,
+//! gradient-norm freezing (same window machinery, hard-label signal), and
+//! Egeria — and reports final accuracy plus how much got frozen how early.
+
+use egeria_bench::experiments::{converged_metric, default_egeria, run_workload};
+use egeria_bench::runner::{write_csv, ResultsDir};
+use egeria_bench::workloads::{Kind, Workload};
+use egeria_core::baselines::GradNormFreezer;
+use egeria_core::freezer::FreezeEvent;
+use egeria_core::trainer::evaluate;
+use egeria_tensor::Result;
+
+struct GradNormOutcome {
+    final_acc: f32,
+    first_freeze_iter: i64,
+    max_prefix: usize,
+}
+
+/// Trains with gradient-norm freezing using Egeria's evaluation cadence.
+fn run_gradnorm(epochs: usize) -> Result<GradNormOutcome> {
+    let mut w = Workload::make(Kind::ResNet56, 42);
+    let cfg = default_egeria(Kind::ResNet56);
+    let loader = w.loader(1042);
+    let val_loader = w.val_loader();
+    let mut opt = w.optimizer();
+    let schedule = w.schedule();
+    let mut freezer = GradNormFreezer::new(w.model.modules().len(), &cfg);
+    let mut step = 0usize;
+    let mut first_freeze = -1i64;
+    let mut max_prefix = 0usize;
+    for epoch in 0..epochs {
+        opt.set_lr(schedule.lr(epoch));
+        for plan in loader.epoch_plan(epoch) {
+            let batch = w.train.materialize(&plan.indices)?;
+            let _ = w.model.train_step(&batch, None)?;
+            if step % cfg.n == 0 {
+                let front = freezer.front();
+                if front < w.model.modules().len() {
+                    let norm = GradNormFreezer::module_grad_norm(w.model.as_ref(), front);
+                    if let FreezeEvent::Froze(k) = freezer.observe(norm)? {
+                        w.model.freeze_prefix(k)?;
+                        max_prefix = max_prefix.max(k);
+                        if first_freeze < 0 {
+                            first_freeze = step as i64;
+                        }
+                    }
+                }
+            }
+            opt.step(&mut w.model.params_mut())?;
+            w.model.zero_grad();
+            step += 1;
+        }
+    }
+    let (_, final_acc) = evaluate(w.model.as_mut(), w.val.as_ref(), &val_loader)?;
+    Ok(GradNormOutcome {
+        final_acc,
+        first_freeze_iter: first_freeze,
+        max_prefix,
+    })
+}
+
+fn main() {
+    let results = ResultsDir::resolve().expect("results dir");
+    let epochs = 40;
+    eprintln!("== vanilla baseline");
+    let base = run_workload(Kind::ResNet56, 42, None, Some(epochs)).expect("baseline");
+    let base_acc = converged_metric(&base.report, true);
+    eprintln!("== gradient-norm freezing");
+    let gn = run_gradnorm(epochs).expect("gradnorm run");
+    eprintln!("== egeria (plasticity) freezing");
+    let eg = run_workload(
+        Kind::ResNet56,
+        42,
+        Some(default_egeria(Kind::ResNet56)),
+        Some(epochs),
+    )
+    .expect("egeria run");
+    let eg_acc = converged_metric(&eg.report, true);
+    let eg_first = eg
+        .report
+        .events
+        .iter()
+        .find(|e| e.kind == "freeze")
+        .map(|e| e.iteration as i64)
+        .unwrap_or(-1);
+    let eg_max = eg
+        .report
+        .iterations
+        .iter()
+        .map(|i| i.frozen_prefix as usize)
+        .max()
+        .unwrap_or(0);
+    let rows = vec![
+        format!("baseline,{base_acc:.4},0.0,-1,0"),
+        format!(
+            "gradient_norm,{:.4},{:.2},{},{}",
+            gn.final_acc,
+            (base_acc - gn.final_acc) * 100.0,
+            gn.first_freeze_iter,
+            gn.max_prefix
+        ),
+        format!(
+            "egeria_plasticity,{eg_acc:.4},{:.2},{eg_first},{eg_max}",
+            (base_acc - eg_acc) * 100.0
+        ),
+    ];
+    write_csv(
+        &results.path("gradnorm_baseline.csv"),
+        "method,final_acc,acc_drop_pct,first_freeze_iter,max_frozen_prefix",
+        &rows,
+    )
+    .expect("write gradnorm baseline");
+}

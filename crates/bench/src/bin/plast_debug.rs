@@ -1,0 +1,18 @@
+//! Debug helper: dump the plasticity trace of an Egeria run.
+use egeria_bench::experiments::{default_egeria, run_workload};
+use egeria_bench::workloads::Kind;
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("transformer") => Kind::TransformerBase,
+        Some("deeplab") => Kind::DeepLabV3,
+        Some("mobilenet") => Kind::MobileNetV2,
+        _ => Kind::ResNet56,
+    };
+    let epochs = std::env::args().nth(2).and_then(|s| s.parse().ok());
+    let out = run_workload(kind, 42, Some(default_egeria(kind)), epochs).expect("run");
+    for p in out.report.plasticity.iter().step_by(3) {
+        println!("iter {:5} module {} raw {:.6} smoothed {:.6}", p.iteration, p.module, p.raw, p.smoothed);
+    }
+    println!("events {:?}", out.report.events);
+}

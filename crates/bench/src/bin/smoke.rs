@@ -1,0 +1,53 @@
+//! Smoke check: does Egeria freeze sensibly and keep accuracy on one
+//! workload? Not a paper figure; a fast sanity gate for the sweep.
+
+use egeria_bench::experiments::{converged_metric, default_egeria, run_workload};
+use egeria_bench::workloads::Kind;
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("bert") => Kind::BertQa,
+        Some("transformer") => Kind::TransformerBase,
+        Some("mobilenet") => Kind::MobileNetV2,
+        Some("deeplab") => Kind::DeepLabV3,
+        Some("resnet50") => Kind::ResNet50,
+        _ => Kind::ResNet56,
+    };
+    let epochs = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok());
+    let base = run_workload(kind, 42, None, epochs).expect("baseline");
+    let cfg = default_egeria(kind);
+    let eg = run_workload(kind, 42, Some(cfg), epochs).expect("egeria");
+    println!("epoch  base_loss base_metric   eg_loss eg_metric prefix active% cached");
+    for (b, e) in base.report.epochs.iter().zip(eg.report.epochs.iter()) {
+        let cached = eg
+            .report
+            .iterations
+            .iter()
+            .filter(|i| i.epoch as usize == e.epoch && i.fp_cached)
+            .count();
+        println!(
+            "{:5}  {:9.4} {:11.4}  {:8.4} {:9.4} {:6} {:6.2} {:6}",
+            b.epoch,
+            b.train_loss,
+            b.val_metric.unwrap_or(f32::NAN),
+            e.train_loss,
+            e.val_metric.unwrap_or(f32::NAN),
+            e.frozen_prefix,
+            e.active_param_fraction,
+            cached
+        );
+    }
+    println!("events: {:?}", eg.report.events);
+    println!(
+        "converged metric: baseline {:.4} egeria {:.4}",
+        converged_metric(&base.report, base.higher_is_better),
+        converged_metric(&eg.report, eg.higher_is_better)
+    );
+    println!(
+        "plasticity points: {}, cache stats: {:?}",
+        eg.report.plasticity.len(),
+        eg.report.cache_stats
+    );
+}

@@ -1,0 +1,103 @@
+//! Table 2: reference-model precision sweep (int8 / f16 / f32).
+//!
+//! Three Egeria runs of ResNet-56 differing only in reference precision,
+//! reporting (1) the final accuracy — the precision must not change it
+//! materially, (2) the CPU inference speed ratio measured on real kernels
+//! (int8 `qmatmul` vs f32 `matmul` over reference-sized matrices; f16 is
+//! modeled per the paper's measurement since CPUs lack native f16 GEMM),
+//! and (3) the reference accuracy gap — the quantized snapshot's own
+//! validation accuracy versus the f32 snapshot's.
+
+use egeria_bench::experiments::{converged_metric, default_egeria, run_workload};
+use egeria_bench::runner::{write_csv, ResultsDir};
+use egeria_bench::workloads::{Kind, Workload};
+use egeria_core::trainer::evaluate;
+use egeria_quant::qtensor::{qmatmul, Granularity, QTensor};
+use egeria_quant::{quantize_reference, Precision};
+use egeria_tensor::{Rng, Tensor};
+use std::time::Instant;
+
+/// Measures the int8-vs-f32 matmul speed ratio on reference-sized GEMMs.
+fn measure_int8_speedup() -> f64 {
+    let mut rng = Rng::new(7);
+    let a = Tensor::randn(&[64, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+    let qa = QTensor::quantize(&a, Granularity::PerTensor).unwrap();
+    let qb = QTensor::quantize(&b, Granularity::PerTensor).unwrap();
+    let reps = 200;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = a.matmul(&b).unwrap();
+    }
+    let t_f32 = t0.elapsed();
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        let _ = qmatmul(&qa, &qb).unwrap();
+    }
+    let t_int8 = t1.elapsed();
+    t_f32.as_secs_f64() / t_int8.as_secs_f64()
+}
+
+fn main() {
+    let results = ResultsDir::resolve().expect("results dir");
+    let int8_speed = measure_int8_speedup();
+    eprintln!("measured int8 matmul speedup: {int8_speed:.2}x");
+
+    // Reference accuracy gap: quantize a trained model and evaluate it.
+    let mut w = Workload::make(Kind::ResNet56, 42);
+    // Quick pre-training to a sensible accuracy for the gap measurement.
+    {
+        let loader = w.loader(5);
+        let mut opt = w.optimizer();
+        let schedule = w.schedule();
+        for epoch in 0..24 {
+            opt.set_lr(schedule.lr(epoch));
+            for plan in loader.epoch_plan(epoch) {
+                let batch = w.train.materialize(&plan.indices).expect("batch");
+                let _ = w.model.train_step(&batch, None).expect("step");
+                opt.step(&mut w.model.params_mut()).expect("opt");
+                w.model.zero_grad();
+            }
+        }
+    }
+    let val_loader = w.val_loader();
+    let gap_of = |precision: Precision, w: &Workload| -> f32 {
+        let mut q = quantize_reference(w.model.as_ref(), precision).expect("quantize");
+        let (_, acc) = evaluate(q.as_mut(), w.val.as_ref(), &val_loader).expect("eval");
+        acc
+    };
+    let acc_f32 = gap_of(Precision::F32, &w);
+    let acc_f16 = gap_of(Precision::F16, &w);
+    let acc_int8 = gap_of(Precision::Int8, &w);
+
+    // Final-accuracy rows: full Egeria runs per reference precision.
+    let mut rows = Vec::new();
+    for (name, precision, speed) in [
+        ("int8", Precision::Int8, int8_speed),
+        ("float16", Precision::F16, Precision::F16.cpu_speedup() as f64),
+        ("float32", Precision::F32, 1.0),
+    ] {
+        eprintln!("== egeria run with {name} reference");
+        let cfg = egeria_core::EgeriaConfig {
+            reference_precision: precision,
+            ..default_egeria(Kind::ResNet56)
+        };
+        let out = run_workload(Kind::ResNet56, 42, Some(cfg), None).expect("run");
+        let final_acc = converged_metric(&out.report, true);
+        let ref_gap = match precision {
+            Precision::Int8 => acc_int8 - acc_f32,
+            Precision::F16 => acc_f16 - acc_f32,
+            Precision::F32 => 0.0,
+        };
+        rows.push(format!(
+            "{name},{final_acc:.4},{speed:.2},{:.4}",
+            ref_gap
+        ));
+    }
+    write_csv(
+        &results.path("table2_reference_precision.csv"),
+        "precision,final_accuracy,cpu_inference_speedup_x,reference_acc_gap",
+        &rows,
+    )
+    .expect("write table 2");
+}

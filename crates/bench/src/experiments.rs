@@ -1,0 +1,182 @@
+//! Shared experiment runners built on the workload definitions.
+
+use crate::workloads::{Kind, Workload};
+use egeria_core::trainer::{EgeriaTrainer, TrainReport, TrainerOptions};
+use egeria_core::EgeriaConfig;
+use egeria_simsys::tta::IterTrace;
+use egeria_simsys::ArchSpec;
+use egeria_tensor::Result;
+
+/// The output of one training run plus its paper-scale cost spec.
+pub struct RunOutput {
+    /// Training report (metrics, traces, events).
+    pub report: TrainReport,
+    /// Paper-scale architecture spec matching the trace's module indices.
+    pub arch: ArchSpec,
+    /// Batch size used.
+    pub batch_size: usize,
+    /// Whether the validation metric improves upward.
+    pub higher_is_better: bool,
+}
+
+/// The Egeria hyperparameters used for a workload family.
+///
+/// The paper's guidance (§4.2.2): the four knobs are coupled and robust.
+/// These defaults were picked once per family on the reproduction scale and
+/// shared across all experiments (the W-sensitivity figure sweeps W
+/// explicitly).
+pub fn default_egeria(kind: Kind) -> EgeriaConfig {
+    let base = EgeriaConfig {
+        n: 5,
+        w: 12,
+        s: 12,
+        t: 1.0, // Trend-to-variation ratio (see PlasticityTracker).
+        bootstrap_rate: 0.10,
+        reference_update_every: 8,
+        ..Default::default()
+    };
+    match kind {
+        // Fine-tuning converges fast: shorter windows.
+        Kind::BertQa => EgeriaConfig {
+            w: 8,
+            s: 8,
+            ..base
+        },
+        _ => base,
+    }
+}
+
+/// Trains a workload end to end and returns the report + cost spec.
+pub fn run_workload(
+    kind: Kind,
+    seed: u64,
+    egeria: Option<EgeriaConfig>,
+    epochs_override: Option<usize>,
+) -> Result<RunOutput> {
+    let w = Workload::make(kind, seed);
+    let arch = w.arch_spec();
+    let batch_size = w.batch_size;
+    let higher = w.higher_is_better;
+    let loader = w.loader(seed.wrapping_add(1000));
+    let val_loader = w.val_loader();
+    let epochs = epochs_override.unwrap_or(w.epochs);
+    let optimizer = w.optimizer();
+    let schedule = w.schedule();
+    let Workload {
+        model, train, val, lr_per_iteration, ..
+    } = w;
+    let mut trainer = EgeriaTrainer::new(
+        model,
+        optimizer,
+        schedule,
+        TrainerOptions {
+            epochs,
+            egeria,
+            lr_per_iteration,
+            ..Default::default()
+        },
+    );
+    let report = trainer.train(train.as_ref(), &loader, Some((val.as_ref(), &val_loader)))?;
+    Ok(RunOutput {
+        report,
+        arch,
+        batch_size,
+        higher_is_better: higher,
+    })
+}
+
+/// Converts a report's iteration records into the simulator's trace type.
+pub fn trace_of(report: &TrainReport) -> Vec<IterTrace> {
+    report
+        .iterations
+        .iter()
+        .map(|i| IterTrace {
+            epoch: i.epoch,
+            frozen_prefix: i.frozen_prefix,
+            fp_cached: i.fp_cached,
+        })
+        .collect()
+}
+
+/// The per-epoch validation metric series (None where not evaluated).
+pub fn metric_series(report: &TrainReport) -> Vec<Option<f32>> {
+    report.epochs.iter().map(|e| e.val_metric).collect()
+}
+
+/// Running-best transform of a metric series: epoch `e` carries the best
+/// value seen up to `e`. Time-to-accuracy on small validation sets is
+/// jittery; the paper's convergence targets are effectively monotone, so
+/// TTA is extracted from the running best.
+pub fn running_best(series: &[Option<f32>], higher_is_better: bool) -> Vec<Option<f32>> {
+    let mut best: Option<f32> = None;
+    series
+        .iter()
+        .map(|m| {
+            if let Some(v) = m {
+                best = Some(match best {
+                    Some(b) if higher_is_better => b.max(*v),
+                    Some(b) => b.min(*v),
+                    None => *v,
+                });
+            }
+            best
+        })
+        .collect()
+}
+
+/// Manually trains a workload (no Egeria), returning model snapshots at the
+/// requested epoch boundaries plus the final model and a fixed probe batch
+/// for activation analysis. Used by the post hoc PWCCA / SP-loss figures.
+pub fn train_with_snapshots(
+    kind: Kind,
+    seed: u64,
+    epochs: usize,
+    snap_epochs: &[usize],
+    probe_batch: usize,
+) -> Result<(
+    Vec<(usize, Box<dyn egeria_models::Model>)>,
+    Box<dyn egeria_models::Model>,
+    egeria_models::Batch,
+)> {
+    let mut w = Workload::make(kind, seed);
+    let loader = w.loader(seed.wrapping_add(77));
+    let mut opt = w.optimizer();
+    let schedule = w.schedule();
+    let probe = w
+        .train
+        .materialize(&(0..probe_batch.min(w.train.len())).collect::<Vec<_>>())?;
+    let mut snaps = Vec::new();
+    for epoch in 0..epochs {
+        if snap_epochs.contains(&epoch) {
+            snaps.push((epoch, w.model.clone_boxed()));
+        }
+        opt.set_lr(schedule.lr(epoch));
+        for plan in loader.epoch_plan(epoch) {
+            let batch = w.train.materialize(&plan.indices)?;
+            let _ = w.model.train_step(&batch, None)?;
+            opt.step(&mut w.model.params_mut())?;
+            w.model.zero_grad();
+        }
+        if snap_epochs.contains(&(epoch + 1)) && epoch + 1 == epochs {
+            snaps.push((epochs, w.model.clone_boxed()));
+        }
+    }
+    Ok((snaps, w.model, probe))
+}
+
+/// The best (final-plateau) metric of a run: the median of the last three
+/// evaluated epochs, robust to single-epoch noise.
+pub fn converged_metric(report: &TrainReport, higher_is_better: bool) -> f32 {
+    let mut vals: Vec<f32> = report
+        .epochs
+        .iter()
+        .rev()
+        .filter_map(|e| e.val_metric)
+        .take(3)
+        .collect();
+    if vals.is_empty() {
+        return if higher_is_better { 0.0 } else { f32::INFINITY };
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    vals[vals.len() / 2]
+}

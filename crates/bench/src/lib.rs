@@ -1,0 +1,9 @@
+//! Experiment harness: workload definitions, run helpers, and result
+//! emission for every table and figure of the paper (see DESIGN.md §3 for
+//! the experiment index).
+
+pub mod experiments;
+pub mod runner;
+pub mod workloads;
+
+pub use runner::{write_csv, write_json, ResultsDir};

@@ -1,0 +1,171 @@
+//! The paper's minimal-code-change facade (§4.1.1):
+//!
+//! ```text
+//! from egeria import EgeriaController, EgeriaModule
+//! controller = EgeriaController(args, ...)
+//! model = EgeriaModule(arch, args, ...)   # replaces nn.Module
+//! ```
+//!
+//! In Rust:
+//!
+//! ```
+//! use egeria_core::{EgeriaController, EgeriaModule, EgeriaConfig};
+//! use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+//!
+//! let controller = EgeriaController::new(EgeriaConfig::default());
+//! let module = EgeriaModule::wrap(Box::new(resnet_cifar(
+//!     ResNetCifarConfig { n: 2, width: 4, classes: 10, ..Default::default() },
+//!     42,
+//! )));
+//! assert!(module.modules().len() > 1);
+//! let _ = controller; // Handed to the trainer together with the module.
+//! ```
+
+use crate::config::EgeriaConfig;
+use crate::trainer::{EgeriaTrainer, Optimizer, TrainerOptions};
+use egeria_models::{Model, ModuleMeta};
+use egeria_nn::sched::LrSchedule;
+
+/// A model wrapped for Egeria training — the `nn.Module` replacement.
+///
+/// The wrapper exposes the freeze/unfreeze interface the controller calls
+/// and otherwise defers to the wrapped [`Model`].
+pub struct EgeriaModule {
+    model: Box<dyn Model>,
+}
+
+impl EgeriaModule {
+    /// Wraps an existing model.
+    pub fn wrap(model: Box<dyn Model>) -> Self {
+        EgeriaModule { model }
+    }
+
+    /// The wrapped model's layer modules (what the controller freezes
+    /// over).
+    pub fn modules(&self) -> Vec<ModuleMeta> {
+        self.model.modules()
+    }
+
+    /// Freezes the first `k` modules (the controller's `freeze()` call).
+    pub fn freeze(&mut self, k: usize) -> egeria_tensor::Result<()> {
+        self.model.freeze_prefix(k)
+    }
+
+    /// Unfreezes everything (the controller's `unfreeze()` call).
+    pub fn unfreeze(&mut self) {
+        self.model.unfreeze_all()
+    }
+
+    /// Unwraps into the inner model.
+    pub fn into_inner(self) -> Box<dyn Model> {
+        self.model
+    }
+}
+
+/// The controller handle: configuration plus trainer construction.
+pub struct EgeriaController {
+    config: EgeriaConfig,
+}
+
+impl EgeriaController {
+    /// Creates a controller with the given configuration.
+    pub fn new(config: EgeriaConfig) -> Self {
+        EgeriaController { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EgeriaConfig {
+        &self.config
+    }
+
+    /// Builds the knowledge-guided trainer for a wrapped module.
+    pub fn into_trainer(
+        self,
+        module: EgeriaModule,
+        optimizer: Optimizer,
+        schedule: Box<dyn LrSchedule>,
+        epochs: usize,
+        lr_per_iteration: bool,
+    ) -> EgeriaTrainer {
+        EgeriaTrainer::new(
+            module.into_inner(),
+            optimizer,
+            schedule,
+            TrainerOptions {
+                epochs,
+                egeria: Some(self.config),
+                lr_per_iteration,
+                ..Default::default()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_data::images::{ImageDataConfig, SyntheticImages};
+    use egeria_data::DataLoader;
+    use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+    use egeria_nn::optim::Sgd;
+    use egeria_nn::sched::StepDecay;
+
+    #[test]
+    fn facade_matches_paper_workflow() {
+        let controller = EgeriaController::new(EgeriaConfig {
+            n: 2,
+            w: 3,
+            s: 2,
+            t: 5.0,
+            bootstrap_rate: 0.9,
+            ..Default::default()
+        });
+        let module = EgeriaModule::wrap(Box::new(resnet_cifar(
+            ResNetCifarConfig {
+                n: 2,
+                width: 4,
+                classes: 4,
+                ..Default::default()
+            },
+            1,
+        )));
+        assert!(module.modules().len() >= 3);
+        let mut trainer = controller.into_trainer(
+            module,
+            Optimizer::Sgd(Sgd::new(0.05, 0.9, 0.0)),
+            Box::new(StepDecay::new(0.05, 0.1, 100)),
+            4,
+            false,
+        );
+        let data = SyntheticImages::new(
+            ImageDataConfig {
+                samples: 32,
+                classes: 4,
+                size: 8,
+                noise: 0.3,
+                augment: true,
+            },
+            2,
+        );
+        let loader = DataLoader::new(32, 16, 3, true);
+        let report = trainer.train(&data, &loader, None).unwrap();
+        assert!(report.egeria);
+        assert_eq!(report.epochs.len(), 4);
+    }
+
+    #[test]
+    fn module_freeze_interface_works() {
+        let mut module = EgeriaModule::wrap(Box::new(resnet_cifar(
+            ResNetCifarConfig {
+                n: 2,
+                width: 4,
+                classes: 4,
+                ..Default::default()
+            },
+            2,
+        )));
+        module.freeze(1).unwrap();
+        module.unfreeze();
+        assert!(module.freeze(module.modules().len()).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Bootstrapping-stage monitor (critical-period detection).
+//!
+//! "The bootstrapping stage is a critical period of training, during which
+//! the DNN is sensitive and no parameter is eligible for freezing. KGT
+//! monitors the changing rate of the training loss and moves to the next
+//! stage as the DNN moves out of the critical period" (§3). The changing
+//! rate threshold is permissively 10% (§4.2.2).
+
+use egeria_analysis::series::relative_change;
+
+/// Monitors the loss changing rate over a window of sampled losses.
+#[derive(Debug, Clone)]
+pub struct BootstrapMonitor {
+    losses: Vec<f32>,
+    window: usize,
+    rate: f32,
+    min_samples: usize,
+    done: bool,
+}
+
+impl BootstrapMonitor {
+    /// Creates a monitor that exits bootstrap when the relative loss change
+    /// over the last `window` samples drops below `rate`.
+    pub fn new(window: usize, rate: f32) -> Self {
+        BootstrapMonitor {
+            losses: Vec::new(),
+            window: window.max(4),
+            rate,
+            min_samples: window.max(4),
+            done: false,
+        }
+    }
+
+    /// Folds in one sampled training loss; returns `true` once the critical
+    /// period is over (latched).
+    pub fn observe(&mut self, loss: f32) -> bool {
+        if self.done {
+            return true;
+        }
+        self.losses.push(loss);
+        if self.losses.len() < self.min_samples {
+            return false;
+        }
+        if let Some(change) = relative_change(&self.losses, self.window) {
+            if change < self.rate {
+                self.done = true;
+            }
+        }
+        self.done
+    }
+
+    /// Whether bootstrap has completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Sampled loss history.
+    pub fn history(&self) -> &[f32] {
+        &self.losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_bootstrap_while_loss_falls_fast() {
+        let mut m = BootstrapMonitor::new(8, 0.10);
+        for i in 0..8 {
+            // Loss halves every sample: change rate far above 10%.
+            assert!(!m.observe(10.0 / (1 << i) as f32), "exited at {i}");
+        }
+    }
+
+    #[test]
+    fn exits_when_loss_plateaus() {
+        let mut m = BootstrapMonitor::new(8, 0.10);
+        for i in 0..6 {
+            m.observe(5.0 - i as f32 * 0.8);
+        }
+        let mut exited = false;
+        for _ in 0..10 {
+            exited = m.observe(1.0);
+            if exited {
+                break;
+            }
+        }
+        assert!(exited, "never exited bootstrap on a plateau");
+    }
+
+    #[test]
+    fn done_is_latched() {
+        let mut m = BootstrapMonitor::new(4, 0.5);
+        for _ in 0..8 {
+            m.observe(1.0);
+        }
+        assert!(m.is_done());
+        // A later loss spike does not re-enter bootstrap.
+        assert!(m.observe(100.0));
+        assert!(m.is_done());
+    }
+
+    #[test]
+    fn requires_minimum_history() {
+        let mut m = BootstrapMonitor::new(10, 0.99);
+        for i in 0..9 {
+            assert!(!m.observe(1.0), "exited with only {} samples", i + 1);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Activation caching and prefetching (§4.3).
+//!
+//! Frozen-prefix output activations are serialized to disk keyed by sample
+//! id. A hash table of the most recent batches stays "in GPU memory" (a
+//! bounded in-process map here), and a prefetcher thread loads upcoming
+//! samples from disk ahead of the training loop, exploiting the loader's
+//! known-future batch order.
+
+use egeria_tensor::{serialize, Result, Tensor, TensorError};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Cache performance counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Batch lookups fully served from memory or disk.
+    pub hits: usize,
+    /// Batch lookups with at least one missing sample.
+    pub misses: usize,
+    /// Samples currently resident in memory.
+    pub mem_entries: usize,
+    /// Total bytes written to disk.
+    pub disk_bytes: u64,
+    /// Samples loaded from disk by prefetch/get.
+    pub disk_reads: usize,
+}
+
+/// On-disk + in-memory activation cache keyed by sample id.
+pub struct ActivationCache {
+    dir: PathBuf,
+    mem: HashMap<u64, Tensor>,
+    /// Batch-granularity eviction queue: the ids of the most recent batches.
+    recent: VecDeque<Vec<u64>>,
+    mem_batches: usize,
+    /// Frozen-prefix length the cached activations were computed at; a
+    /// change invalidates everything.
+    valid_prefix: Option<usize>,
+    stats: CacheStats,
+}
+
+impl ActivationCache {
+    /// Creates a cache rooted at `dir` (created if missing), keeping the
+    /// most recent `mem_batches` batches in memory.
+    pub fn new(dir: impl Into<PathBuf>, mem_batches: usize) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| TensorError::Numerical(format!("cache dir: {e}")))?;
+        Ok(ActivationCache {
+            dir,
+            mem: HashMap::new(),
+            recent: VecDeque::new(),
+            mem_batches: mem_batches.max(1),
+            valid_prefix: None,
+            stats: CacheStats::default(),
+        })
+    }
+
+    fn path_of(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("sample_{id}.act"))
+    }
+
+    /// The frozen-prefix length current entries are valid for.
+    pub fn valid_prefix(&self) -> Option<usize> {
+        self.valid_prefix
+    }
+
+    /// Invalidates everything (called when the frozen prefix changes: the
+    /// cached activations were produced by a different sub-network).
+    pub fn invalidate(&mut self) {
+        self.mem.clear();
+        self.recent.clear();
+        self.valid_prefix = None;
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                let _ = fs::remove_file(e.path());
+            }
+        }
+        self.stats.mem_entries = 0;
+        self.stats.disk_bytes = 0;
+    }
+
+    /// Stores one batch's frozen-prefix activation, computed at prefix
+    /// length `prefix`. Invalidates the cache first if the prefix changed.
+    pub fn put_batch(&mut self, ids: &[u64], activation: &Tensor, prefix: usize) -> Result<()> {
+        if self.valid_prefix != Some(prefix) {
+            self.invalidate();
+            self.valid_prefix = Some(prefix);
+        }
+        let b = *activation.dims().first().ok_or(TensorError::ShapeMismatch {
+            op: "cache put",
+            lhs: activation.dims().to_vec(),
+            rhs: vec![ids.len()],
+        })?;
+        if b != ids.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "cache put",
+                lhs: activation.dims().to_vec(),
+                rhs: vec![ids.len()],
+            });
+        }
+        for (row, &id) in ids.iter().enumerate() {
+            let sample = activation.narrow(0, row, 1)?;
+            let bytes = serialize::to_bytes(&sample);
+            fs::write(self.path_of(id), &bytes)
+                .map_err(|e| TensorError::Numerical(format!("cache write: {e}")))?;
+            self.stats.disk_bytes += bytes.len() as u64;
+            self.mem.insert(id, sample);
+        }
+        self.recent.push_back(ids.to_vec());
+        while self.recent.len() > self.mem_batches {
+            if let Some(old) = self.recent.pop_front() {
+                for id in old {
+                    // An id may appear in a newer resident batch; only evict
+                    // if no other recent batch holds it.
+                    if !self.recent.iter().any(|b| b.contains(&id)) {
+                        self.mem.remove(&id);
+                    }
+                }
+            }
+        }
+        self.stats.mem_entries = self.mem.len();
+        Ok(())
+    }
+
+    /// Loads the given samples from disk into memory ahead of use.
+    pub fn prefetch(&mut self, ids: &[u64]) -> Result<usize> {
+        let mut loaded = 0;
+        for &id in ids {
+            if self.mem.contains_key(&id) {
+                continue;
+            }
+            let path = self.path_of(id);
+            if let Ok(bytes) = fs::read(&path) {
+                let t = serialize::from_bytes(&bytes)?;
+                self.mem.insert(id, t);
+                self.stats.disk_reads += 1;
+                loaded += 1;
+            }
+        }
+        self.recent.push_back(ids.to_vec());
+        while self.recent.len() > self.mem_batches {
+            if let Some(old) = self.recent.pop_front() {
+                for id in old {
+                    if !self.recent.iter().any(|b| b.contains(&id)) {
+                        self.mem.remove(&id);
+                    }
+                }
+            }
+        }
+        self.stats.mem_entries = self.mem.len();
+        Ok(loaded)
+    }
+
+    /// Fetches a whole batch; `None` (a miss) if any sample is absent from
+    /// both memory and disk, or if the cache is valid for a different
+    /// prefix.
+    pub fn get_batch(&mut self, ids: &[u64], prefix: usize) -> Result<Option<Tensor>> {
+        if self.valid_prefix != Some(prefix) {
+            self.stats.misses += 1;
+            return Ok(None);
+        }
+        let mut parts: Vec<Tensor> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            if let Some(t) = self.mem.get(&id) {
+                parts.push(t.clone());
+                continue;
+            }
+            let path = self.path_of(id);
+            match fs::read(&path) {
+                Ok(bytes) => {
+                    let t = serialize::from_bytes(&bytes)?;
+                    self.stats.disk_reads += 1;
+                    parts.push(t);
+                }
+                Err(_) => {
+                    self.stats.misses += 1;
+                    return Ok(None);
+                }
+            }
+        }
+        self.stats.hits += 1;
+        let views: Vec<&Tensor> = parts.iter().collect();
+        Ok(Some(Tensor::concat(&views, 0)?))
+    }
+
+    /// Performance counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// A background prefetcher: feeds upcoming batch id lists to a thread that
+/// loads them into the shared cache.
+pub struct Prefetcher {
+    tx: Option<crossbeam::channel::Sender<Vec<u64>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawns the prefetch thread over a shared cache.
+    pub fn spawn(cache: Arc<Mutex<ActivationCache>>) -> Self {
+        let (tx, rx) = crossbeam::channel::bounded::<Vec<u64>>(64);
+        let handle = std::thread::spawn(move || {
+            while let Ok(ids) = rx.recv() {
+                let _ = cache.lock().prefetch(&ids);
+            }
+        });
+        Prefetcher {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueues an upcoming batch's sample ids (non-blocking; drops the
+    /// hint if the queue is full — prefetching is best-effort).
+    pub fn hint(&self, ids: Vec<u64>) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.try_send(ids);
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_tensor::Rng;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("egeria_cache_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let mut c = ActivationCache::new(tmp_dir("rt"), 5).unwrap();
+        let mut rng = Rng::new(1);
+        let act = Tensor::randn(&[3, 2, 4, 4], &mut rng);
+        c.put_batch(&[10, 20, 30], &act, 2).unwrap();
+        let got = c.get_batch(&[10, 20, 30], 2).unwrap().unwrap();
+        assert_eq!(got, act);
+        // Different order reassembles correctly.
+        let reordered = c.get_batch(&[30, 10, 20], 2).unwrap().unwrap();
+        assert_eq!(reordered.narrow(0, 0, 1).unwrap(), act.narrow(0, 2, 1).unwrap());
+    }
+
+    #[test]
+    fn miss_on_unknown_sample() {
+        let mut c = ActivationCache::new(tmp_dir("miss"), 5).unwrap();
+        let act = Tensor::ones(&[1, 2]);
+        c.put_batch(&[1], &act, 0).unwrap();
+        assert!(c.get_batch(&[2], 0).unwrap().is_none());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn prefix_change_invalidates() {
+        let mut c = ActivationCache::new(tmp_dir("prefix"), 5).unwrap();
+        let act = Tensor::ones(&[1, 2]);
+        c.put_batch(&[1], &act, 1).unwrap();
+        assert!(c.get_batch(&[1], 1).unwrap().is_some());
+        // Asking at a different prefix misses.
+        assert!(c.get_batch(&[1], 2).unwrap().is_none());
+        // Writing at the new prefix wipes the old entries.
+        c.put_batch(&[2], &act, 2).unwrap();
+        assert!(c.get_batch(&[1], 2).unwrap().is_none());
+        assert!(c.get_batch(&[2], 2).unwrap().is_some());
+    }
+
+    #[test]
+    fn memory_window_evicts_but_disk_persists() {
+        let mut c = ActivationCache::new(tmp_dir("evict"), 2).unwrap();
+        let act = Tensor::ones(&[1, 2]);
+        for id in 0..6u64 {
+            c.put_batch(&[id], &act, 0).unwrap();
+        }
+        assert!(c.stats().mem_entries <= 2);
+        // Evicted entries still load from disk.
+        let got = c.get_batch(&[0], 0).unwrap();
+        assert!(got.is_some());
+        assert!(c.stats().disk_reads >= 1);
+    }
+
+    #[test]
+    fn prefetch_loads_into_memory() {
+        let dir = tmp_dir("prefetch");
+        let mut c = ActivationCache::new(&dir, 3).unwrap();
+        let act = Tensor::ones(&[2, 2]);
+        c.put_batch(&[1, 2], &act, 0).unwrap();
+        // Push the entries out of memory.
+        for id in 10..16u64 {
+            c.put_batch(&[id], &Tensor::ones(&[1, 2]), 0).unwrap();
+        }
+        let before = c.stats().disk_reads;
+        let loaded = c.prefetch(&[1, 2]).unwrap();
+        assert_eq!(loaded, 2);
+        assert_eq!(c.stats().disk_reads, before + 2);
+        // Now get_batch is a pure memory hit (no further disk reads).
+        let after_prefetch = c.stats().disk_reads;
+        let _ = c.get_batch(&[1, 2], 0).unwrap().unwrap();
+        assert_eq!(c.stats().disk_reads, after_prefetch);
+    }
+
+    #[test]
+    fn prefetcher_thread_warms_the_cache() {
+        let dir = tmp_dir("thread");
+        let cache = Arc::new(Mutex::new(ActivationCache::new(&dir, 4).unwrap()));
+        {
+            let mut c = cache.lock();
+            c.put_batch(&[7], &Tensor::ones(&[1, 3]), 0).unwrap();
+            for id in 100..110u64 {
+                c.put_batch(&[id], &Tensor::ones(&[1, 3]), 0).unwrap();
+            }
+        }
+        let p = Prefetcher::spawn(Arc::clone(&cache));
+        p.hint(vec![7]);
+        // Wait for the prefetch to land.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            if cache.lock().mem.contains_key(&7) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "prefetch never landed");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        drop(p);
+    }
+
+    #[test]
+    fn rejects_mismatched_ids_and_batch() {
+        let mut c = ActivationCache::new(tmp_dir("shape"), 2).unwrap();
+        let act = Tensor::ones(&[2, 2]);
+        assert!(c.put_batch(&[1], &act, 0).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Egeria configuration (the paper's four hyperparameters plus system
+//! knobs).
+
+use egeria_quant::Precision;
+
+/// How plasticity evaluation is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerMode {
+    /// Reference forward + plasticity computed inline on the training
+    /// thread. Deterministic; used by the experiment harness.
+    Sync,
+    /// Reference forward on a controller thread behind the IQ/ROQ/TOQ
+    /// queues (§4.1.2); decisions apply when they arrive.
+    Async,
+}
+
+/// Unfreeze policy (§4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnfreezePolicy {
+    /// LR-annealing rule: unfreeze all frozen layers when the LR has
+    /// dropped by ≥10× since the frontmost module froze, halving `W` and
+    /// `S` for refreezing.
+    LrAnnealing,
+    /// Cyclical schedules: user-customized unfreezing (hook on the
+    /// trainer); the built-in LR rule is disabled.
+    Custom,
+    /// Never unfreeze (ablation).
+    Never,
+}
+
+/// The Egeria hyperparameters and system options.
+#[derive(Debug, Clone, Copy)]
+pub struct EgeriaConfig {
+    /// `n`: plasticity-evaluation (and bootstrap-monitoring) interval in
+    /// iterations.
+    pub n: usize,
+    /// `W`: history window for smoothing and the linear fit.
+    pub w: usize,
+    /// `S`: consecutive sub-tolerance slopes required to freeze (defaults
+    /// to `W` per the paper).
+    pub s: usize,
+    /// `T`: plasticity slope tolerance as a trend-to-variation ratio: the
+    /// window is stationary when the fitted trend's total change stays
+    /// under `T`× the window's standard deviation.
+    pub t: f32,
+    /// Bootstrapping exit threshold: relative loss-change rate (the paper
+    /// sets this "permissively" to 10%).
+    pub bootstrap_rate: f32,
+    /// Reference precision (int8 default; f32 fallback for sensitive
+    /// models).
+    pub reference_precision: Precision,
+    /// Refresh the reference from the latest snapshot every this many
+    /// plasticity evaluations (0 = never update; Figure 7's ablation).
+    pub reference_update_every: usize,
+    /// Unfreeze policy.
+    pub unfreeze: UnfreezePolicy,
+    /// Whether the frozen-prefix forward pass is replaced by the activation
+    /// cache (§4.3).
+    pub cache_fp: bool,
+    /// In-memory cache window, in batches (the paper keeps 5).
+    pub cache_mem_batches: usize,
+    /// Controller execution mode.
+    pub controller: ControllerMode,
+    /// CPU-load gate: skip reference execution when the 1-minute load
+    /// average divided by core count exceeds this fraction (§4.1.2 uses
+    /// 50%). Only consulted in async mode.
+    pub cpu_load_gate: f32,
+}
+
+impl Default for EgeriaConfig {
+    fn default() -> Self {
+        EgeriaConfig {
+            n: 20,
+            w: 15,
+            s: 15,
+            t: 1.0,
+            bootstrap_rate: 0.10,
+            reference_precision: Precision::Int8,
+            reference_update_every: 10,
+            unfreeze: UnfreezePolicy::LrAnnealing,
+            cache_fp: true,
+            cache_mem_batches: 5,
+            controller: ControllerMode::Sync,
+            cpu_load_gate: 0.5,
+        }
+    }
+}
+
+impl EgeriaConfig {
+    /// Sets `W` (and `S = W`, the paper's default coupling).
+    pub fn with_window(mut self, w: usize) -> Self {
+        self.w = w;
+        self.s = w;
+        self
+    }
+
+    /// Halved-criteria variant used for refreezing after an unfreeze
+    /// (§4.2.2: "halve the counter and history buffer for refreezing").
+    pub fn relaxed_for_refreeze(&self) -> (usize, usize) {
+        ((self.w / 2).max(2), (self.s / 2).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_couples_s_to_w() {
+        let c = EgeriaConfig::default();
+        assert_eq!(c.s, c.w);
+        assert!(c.bootstrap_rate > 0.0 && c.bootstrap_rate < 1.0);
+    }
+
+    #[test]
+    fn with_window_keeps_coupling() {
+        let c = EgeriaConfig::default().with_window(7);
+        assert_eq!(c.w, 7);
+        assert_eq!(c.s, 7);
+    }
+
+    #[test]
+    fn refreeze_criteria_are_halved_and_floored() {
+        let c = EgeriaConfig::default().with_window(10);
+        assert_eq!(c.relaxed_for_refreeze(), (5, 5));
+        let tiny = EgeriaConfig::default().with_window(2);
+        let (w, s) = tiny.relaxed_for_refreeze();
+        assert!(w >= 2 && s >= 1);
+    }
+}

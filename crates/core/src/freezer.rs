@@ -1,0 +1,297 @@
+//! Algorithm 1: the layer-freezing state machine.
+//!
+//! Tracks the frontmost active layer module, folds plasticity evaluations
+//! into its history, advances the frozen prefix on convergence, and handles
+//! the learning-rate-annealing unfreeze with relaxed refreeze criteria.
+
+use crate::config::{EgeriaConfig, UnfreezePolicy};
+use crate::plasticity::{PlasticityObservation, PlasticityTracker};
+use egeria_tensor::{Result, Tensor};
+
+/// A freezing decision produced by one plasticity evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FreezeEvent {
+    /// Nothing changed.
+    None,
+    /// The frontmost active module converged; the frozen prefix is now the
+    /// contained value.
+    Froze(usize),
+    /// The LR-annealing rule fired; everything was unfrozen.
+    Unfroze,
+}
+
+/// The per-model freezing engine.
+pub struct FreezingEngine {
+    trackers: Vec<PlasticityTracker>,
+    front: usize,
+    num_modules: usize,
+    policy: UnfreezePolicy,
+    base: EgeriaConfig,
+    /// LR recorded when the current freeze run started (first module
+    /// frozen); cleared on unfreeze.
+    lr_at_first_freeze: Option<f32>,
+    /// Whether refreeze criteria are currently relaxed.
+    relaxed: bool,
+    /// History of events with the evaluation index they occurred at.
+    events: Vec<(usize, FreezeEvent)>,
+    evaluations: usize,
+}
+
+impl FreezingEngine {
+    /// Creates an engine for a model of `num_modules` layer modules.
+    pub fn new(num_modules: usize, cfg: &EgeriaConfig) -> Self {
+        FreezingEngine {
+            trackers: (0..num_modules)
+                .map(|_| PlasticityTracker::new(cfg.w, cfg.s, cfg.t))
+                .collect(),
+            front: 0,
+            num_modules,
+            policy: cfg.unfreeze,
+            base: *cfg,
+            lr_at_first_freeze: None,
+            relaxed: false,
+            events: Vec::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// The frontmost active module (== current frozen prefix length).
+    pub fn front(&self) -> usize {
+        self.front
+    }
+
+    /// Whether any module can still be frozen (the last module always
+    /// stays active, per Algorithm 1's assertion).
+    pub fn can_freeze(&self) -> bool {
+        self.front + 1 < self.num_modules
+    }
+
+    /// Recorded freeze/unfreeze events `(evaluation index, event)`.
+    pub fn events(&self) -> &[(usize, FreezeEvent)] {
+        &self.events
+    }
+
+    /// The plasticity tracker of a module (for trace export).
+    pub fn tracker(&self, module: usize) -> Option<&PlasticityTracker> {
+        self.trackers.get(module)
+    }
+
+    /// Folds one plasticity evaluation of the frontmost active module and
+    /// returns the resulting event plus the observation.
+    ///
+    /// `lr` is the current learning rate, consulted for the unfreeze rule
+    /// *before* the plasticity logic (a decayed LR reboots training, so
+    /// freezing on this evaluation would act on stale history).
+    pub fn observe(
+        &mut self,
+        a_train: &Tensor,
+        a_ref: &Tensor,
+        lr: f32,
+    ) -> Result<(Option<PlasticityObservation>, FreezeEvent)> {
+        let p = egeria_analysis::sp_loss(a_train, a_ref)?;
+        self.observe_value(p, lr)
+    }
+
+    /// Folds a precomputed plasticity value (the async-controller path,
+    /// where the SP loss was computed on the controller thread).
+    pub fn observe_value(
+        &mut self,
+        p: f32,
+        lr: f32,
+    ) -> Result<(Option<PlasticityObservation>, FreezeEvent)> {
+        self.evaluations += 1;
+        if let Some(event) = self.check_unfreeze(lr) {
+            return Ok((None, event));
+        }
+        if !self.can_freeze() {
+            // Still record plasticity for traces, but never freeze the tail.
+            let obs = self.trackers[self.front].observe_value(p)?;
+            return Ok((Some(obs), FreezeEvent::None));
+        }
+        let obs = self.trackers[self.front].observe_value(p)?;
+        if obs.converged {
+            if self.lr_at_first_freeze.is_none() {
+                self.lr_at_first_freeze = Some(lr);
+            }
+            self.front += 1;
+            let event = FreezeEvent::Froze(self.front);
+            self.events.push((self.evaluations, event));
+            return Ok((Some(obs), event));
+        }
+        Ok((Some(obs), FreezeEvent::None))
+    }
+
+    /// Applies the LR-annealing unfreeze rule; returns the event if fired.
+    fn check_unfreeze(&mut self, lr: f32) -> Option<FreezeEvent> {
+        if self.policy != UnfreezePolicy::LrAnnealing || self.front == 0 {
+            return None;
+        }
+        let lr0 = self.lr_at_first_freeze?;
+        if lr > lr0 * 0.1 + f32::EPSILON {
+            return None;
+        }
+        self.unfreeze_now();
+        Some(FreezeEvent::Unfroze)
+    }
+
+    /// Unconditionally unfreezes everything (also the entry point for
+    /// custom cyclical-LR policies).
+    pub fn unfreeze_now(&mut self) {
+        self.front = 0;
+        self.lr_at_first_freeze = None;
+        self.relaxed = true;
+        let (w, s) = self.base.relaxed_for_refreeze();
+        for t in &mut self.trackers {
+            t.relax(w, s);
+        }
+        self.events.push((self.evaluations, FreezeEvent::Unfroze));
+    }
+
+    /// Whether refreeze criteria are currently relaxed.
+    pub fn is_relaxed(&self) -> bool {
+        self.relaxed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_tensor::Rng;
+
+    fn cfg() -> EgeriaConfig {
+        EgeriaConfig {
+            w: 4,
+            s: 3,
+            t: 1e-3,
+            ..Default::default()
+        }
+    }
+
+    fn stable_pair(rng: &mut Rng) -> (Tensor, Tensor) {
+        let a = Tensor::randn(&[4, 8], rng);
+        (a.clone(), a)
+    }
+
+    fn unstable_pair(rng: &mut Rng) -> (Tensor, Tensor) {
+        (Tensor::randn(&[4, 8], rng), Tensor::randn(&[4, 8], rng))
+    }
+
+    #[test]
+    fn stable_plasticity_freezes_front_module_first() {
+        let mut e = FreezingEngine::new(4, &cfg());
+        let mut rng = Rng::new(1);
+        let mut first_freeze = None;
+        for i in 0..20 {
+            let (a, b) = stable_pair(&mut rng);
+            let (_, ev) = e.observe(&a, &b, 0.1).unwrap();
+            if let FreezeEvent::Froze(k) = ev {
+                first_freeze.get_or_insert((i, k));
+            }
+        }
+        let (_, k) = first_freeze.expect("stable plasticity must freeze");
+        assert_eq!(k, 1, "front module must freeze first");
+        assert!(e.front() >= 1);
+    }
+
+    #[test]
+    fn unstable_plasticity_never_freezes() {
+        let mut e = FreezingEngine::new(3, &cfg());
+        let mut rng = Rng::new(2);
+        for _ in 0..40 {
+            let (a, b) = unstable_pair(&mut rng);
+            let (_, ev) = e.observe(&a, &b, 0.1).unwrap();
+            assert_eq!(ev, FreezeEvent::None);
+        }
+        assert_eq!(e.front(), 0);
+    }
+
+    #[test]
+    fn last_module_is_never_frozen() {
+        let mut e = FreezingEngine::new(2, &cfg());
+        let mut rng = Rng::new(3);
+        for _ in 0..30 {
+            let (a, b) = stable_pair(&mut rng);
+            let _ = e.observe(&a, &b, 0.1).unwrap();
+        }
+        assert_eq!(e.front(), 1, "prefix must stop before the last module");
+        assert!(!e.can_freeze());
+    }
+
+    #[test]
+    fn lr_decay_by_10x_unfreezes_everything() {
+        let mut e = FreezingEngine::new(4, &cfg());
+        let mut rng = Rng::new(4);
+        // Freeze one module at lr=0.1.
+        while e.front() == 0 {
+            let (a, b) = stable_pair(&mut rng);
+            let _ = e.observe(&a, &b, 0.1).unwrap();
+        }
+        // Mild decay: no unfreeze.
+        let (a, b) = stable_pair(&mut rng);
+        let (_, ev) = e.observe(&a, &b, 0.05).unwrap();
+        assert_ne!(ev, FreezeEvent::Unfroze);
+        // 10× decay: unfreeze fires.
+        let (a, b) = stable_pair(&mut rng);
+        let (_, ev) = e.observe(&a, &b, 0.01).unwrap();
+        assert_eq!(ev, FreezeEvent::Unfroze);
+        assert_eq!(e.front(), 0);
+        assert!(e.is_relaxed());
+    }
+
+    #[test]
+    fn refreeze_is_faster_after_relaxation() {
+        let mut e = FreezingEngine::new(4, &cfg());
+        let mut rng = Rng::new(5);
+        let mut evals_to_first = 0;
+        while e.front() == 0 {
+            let (a, b) = stable_pair(&mut rng);
+            let _ = e.observe(&a, &b, 0.1).unwrap();
+            evals_to_first += 1;
+        }
+        // Trigger unfreeze.
+        let (a, b) = stable_pair(&mut rng);
+        let _ = e.observe(&a, &b, 0.001).unwrap();
+        assert_eq!(e.front(), 0);
+        let mut evals_to_refreeze = 0;
+        while e.front() == 0 {
+            let (a, b) = stable_pair(&mut rng);
+            let _ = e.observe(&a, &b, 0.001).unwrap();
+            evals_to_refreeze += 1;
+        }
+        assert!(
+            evals_to_refreeze < evals_to_first,
+            "refreeze ({evals_to_refreeze}) not faster than first freeze ({evals_to_first})"
+        );
+    }
+
+    #[test]
+    fn never_policy_ignores_lr() {
+        let mut c = cfg();
+        c.unfreeze = UnfreezePolicy::Never;
+        let mut e = FreezingEngine::new(3, &c);
+        let mut rng = Rng::new(6);
+        while e.front() == 0 {
+            let (a, b) = stable_pair(&mut rng);
+            let _ = e.observe(&a, &b, 0.1).unwrap();
+        }
+        let (a, b) = stable_pair(&mut rng);
+        let (_, ev) = e.observe(&a, &b, 1e-6).unwrap();
+        assert_ne!(ev, FreezeEvent::Unfroze);
+        assert!(e.front() >= 1);
+    }
+
+    #[test]
+    fn events_are_recorded_in_order() {
+        let mut e = FreezingEngine::new(4, &cfg());
+        let mut rng = Rng::new(7);
+        for _ in 0..40 {
+            let (a, b) = stable_pair(&mut rng);
+            let _ = e.observe(&a, &b, 0.1).unwrap();
+        }
+        let evs = e.events();
+        assert!(!evs.is_empty());
+        for w in evs.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Reference-model lifecycle (§4.1.3).
+//!
+//! The reference is an int8-quantized snapshot of the training model,
+//! regenerated periodically from the latest weights so stale references do
+//! not amplify SGD fluctuations (Figure 7). Generation is timed so the
+//! overhead report can check the paper's 0.5–1.5 s claim at paper scale
+//! (ours is smaller, but the measurement plumbing is identical).
+
+use crate::config::EgeriaConfig;
+use egeria_models::{Batch, Model};
+use egeria_quant::{quantize_reference, Precision};
+use egeria_tensor::{Result, Tensor, TensorError};
+use std::time::{Duration, Instant};
+
+/// Statistics about reference-model maintenance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceStats {
+    /// How many times a reference was (re)generated.
+    pub generations: usize,
+    /// Total wall-clock time spent quantizing snapshots.
+    pub total_generation_time: Duration,
+    /// How many reference forward passes ran.
+    pub forwards: usize,
+}
+
+/// Owns and refreshes the reference model.
+pub struct ReferenceManager {
+    precision: Precision,
+    update_every: usize,
+    reference: Option<Box<dyn Model>>,
+    evals_since_update: usize,
+    stats: ReferenceStats,
+}
+
+impl ReferenceManager {
+    /// Creates a manager from the Egeria config.
+    pub fn new(cfg: &EgeriaConfig) -> Self {
+        ReferenceManager {
+            precision: cfg.reference_precision,
+            update_every: cfg.reference_update_every,
+            reference: None,
+            evals_since_update: 0,
+            stats: ReferenceStats::default(),
+        }
+    }
+
+    /// Whether a reference exists.
+    pub fn is_ready(&self) -> bool {
+        self.reference.is_some()
+    }
+
+    /// Generates (or regenerates) the reference from a snapshot of `model`.
+    pub fn generate(&mut self, model: &dyn Model) -> Result<()> {
+        let start = Instant::now();
+        self.reference = Some(quantize_reference(model, self.precision)?);
+        self.stats.generations += 1;
+        self.stats.total_generation_time += start.elapsed();
+        self.evals_since_update = 0;
+        Ok(())
+    }
+
+    /// Counts one plasticity evaluation and refreshes the reference when
+    /// the update interval elapses (0 = never update, Figure 7a's
+    /// ablation).
+    pub fn after_evaluation(&mut self, model: &dyn Model) -> Result<bool> {
+        self.evals_since_update += 1;
+        if self.update_every > 0 && self.evals_since_update >= self.update_every {
+            self.generate(model)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Runs the reference forward to capture module `module`'s activation.
+    pub fn capture(&mut self, batch: &Batch, module: usize) -> Result<Tensor> {
+        let r = self.reference.as_mut().ok_or_else(|| {
+            TensorError::Numerical("reference model not generated yet".into())
+        })?;
+        self.stats.forwards += 1;
+        r.capture_activation(batch, module)
+    }
+
+    /// Maintenance statistics.
+    pub fn stats(&self) -> ReferenceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+    use egeria_models::{Input, Targets};
+    use egeria_tensor::Rng;
+
+    fn setup() -> (Box<dyn Model>, Batch) {
+        let m = resnet_cifar(
+            ResNetCifarConfig {
+                n: 2,
+                width: 4,
+                classes: 4,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut rng = Rng::new(2);
+        let batch = Batch {
+            input: Input::Image(Tensor::randn(&[2, 3, 8, 8], &mut rng)),
+            targets: Targets::Classes(vec![0, 1]),
+            sample_ids: vec![0, 1],
+        };
+        (Box::new(m), batch)
+    }
+
+    #[test]
+    fn capture_before_generate_errors() {
+        let (_, batch) = setup();
+        let mut r = ReferenceManager::new(&EgeriaConfig::default());
+        assert!(!r.is_ready());
+        assert!(r.capture(&batch, 0).is_err());
+    }
+
+    #[test]
+    fn generate_then_capture_works() {
+        let (m, batch) = setup();
+        let mut r = ReferenceManager::new(&EgeriaConfig::default());
+        r.generate(m.as_ref()).unwrap();
+        assert!(r.is_ready());
+        let a = r.capture(&batch, 0).unwrap();
+        assert!(a.numel() > 0);
+        assert_eq!(r.stats().generations, 1);
+        assert_eq!(r.stats().forwards, 1);
+    }
+
+    #[test]
+    fn updates_every_interval() {
+        let (m, _) = setup();
+        let cfg = EgeriaConfig {
+            reference_update_every: 3,
+            ..Default::default()
+        };
+        let mut r = ReferenceManager::new(&cfg);
+        r.generate(m.as_ref()).unwrap();
+        assert!(!r.after_evaluation(m.as_ref()).unwrap());
+        assert!(!r.after_evaluation(m.as_ref()).unwrap());
+        assert!(r.after_evaluation(m.as_ref()).unwrap());
+        assert_eq!(r.stats().generations, 2);
+    }
+
+    #[test]
+    fn zero_interval_never_updates() {
+        let (m, _) = setup();
+        let cfg = EgeriaConfig {
+            reference_update_every: 0,
+            ..Default::default()
+        };
+        let mut r = ReferenceManager::new(&cfg);
+        r.generate(m.as_ref()).unwrap();
+        for _ in 0..10 {
+            assert!(!r.after_evaluation(m.as_ref()).unwrap());
+        }
+        assert_eq!(r.stats().generations, 1);
+    }
+
+    #[test]
+    fn updated_reference_tracks_training_model() {
+        // After the training model changes, an updated reference must match
+        // the new weights rather than the old snapshot.
+        let (mut m, batch) = setup();
+        let mut r = ReferenceManager::new(&EgeriaConfig {
+            reference_precision: Precision::F32,
+            ..Default::default()
+        });
+        r.generate(m.as_ref()).unwrap();
+        let before = r.capture(&batch, 1).unwrap();
+        // Perturb the model.
+        for p in m.params_mut() {
+            p.value = p.value.add_scalar(0.05);
+        }
+        r.generate(m.as_ref()).unwrap();
+        let after = r.capture(&batch, 1).unwrap();
+        assert!(!before.allclose(&after, 1e-6));
+        let live = m.capture_activation(&batch, 1).unwrap();
+        assert!(live.allclose(&after, 1e-5));
+    }
+}

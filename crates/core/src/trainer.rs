@@ -1,0 +1,673 @@
+//! The Egeria training loop (Figure 3's life cycle, end to end).
+//!
+//! [`EgeriaTrainer`] drives a [`Model`] over a [`Dataset`] with an optimizer
+//! and LR schedule. With `egeria: Some(config)` the loop runs the full
+//! knowledge-guided pipeline — bootstrap monitoring, reference generation
+//! and refresh, periodic plasticity evaluation, Algorithm 1
+//! freezing/unfreezing, and cached-FP with prefetching. With `egeria: None`
+//! it is the vanilla baseline the paper compares against. Either way it
+//! emits a [`TrainReport`] whose per-iteration records feed the performance
+//! simulator.
+
+use crate::bootstrap::BootstrapMonitor;
+use crate::cache::{ActivationCache, CacheStats};
+use crate::config::{ControllerMode, EgeriaConfig, UnfreezePolicy};
+use crate::controller::{system_load_probe, AsyncController};
+use crate::freezer::{FreezeEvent, FreezingEngine};
+use crate::reference::{ReferenceManager, ReferenceStats};
+use egeria_data::{DataLoader, Dataset};
+use egeria_models::Model;
+use egeria_nn::optim::{Adam, Sgd};
+use egeria_nn::sched::LrSchedule;
+use egeria_tensor::{Result, TensorError};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The optimizer driving parameter updates.
+pub enum Optimizer {
+    /// SGD with momentum.
+    Sgd(Sgd),
+    /// Adam.
+    Adam(Adam),
+}
+
+impl Optimizer {
+    /// Sets the learning rate on the wrapped optimizer.
+    pub fn set_lr(&mut self, lr: f32) {
+        match self {
+            Optimizer::Sgd(o) => o.set_lr(lr),
+            Optimizer::Adam(o) => o.set_lr(lr),
+        }
+    }
+
+    /// Applies one update to the given parameters.
+    pub fn step(&mut self, params: &mut [&mut egeria_nn::Parameter]) -> Result<()> {
+        match self {
+            Optimizer::Sgd(o) => o.step(params),
+            Optimizer::Adam(o) => o.step(params),
+        }
+    }
+}
+
+/// Trainer options beyond model/optimizer/schedule.
+pub struct TrainerOptions {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Egeria configuration; `None` trains the vanilla baseline.
+    pub egeria: Option<EgeriaConfig>,
+    /// Whether the LR schedule is indexed by iteration (NLP convention) or
+    /// epoch (CV convention).
+    pub lr_per_iteration: bool,
+    /// Directory for the activation cache (a temp dir is created when
+    /// omitted and caching is on).
+    pub cache_dir: Option<PathBuf>,
+    /// Evaluate on the validation set every this many epochs (1 = every).
+    pub eval_every: usize,
+}
+
+impl Default for TrainerOptions {
+    fn default() -> Self {
+        TrainerOptions {
+            epochs: 10,
+            egeria: None,
+            lr_per_iteration: false,
+            cache_dir: None,
+            eval_every: 1,
+        }
+    }
+}
+
+/// One epoch's summary.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Mean training loss.
+    pub train_loss: f32,
+    /// Validation loss (if evaluated this epoch).
+    pub val_loss: Option<f32>,
+    /// Validation task metric (if evaluated this epoch).
+    pub val_metric: Option<f32>,
+    /// Learning rate in effect at the epoch start.
+    pub lr: f32,
+    /// Frozen prefix at the epoch end.
+    pub frozen_prefix: usize,
+    /// Fraction of parameters still trainable at the epoch end.
+    pub active_param_fraction: f32,
+}
+
+/// One training iteration's cost-relevant facts (the simulator input).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct IterationRecord {
+    /// Epoch index.
+    pub epoch: u32,
+    /// Frozen-prefix length during this iteration.
+    pub frozen_prefix: u16,
+    /// Whether the frozen prefix's forward pass was served from the cache.
+    pub fp_cached: bool,
+}
+
+/// One plasticity evaluation, for trace figures.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PlasticityPoint {
+    /// Global iteration index the evaluation ran at.
+    pub iteration: usize,
+    /// Module under evaluation.
+    pub module: usize,
+    /// Raw SP-loss plasticity.
+    pub raw: f32,
+    /// Smoothed (Equation 2) value.
+    pub smoothed: f32,
+}
+
+/// A freeze/unfreeze event for the decision-timeline figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct EventRecord {
+    /// Global iteration index.
+    pub iteration: usize,
+    /// `"freeze"` or `"unfreeze"`.
+    pub kind: String,
+    /// Frozen-prefix length after the event.
+    pub prefix: usize,
+}
+
+/// The full output of a training run.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct TrainReport {
+    /// Model name.
+    pub model: String,
+    /// Whether Egeria was active.
+    pub egeria: bool,
+    /// Per-epoch summaries.
+    pub epochs: Vec<EpochRecord>,
+    /// Per-iteration cost facts.
+    pub iterations: Vec<IterationRecord>,
+    /// Plasticity trace.
+    pub plasticity: Vec<PlasticityPoint>,
+    /// Freeze/unfreeze events.
+    pub events: Vec<EventRecord>,
+    /// Cache counters (zeroed when caching is off).
+    #[serde(skip)]
+    pub cache_stats: CacheStats,
+    /// Reference counters.
+    #[serde(skip)]
+    pub reference_stats: ReferenceStats,
+    /// Wall-clock seconds of the whole run (this machine, not the
+    /// simulated testbed).
+    pub wall_seconds: f64,
+    /// Total bytes of input data materialized (for the cache-storage-ratio
+    /// report).
+    pub input_bytes: u64,
+}
+
+/// The training harness.
+pub struct EgeriaTrainer {
+    model: Box<dyn Model>,
+    optimizer: Optimizer,
+    schedule: Box<dyn LrSchedule>,
+    options: TrainerOptions,
+}
+
+impl EgeriaTrainer {
+    /// Creates a trainer.
+    pub fn new(
+        model: Box<dyn Model>,
+        optimizer: Optimizer,
+        schedule: Box<dyn LrSchedule>,
+        options: TrainerOptions,
+    ) -> Self {
+        EgeriaTrainer {
+            model,
+            optimizer,
+            schedule,
+            options,
+        }
+    }
+
+    /// Access to the trained model after (or during) training.
+    pub fn model(&self) -> &dyn Model {
+        self.model.as_ref()
+    }
+
+    /// Mutable access to the model (snapshotting between runs).
+    pub fn model_mut(&mut self) -> &mut dyn Model {
+        self.model.as_mut()
+    }
+
+    /// Runs the full training loop.
+    ///
+    /// `val` is evaluated every `eval_every` epochs with its own loader.
+    pub fn train(
+        &mut self,
+        train: &dyn Dataset,
+        loader: &DataLoader,
+        val: Option<(&dyn Dataset, &DataLoader)>,
+    ) -> Result<TrainReport> {
+        let started = Instant::now();
+        let egeria_cfg = self.options.egeria;
+        let mut report = TrainReport {
+            model: self.model.name().to_string(),
+            egeria: egeria_cfg.is_some(),
+            ..Default::default()
+        };
+
+        // Egeria machinery (present only when enabled).
+        let mut bootstrap = egeria_cfg.map(|c| BootstrapMonitor::new(c.w.max(4), c.bootstrap_rate));
+        let mut freezer = egeria_cfg.map(|c| FreezingEngine::new(self.model.modules().len(), &c));
+        let mut refmgr = egeria_cfg.map(|c| ReferenceManager::new(&c));
+        let mut async_ctrl: Option<AsyncController> = None;
+        let mut cache = match egeria_cfg {
+            Some(c) if c.cache_fp => {
+                let dir = self.options.cache_dir.clone().unwrap_or_else(|| {
+                    std::env::temp_dir().join(format!(
+                        "egeria_cache_{}_{}",
+                        std::process::id(),
+                        self.model.name()
+                    ))
+                });
+                Some(ActivationCache::new(dir, c.cache_mem_batches)?)
+            }
+            _ => None,
+        };
+
+        let mut global_step = 0usize;
+        let mut evals_since_ref_update = 0usize;
+        for epoch in 0..self.options.epochs {
+            let plans = loader.epoch_plan(epoch);
+            let mut epoch_loss = 0.0f64;
+            let mut epoch_batches = 0usize;
+            let epoch_lr = self.schedule.lr(if self.options.lr_per_iteration {
+                global_step
+            } else {
+                epoch
+            });
+            for plan in &plans {
+                let lr = self.schedule.lr(if self.options.lr_per_iteration {
+                    global_step
+                } else {
+                    epoch
+                });
+                self.optimizer.set_lr(lr);
+                let batch = train.materialize(&plan.indices)?;
+                report.input_bytes += batch_input_bytes(&batch);
+                let prefix = self.model.frozen_prefix();
+
+                // Drain async plasticity results first so decisions apply
+                // promptly.
+                if let (Some(ctrl), Some(fr)) = (&async_ctrl, freezer.as_mut()) {
+                    for r in ctrl.poll_results() {
+                        if r.module != fr.front() {
+                            continue; // Stale: the front advanced meanwhile.
+                        }
+                        if let Some(p) = r.value {
+                            let (obs, event) = fr.observe_value(p, lr)?;
+                            self.apply_event(event, &mut cache)?;
+                            record_plasticity(&mut report, global_step, r.module, p, obs);
+                            record_event(&mut report, global_step, event, self.model.frozen_prefix());
+                            evals_since_ref_update += 1;
+                        }
+                    }
+                }
+
+                let bootstrap_done = bootstrap.as_ref().map(|b| b.is_done()).unwrap_or(false);
+                let reference_available = refmgr.as_ref().map(|r| r.is_ready()).unwrap_or(false)
+                    || async_ctrl.is_some();
+                let do_eval = egeria_cfg
+                    .map(|c| bootstrap_done && global_step % c.n == 0)
+                    .unwrap_or(false)
+                    && reference_available;
+
+                let mut fp_cached = false;
+                let step_result = if do_eval {
+                    let front = freezer.as_ref().expect("egeria on").front();
+                    let r = self.model.train_step(&batch, Some(front))?;
+                    let a_train = r.captured.clone().ok_or_else(|| {
+                        TensorError::Numerical("capture hook returned nothing".into())
+                    })?;
+                    match (&mut async_ctrl, refmgr.as_mut()) {
+                        (Some(ctrl), _) => {
+                            let _ = ctrl.submit(batch.clone(), front, a_train);
+                        }
+                        (None, Some(rm)) => {
+                            let a_ref = rm.capture(&batch, front)?;
+                            let fr = freezer.as_mut().expect("egeria on");
+                            let (obs, event) = fr.observe(&a_train, &a_ref, lr)?;
+                            if let Some(o) = &obs {
+                                record_plasticity(&mut report, global_step, front, o.raw, obs);
+                            }
+                            self.apply_event(event, &mut cache)?;
+                            record_event(&mut report, global_step, event, self.model.frozen_prefix());
+                            evals_since_ref_update += 1;
+                            let cfg = egeria_cfg.expect("egeria on");
+                            if cfg.reference_update_every > 0
+                                && evals_since_ref_update >= cfg.reference_update_every
+                            {
+                                rm.generate(self.model.as_ref())?;
+                                evals_since_ref_update = 0;
+                            }
+                        }
+                        _ => {}
+                    }
+                    r
+                } else if prefix > 0
+                    && egeria_cfg.map(|c| c.cache_fp).unwrap_or(false)
+                    && self.model.supports_cached_fp(prefix)
+                {
+                    let c = cache.as_mut().expect("cache on");
+                    match c.get_batch(&batch.sample_ids, prefix)? {
+                        Some(act) => {
+                            fp_cached = true;
+                            self.model.train_step_from(&batch, prefix, &act, None)?
+                        }
+                        None => {
+                            // Fill the cache with the frozen boundary's
+                            // activation while doing the full forward.
+                            let r = self.model.train_step(&batch, Some(prefix - 1))?;
+                            if let Some(act) = &r.captured {
+                                c.put_batch(&batch.sample_ids, act, prefix)?;
+                            }
+                            r
+                        }
+                    }
+                } else {
+                    self.model.train_step(&batch, None)?
+                };
+
+                // Bootstrap monitoring happens at the same n-interval.
+                if let (Some(b), Some(c)) = (bootstrap.as_mut(), egeria_cfg.as_ref()) {
+                    if !b.is_done() && global_step % c.n == 0 && b.observe(step_result.loss) {
+                        // Critical period over: generate the reference.
+                        if let Some(rm) = refmgr.as_mut() {
+                            rm.generate(self.model.as_ref())?;
+                        }
+                        if c.controller == ControllerMode::Async {
+                            if let Some(rm_owned) = refmgr.take() {
+                                async_ctrl = Some(AsyncController::spawn(
+                                    rm_owned,
+                                    c.cpu_load_gate,
+                                    system_load_probe(),
+                                ));
+                            }
+                        }
+                    }
+                }
+                // Async reference refresh.
+                if let (Some(ctrl), Some(c)) = (&async_ctrl, egeria_cfg.as_ref()) {
+                    if c.reference_update_every > 0
+                        && evals_since_ref_update >= c.reference_update_every
+                    {
+                        ctrl.update_reference(self.model.clone_boxed());
+                        evals_since_ref_update = 0;
+                    }
+                }
+
+                let mut params = self.model.params_mut();
+                self.optimizer.step(&mut params)?;
+                drop(params);
+                self.model.zero_grad();
+                epoch_loss += step_result.loss as f64;
+                epoch_batches += 1;
+                report.iterations.push(IterationRecord {
+                    epoch: epoch as u32,
+                    frozen_prefix: self.model.frozen_prefix() as u16,
+                    fp_cached,
+                });
+                global_step += 1;
+            }
+
+            let (val_loss, val_metric) = match (&val, epoch % self.options.eval_every.max(1)) {
+                (Some((vd, vl)), 0) => {
+                    let (l, m) = evaluate(self.model.as_mut(), *vd, vl)?;
+                    (Some(l), Some(m))
+                }
+                _ => (None, None),
+            };
+            report.epochs.push(EpochRecord {
+                epoch,
+                train_loss: (epoch_loss / epoch_batches.max(1) as f64) as f32,
+                val_loss,
+                val_metric,
+                lr: epoch_lr,
+                frozen_prefix: self.model.frozen_prefix(),
+                active_param_fraction: self.model.active_param_fraction(),
+            });
+        }
+        if let Some(c) = cache {
+            report.cache_stats = c.stats();
+        }
+        if let Some(rm) = refmgr {
+            report.reference_stats = rm.stats();
+        }
+        report.wall_seconds = started.elapsed().as_secs_f64();
+        Ok(report)
+    }
+
+    fn apply_event(
+        &mut self,
+        event: FreezeEvent,
+        cache: &mut Option<ActivationCache>,
+    ) -> Result<()> {
+        match event {
+            FreezeEvent::None => Ok(()),
+            FreezeEvent::Froze(k) => {
+                self.model.freeze_prefix(k)?;
+                if let Some(c) = cache {
+                    c.invalidate();
+                }
+                Ok(())
+            }
+            FreezeEvent::Unfroze => {
+                self.model.unfreeze_all();
+                if let Some(c) = cache {
+                    c.invalidate();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies a user-defined cyclical unfreeze (the `Custom` policy hook).
+    pub fn custom_unfreeze(&mut self, freezer: &mut FreezingEngine) -> Result<()> {
+        if self.options.egeria.map(|c| c.unfreeze) == Some(UnfreezePolicy::Custom) {
+            freezer.unfreeze_now();
+            self.model.unfreeze_all();
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates a model over a full dataset pass; returns `(loss, metric)`
+/// averaged by sample count.
+pub fn evaluate(model: &mut dyn Model, data: &dyn Dataset, loader: &DataLoader) -> Result<(f32, f32)> {
+    let mut loss = 0.0f64;
+    let mut metric = 0.0f64;
+    let mut count = 0usize;
+    for plan in loader.epoch_plan(0) {
+        let batch = data.materialize(&plan.indices)?;
+        let r = model.eval_batch(&batch)?;
+        loss += r.loss as f64 * r.count as f64;
+        metric += r.metric as f64 * r.count as f64;
+        count += r.count;
+    }
+    let n = count.max(1) as f64;
+    Ok(((loss / n) as f32, (metric / n) as f32))
+}
+
+fn batch_input_bytes(batch: &egeria_models::Batch) -> u64 {
+    match &batch.input {
+        egeria_models::Input::Image(t) => (t.numel() * 4) as u64,
+        egeria_models::Input::Tokens(ids) => {
+            ids.iter().map(|s| s.len() * 8).sum::<usize>() as u64
+        }
+        egeria_models::Input::Seq2Seq { src, tgt } => {
+            (src.iter().map(|s| s.len()).sum::<usize>()
+                + tgt.iter().map(|s| s.len()).sum::<usize>()) as u64
+                * 8
+        }
+    }
+}
+
+fn record_plasticity(
+    report: &mut TrainReport,
+    iteration: usize,
+    module: usize,
+    raw: f32,
+    obs: Option<crate::plasticity::PlasticityObservation>,
+) {
+    report.plasticity.push(PlasticityPoint {
+        iteration,
+        module,
+        raw,
+        smoothed: obs.map(|o| o.smoothed).unwrap_or(raw),
+    });
+}
+
+fn record_event(report: &mut TrainReport, iteration: usize, event: FreezeEvent, prefix: usize) {
+    let kind = match event {
+        FreezeEvent::None => return,
+        FreezeEvent::Froze(_) => "freeze",
+        FreezeEvent::Unfroze => "unfreeze",
+    };
+    report.events.push(EventRecord {
+        iteration,
+        kind: kind.to_string(),
+        prefix,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_data::images::{ImageDataConfig, SyntheticImages};
+    use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+    use egeria_nn::sched::MultiStepDecay;
+
+    fn tiny_setup(egeria: Option<EgeriaConfig>, epochs: usize) -> (EgeriaTrainer, SyntheticImages, DataLoader) {
+        let model = resnet_cifar(
+            ResNetCifarConfig {
+                n: 2,
+                width: 4,
+                classes: 4,
+                ..Default::default()
+            },
+            7,
+        );
+        let data = SyntheticImages::new(
+            ImageDataConfig {
+                samples: 64,
+                classes: 4,
+                size: 8,
+                noise: 0.3,
+                augment: true,
+            },
+            11,
+        );
+        let loader = DataLoader::new(64, 16, 13, true);
+        let trainer = EgeriaTrainer::new(
+            Box::new(model),
+            Optimizer::Sgd(Sgd::new(0.05, 0.9, 1e-4)),
+            Box::new(MultiStepDecay::new(0.05, 0.1, vec![usize::MAX])),
+            TrainerOptions {
+                epochs,
+                egeria,
+                ..Default::default()
+            },
+        );
+        (trainer, data, loader)
+    }
+
+    #[test]
+    fn baseline_training_reduces_loss() {
+        let (mut t, data, loader) = tiny_setup(None, 6);
+        let report = t.train(&data, &loader, Some((&data, &loader))).unwrap();
+        assert_eq!(report.epochs.len(), 6);
+        let first = report.epochs.first().unwrap().train_loss;
+        let last = report.epochs.last().unwrap().train_loss;
+        assert!(last < first, "loss {first} → {last}");
+        assert!(!report.egeria);
+        assert!(report.iterations.iter().all(|i| i.frozen_prefix == 0 && !i.fp_cached));
+    }
+
+    #[test]
+    fn egeria_training_freezes_and_caches() {
+        let cfg = EgeriaConfig {
+            n: 2,
+            w: 3,
+            s: 2,
+            t: 5.0, // Permissive: even a steady trend counts as stationary.
+            bootstrap_rate: 0.9,
+            ..Default::default()
+        };
+        let (mut t, data, loader) = tiny_setup(Some(cfg), 10);
+        let report = t.train(&data, &loader, None).unwrap();
+        assert!(report.egeria);
+        let max_prefix = report.iterations.iter().map(|i| i.frozen_prefix).max().unwrap();
+        assert!(max_prefix >= 1, "nothing froze");
+        assert!(
+            report.iterations.iter().any(|i| i.fp_cached),
+            "cache never hit"
+        );
+        assert!(!report.plasticity.is_empty());
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.kind == "freeze"), "no freeze events recorded");
+    }
+
+    #[test]
+    fn frozen_prefix_is_monotonic_without_unfreeze() {
+        let cfg = EgeriaConfig {
+            n: 2,
+            w: 3,
+            s: 2,
+            t: 5.0,
+            bootstrap_rate: 0.9,
+            unfreeze: UnfreezePolicy::Never,
+            ..Default::default()
+        };
+        let (mut t, data, loader) = tiny_setup(Some(cfg), 8);
+        let report = t.train(&data, &loader, None).unwrap();
+        let prefixes: Vec<u16> = report.iterations.iter().map(|i| i.frozen_prefix).collect();
+        for w in prefixes.windows(2) {
+            assert!(w[1] >= w[0], "prefix shrank without an unfreeze event");
+        }
+    }
+
+    #[test]
+    fn lr_decay_triggers_unfreeze_event() {
+        // Schedule decays 100× at epoch 4; modules frozen before must thaw.
+        let model = resnet_cifar(
+            ResNetCifarConfig {
+                n: 2,
+                width: 4,
+                classes: 4,
+                ..Default::default()
+            },
+            7,
+        );
+        let data = SyntheticImages::new(
+            ImageDataConfig {
+                samples: 64,
+                classes: 4,
+                size: 8,
+                noise: 0.3,
+                augment: true,
+            },
+            11,
+        );
+        let loader = DataLoader::new(64, 16, 13, true);
+        let cfg = EgeriaConfig {
+            n: 2,
+            w: 3,
+            s: 2,
+            t: 5.0,
+            bootstrap_rate: 0.9,
+            ..Default::default()
+        };
+        let mut t = EgeriaTrainer::new(
+            Box::new(model),
+            Optimizer::Sgd(Sgd::new(0.05, 0.9, 1e-4)),
+            Box::new(MultiStepDecay::new(0.05, 0.01, vec![4])),
+            TrainerOptions {
+                epochs: 8,
+                egeria: Some(cfg),
+                ..Default::default()
+            },
+        );
+        let report = t.train(&data, &loader, None).unwrap();
+        assert!(
+            report.events.iter().any(|e| e.kind == "unfreeze"),
+            "events: {:?}",
+            report.events
+        );
+    }
+
+    #[test]
+    fn async_controller_mode_runs_to_completion() {
+        let cfg = EgeriaConfig {
+            n: 2,
+            w: 3,
+            s: 2,
+            t: 5.0,
+            bootstrap_rate: 0.9,
+            controller: ControllerMode::Async,
+            cpu_load_gate: 10.0, // Never gate in tests.
+            ..Default::default()
+        };
+        let (mut t, data, loader) = tiny_setup(Some(cfg), 8);
+        let report = t.train(&data, &loader, None).unwrap();
+        assert_eq!(report.epochs.len(), 8);
+        // Async decisions should still land and freeze something.
+        let max_prefix = report.iterations.iter().map(|i| i.frozen_prefix).max().unwrap();
+        assert!(max_prefix >= 1, "async mode froze nothing");
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let (mut t, data, loader) = tiny_setup(None, 2);
+        let report = t.train(&data, &loader, None).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"epochs\""));
+    }
+}

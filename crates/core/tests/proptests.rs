@@ -1,0 +1,97 @@
+//! Property-based tests for the freezing state machine and the activation
+//! cache.
+
+use egeria_core::cache::ActivationCache;
+use egeria_core::freezer::{FreezeEvent, FreezingEngine};
+use egeria_core::plasticity::PlasticityTracker;
+use egeria_core::EgeriaConfig;
+use egeria_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn frozen_prefix_is_monotone_between_unfreezes(seed in any::<u64>(), evals in 10usize..80) {
+        let cfg = EgeriaConfig {
+            w: 4,
+            s: 3,
+            t: 5.0,
+            ..Default::default()
+        };
+        let mut engine = FreezingEngine::new(5, &cfg);
+        let mut rng = Rng::new(seed);
+        let mut prev = 0usize;
+        for _ in 0..evals {
+            let a = Tensor::randn(&[4, 6], &mut rng);
+            let noise = Tensor::randn(&[4, 6], &mut rng).mul_scalar(0.05);
+            let b = a.add(&noise).unwrap();
+            let (_, ev) = engine.observe(&a, &b, 0.1).unwrap();
+            match ev {
+                FreezeEvent::Unfroze => prev = 0,
+                _ => {
+                    prop_assert!(engine.front() >= prev);
+                    prev = engine.front();
+                }
+            }
+            prop_assert!(engine.front() < 5, "tail module must stay active");
+        }
+    }
+
+    #[test]
+    fn tracker_never_converges_on_strong_trends(step in 0.5f32..5.0, w in 3usize..10) {
+        let mut t = PlasticityTracker::new(w, 3, 1.0);
+        for i in 0..40 {
+            let o = t.observe_value(100.0 - step * i as f32).unwrap();
+            prop_assert!(!o.converged, "converged on a strong trend at {}", i);
+        }
+    }
+
+    #[test]
+    fn tracker_converges_on_trendless_noise(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let mut t = PlasticityTracker::new(6, 5, 1.5);
+        let mut converged = false;
+        for _ in 0..80 {
+            converged |= t.observe_value(1.0 + 0.2 * rng.normal()).unwrap().converged;
+        }
+        prop_assert!(converged, "never converged on stationary noise");
+    }
+
+    #[test]
+    fn cache_round_trips_arbitrary_batches(
+        seed in any::<u64>(),
+        ids in prop::collection::hash_set(0u64..1000, 1..12),
+    ) {
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let dir = std::env::temp_dir().join(format!(
+            "egeria_prop_cache_{}_{}",
+            std::process::id(),
+            seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ActivationCache::new(&dir, 3).unwrap();
+        let mut rng = Rng::new(seed);
+        let act = Tensor::randn(&[ids.len(), 2, 3], &mut rng);
+        cache.put_batch(&ids, &act, 1).unwrap();
+        let got = cache.get_batch(&ids, 1).unwrap().unwrap();
+        prop_assert_eq!(got, act);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_misses_on_prefix_mismatch(seed in any::<u64>(), p1 in 1usize..5, p2 in 1usize..5) {
+        prop_assume!(p1 != p2);
+        let dir = std::env::temp_dir().join(format!(
+            "egeria_prop_prefix_{}_{}",
+            std::process::id(),
+            seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ActivationCache::new(&dir, 3).unwrap();
+        cache.put_batch(&[1, 2], &Tensor::ones(&[2, 4]), p1).unwrap();
+        prop_assert!(cache.get_batch(&[1, 2], p2).unwrap().is_none());
+        prop_assert!(cache.get_batch(&[1, 2], p1).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

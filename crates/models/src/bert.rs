@@ -1,0 +1,450 @@
+//! BERT-style encoder with a SQuAD-style span-prediction head.
+//!
+//! The paper fine-tunes BERT-Base (12 Transformer blocks) on SQuAD 1.0 and
+//! reports span F1. This model reproduces that shape: an embedding, a stack
+//! of encoder blocks (the 12 freezable layer modules of Table 1), and a
+//! QA head producing per-token start/end logits. [`span_f1`] computes the
+//! token-overlap F1 of SQuAD evaluation.
+
+use crate::input::{Batch, EvalResult, Input, StepResult, Targets};
+use crate::model::{Model, ModuleMeta};
+use crate::transformer::EncoderBlock;
+use egeria_nn::embedding::Embedding;
+use egeria_nn::layer::{Layer, Mode};
+use egeria_nn::linear::Linear;
+use egeria_nn::loss::cross_entropy;
+use egeria_nn::Parameter;
+use egeria_tensor::{Result, Rng, Tensor, TensorError};
+
+/// BERT-style model hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BertConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward width.
+    pub d_ff: usize,
+    /// Encoder blocks (12 for the Base shape).
+    pub layers: usize,
+}
+
+impl BertConfig {
+    /// A reduced-width BERT-Base (12 blocks).
+    pub fn base(vocab: usize) -> Self {
+        BertConfig {
+            vocab,
+            d_model: 24,
+            heads: 4,
+            d_ff: 48,
+            layers: 12,
+        }
+    }
+}
+
+/// Encoder-only model with a span head for extractive QA.
+pub struct BertQa {
+    name: String,
+    cfg: BertConfig,
+    seed: u64,
+    embed: Embedding,
+    blocks: Vec<EncoderBlock>,
+    span_head: Linear,
+    frozen: usize,
+}
+
+impl BertQa {
+    /// Creates the model from a config and init seed.
+    pub fn new(name: impl Into<String>, cfg: BertConfig, seed: u64) -> Result<Self> {
+        let mut rng = Rng::new(seed);
+        let mut blocks = Vec::with_capacity(cfg.layers);
+        for i in 0..cfg.layers {
+            blocks.push(EncoderBlock::new(
+                &format!("block.{i}"),
+                cfg.d_model,
+                cfg.heads,
+                cfg.d_ff,
+                &mut rng,
+            )?);
+        }
+        Ok(BertQa {
+            name: name.into(),
+            cfg,
+            seed,
+            embed: Embedding::new("embed", cfg.vocab, cfg.d_model, true, &mut rng),
+            blocks,
+            // Two logits per token: span start and span end.
+            span_head: Linear::new("span_head", cfg.d_model, 2, true, &mut rng),
+            frozen: 0,
+        })
+    }
+
+    fn tokens<'a>(batch: &'a Batch) -> Result<&'a [Vec<usize>]> {
+        match &batch.input {
+            Input::Tokens(t) => Ok(t),
+            _ => Err(TensorError::Numerical("bert needs token input".into())),
+        }
+    }
+
+    fn spans(targets: &Targets) -> Result<&[(usize, usize)]> {
+        match targets {
+            Targets::Spans(s) => Ok(s),
+            _ => Err(TensorError::Numerical("bert needs span targets".into())),
+        }
+    }
+
+    /// Forward returning `(start_logits, end_logits)`, each `(b, t)`.
+    fn forward_spans(
+        &mut self,
+        tokens: &[Vec<usize>],
+        mode: Mode,
+        capture: Option<usize>,
+    ) -> Result<(Tensor, Tensor, Option<Tensor>)> {
+        let mut h = self
+            .embed
+            .forward_ids(tokens, if self.frozen > 0 { Mode::Eval } else { mode })?;
+        let mut captured = None;
+        for (i, b) in self.blocks.iter_mut().enumerate() {
+            let m = if i < self.frozen { Mode::Eval } else { mode };
+            h = b.forward(&h, m)?;
+            if capture == Some(i) {
+                captured = Some(h.clone());
+            }
+        }
+        let logits = self.span_head.forward(&h, mode)?; // (b, t, 2)
+        let b = logits.dims()[0];
+        let t = logits.dims()[1];
+        let mut start = Tensor::zeros(&[b, t]);
+        let mut end = Tensor::zeros(&[b, t]);
+        for bi in 0..b {
+            for ti in 0..t {
+                start.data_mut()[bi * t + ti] = logits.data()[(bi * t + ti) * 2];
+                end.data_mut()[bi * t + ti] = logits.data()[(bi * t + ti) * 2 + 1];
+            }
+        }
+        Ok((start, end, captured))
+    }
+
+    fn backward_spans(&mut self, g_start: &Tensor, g_end: &Tensor) -> Result<usize> {
+        let b = g_start.dims()[0];
+        let t = g_start.dims()[1];
+        let mut g = Tensor::zeros(&[b, t, 2]);
+        for bi in 0..b {
+            for ti in 0..t {
+                g.data_mut()[(bi * t + ti) * 2] = g_start.data()[bi * t + ti];
+                g.data_mut()[(bi * t + ti) * 2 + 1] = g_end.data()[bi * t + ti];
+            }
+        }
+        let mut gh = self.span_head.backward(&g)?;
+        let mut ran = 0usize;
+        for (i, blk) in self.blocks.iter_mut().enumerate().rev() {
+            if i < self.frozen {
+                break;
+            }
+            gh = blk.backward(&gh)?;
+            ran += 1;
+        }
+        if self.frozen == 0 {
+            self.embed.backward_ids(&gh)?;
+        }
+        Ok(ran)
+    }
+}
+
+/// Token-overlap F1 between a predicted and gold inclusive span.
+pub fn span_f1(pred: (usize, usize), gold: (usize, usize)) -> f32 {
+    let (ps, pe) = (pred.0.min(pred.1), pred.0.max(pred.1));
+    let (gs, ge) = gold;
+    let inter_start = ps.max(gs);
+    let inter_end = pe.min(ge);
+    if inter_end < inter_start {
+        return 0.0;
+    }
+    let inter = (inter_end - inter_start + 1) as f32;
+    let p_len = (pe - ps + 1) as f32;
+    let g_len = (ge - gs + 1) as f32;
+    let precision = inter / p_len;
+    let recall = inter / g_len;
+    2.0 * precision * recall / (precision + recall)
+}
+
+impl Model for BertQa {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn modules(&self) -> Vec<ModuleMeta> {
+        let n = self.blocks.len();
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let mut params: usize = b.params().iter().map(|p| p.numel()).sum();
+                if i == 0 {
+                    params += self.embed.table.numel();
+                }
+                if i == n - 1 {
+                    params += self
+                        .span_head
+                        .params()
+                        .iter()
+                        .map(|p| p.numel())
+                        .sum::<usize>();
+                }
+                ModuleMeta {
+                    name: format!("block.{i}"),
+                    param_count: params,
+                }
+            })
+            .collect()
+    }
+
+    fn frozen_prefix(&self) -> usize {
+        self.frozen
+    }
+
+    fn freeze_prefix(&mut self, k: usize) -> Result<()> {
+        if k >= self.blocks.len() {
+            return Err(TensorError::Numerical(format!(
+                "cannot freeze {k} of {} bert modules",
+                self.blocks.len()
+            )));
+        }
+        for (i, b) in self.blocks.iter_mut().enumerate() {
+            for p in b.params_mut() {
+                p.requires_grad = i >= k;
+            }
+        }
+        self.embed.table.requires_grad = k == 0;
+        self.frozen = k;
+        Ok(())
+    }
+
+    fn unfreeze_all(&mut self) {
+        let _ = self.freeze_prefix(0);
+    }
+
+    fn train_step(&mut self, batch: &Batch, capture: Option<usize>) -> Result<StepResult> {
+        let tokens = Self::tokens(batch)?.to_vec();
+        let spans = Self::spans(&batch.targets)?.to_vec();
+        let (start, end, captured) = self.forward_spans(&tokens, Mode::Train, capture)?;
+        let starts: Vec<usize> = spans.iter().map(|s| s.0).collect();
+        let ends: Vec<usize> = spans.iter().map(|s| s.1).collect();
+        let (l1, g1) = cross_entropy(&start, &starts, 0.0)?;
+        let (l2, g2) = cross_entropy(&end, &ends, 0.0)?;
+        let ran = self.backward_spans(&g1, &g2)?;
+        Ok(StepResult {
+            loss: 0.5 * (l1 + l2),
+            captured,
+            modules_backpropped: ran,
+        })
+    }
+
+    fn supports_cached_fp(&self, prefix: usize) -> bool {
+        prefix > 0 && prefix < self.blocks.len()
+    }
+
+    fn train_step_from(
+        &mut self,
+        batch: &Batch,
+        prefix: usize,
+        prefix_activation: &egeria_tensor::Tensor,
+        capture: Option<usize>,
+    ) -> Result<StepResult> {
+        if !self.supports_cached_fp(prefix) {
+            return Err(TensorError::AxisOutOfRange {
+                axis: prefix,
+                rank: self.blocks.len(),
+            });
+        }
+        let spans = Self::spans(&batch.targets)?.to_vec();
+        let mut h = prefix_activation.clone();
+        let mut captured = None;
+        for (i, b) in self.blocks.iter_mut().enumerate().skip(prefix) {
+            h = b.forward(&h, Mode::Train)?;
+            if capture == Some(i) {
+                captured = Some(h.clone());
+            }
+        }
+        let logits = self.span_head.forward(&h, Mode::Train)?;
+        let b = logits.dims()[0];
+        let t = logits.dims()[1];
+        let mut start = Tensor::zeros(&[b, t]);
+        let mut end = Tensor::zeros(&[b, t]);
+        for bi in 0..b {
+            for ti in 0..t {
+                start.data_mut()[bi * t + ti] = logits.data()[(bi * t + ti) * 2];
+                end.data_mut()[bi * t + ti] = logits.data()[(bi * t + ti) * 2 + 1];
+            }
+        }
+        let starts: Vec<usize> = spans.iter().map(|s| s.0).collect();
+        let ends: Vec<usize> = spans.iter().map(|s| s.1).collect();
+        let (l1, g1) = cross_entropy(&start, &starts, 0.0)?;
+        let (l2, g2) = cross_entropy(&end, &ends, 0.0)?;
+        let ran = self.backward_spans(&g1, &g2)?;
+        Ok(StepResult {
+            loss: 0.5 * (l1 + l2),
+            captured,
+            modules_backpropped: ran,
+        })
+    }
+
+    fn eval_batch(&mut self, batch: &Batch) -> Result<EvalResult> {
+        let tokens = Self::tokens(batch)?.to_vec();
+        let spans = Self::spans(&batch.targets)?.to_vec();
+        let (start, end, _) = self.forward_spans(&tokens, Mode::Eval, None)?;
+        let starts: Vec<usize> = spans.iter().map(|s| s.0).collect();
+        let ends: Vec<usize> = spans.iter().map(|s| s.1).collect();
+        let (l1, _) = cross_entropy(&start, &starts, 0.0)?;
+        let (l2, _) = cross_entropy(&end, &ends, 0.0)?;
+        let ps = start.argmax_last()?;
+        let pe = end.argmax_last()?;
+        let mut f1 = 0.0f32;
+        for ((&s, &e), &(gs, ge)) in ps.iter().zip(pe.iter()).zip(spans.iter()) {
+            f1 += span_f1((s, e), (gs, ge));
+        }
+        let n = spans.len().max(1);
+        Ok(EvalResult {
+            loss: 0.5 * (l1 + l2),
+            metric: f1 / n as f32,
+            count: n,
+        })
+    }
+
+    fn capture_activation(&mut self, batch: &Batch, module: usize) -> Result<Tensor> {
+        let tokens = Self::tokens(batch)?.to_vec();
+        if module >= self.blocks.len() {
+            return Err(TensorError::AxisOutOfRange {
+                axis: module,
+                rank: self.blocks.len(),
+            });
+        }
+        let mut h = self.embed.forward_ids(&tokens, Mode::Eval)?;
+        for b in self.blocks.iter_mut().take(module + 1) {
+            h = b.forward(&h, Mode::Eval)?;
+        }
+        Ok(h)
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        let mut v = vec![&self.embed.table];
+        for b in &self.blocks {
+            v.extend(b.params());
+        }
+        v.extend(self.span_head.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut v = vec![&mut self.embed.table];
+        for b in &mut self.blocks {
+            v.extend(b.params_mut());
+        }
+        v.extend(self.span_head.params_mut());
+        v
+    }
+
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Model> {
+        let mut copy = BertQa::new(self.name.clone(), self.cfg, self.seed)
+            .expect("config already validated");
+        let src = self.params();
+        let mut dst = copy.params_mut();
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            d.value = s.value.clone();
+        }
+        Box::new(copy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BertQa {
+        BertQa::new(
+            "bert",
+            BertConfig {
+                vocab: 12,
+                d_model: 8,
+                heads: 2,
+                d_ff: 16,
+                layers: 3,
+            },
+            1,
+        )
+        .unwrap()
+    }
+
+    fn batch(vocab: usize, b: usize, t: usize) -> Batch {
+        let tokens: Vec<Vec<usize>> = (0..b).map(|i| (0..t).map(|j| (i + j) % vocab).collect()).collect();
+        let spans: Vec<(usize, usize)> = (0..b).map(|i| (i % t, (i % t + 2).min(t - 1))).collect();
+        Batch {
+            input: Input::Tokens(tokens),
+            targets: Targets::Spans(spans),
+            sample_ids: (0..b as u64).collect(),
+        }
+    }
+
+    #[test]
+    fn span_f1_cases() {
+        assert!((span_f1((2, 4), (2, 4)) - 1.0).abs() < 1e-6);
+        assert_eq!(span_f1((0, 1), (3, 4)), 0.0);
+        // Pred [1,2], gold [2,3]: inter 1, p=0.5, r=0.5 → F1 0.5.
+        assert!((span_f1((1, 2), (2, 3)) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn train_step_and_eval_run() {
+        let mut m = tiny();
+        let b = batch(12, 3, 6);
+        let r = m.train_step(&b, Some(0)).unwrap();
+        assert!(r.loss.is_finite());
+        assert!(r.captured.is_some());
+        let e = m.eval_batch(&b).unwrap();
+        assert!(e.metric >= 0.0 && e.metric <= 1.0);
+    }
+
+    #[test]
+    fn freezing_blocks_skips_their_grads() {
+        let mut m = tiny();
+        m.freeze_prefix(2).unwrap();
+        let b = batch(12, 2, 6);
+        let r = m.train_step(&b, None).unwrap();
+        assert_eq!(r.modules_backpropped, 1);
+        assert!(m.blocks[0].params().iter().all(|p| p.grad.is_none()));
+        assert!(m.blocks[2].params().iter().any(|p| p.grad.is_some()));
+        assert!(m.embed.table.grad.is_none());
+    }
+
+    #[test]
+    fn fine_tuning_reduces_span_loss() {
+        let mut m = tiny();
+        let b = batch(12, 4, 6);
+        let mut opt = egeria_nn::optim::Adam::new(3e-3, 0.0);
+        let first = m.train_step(&b, None).unwrap().loss;
+        for _ in 0..30 {
+            opt.step(&mut m.params_mut()).unwrap();
+            m.zero_grad();
+            let _ = m.train_step(&b, None).unwrap();
+        }
+        let last = m.eval_batch(&b).unwrap().loss;
+        assert!(last < first, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn modules_fold_embed_and_head() {
+        let m = tiny();
+        let mods = m.modules();
+        assert_eq!(mods.len(), 3);
+        assert!(mods[0].param_count > mods[1].param_count);
+        assert!(mods[2].param_count > mods[1].param_count);
+    }
+}

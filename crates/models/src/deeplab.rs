@@ -1,0 +1,173 @@
+//! DeepLabv3-style semantic segmentation model.
+//!
+//! Structure per the paper (§6.2): "a backbone module for feature
+//! computation and extraction plus a classifier module that takes the output
+//! of the backbone and returns a dense prediction. KGT will parse the
+//! backbone same as the ResNet-50 training and consider the classifier
+//! module as a whole." The classifier here is a reduced ASPP-style context
+//! head (parallel 1×1 and dilated-equivalent 3×3 branches folded into a
+//! small conv stack) followed by upsampling back to input resolution.
+
+use crate::module_parser::{plan_groups, ParserConfig, UnitSpec};
+use crate::resnet::{Bottleneck, BOTTLENECK_EXPANSION};
+use crate::vision::{VisionModel, VisionTask};
+use egeria_nn::activation::{Act, Activation};
+use egeria_nn::conv_layers::{Conv2d, UpsampleNearest};
+use egeria_nn::layer::Layer;
+use egeria_nn::norm::BatchNorm2d;
+use egeria_nn::{Network, Sequential};
+use egeria_tensor::Rng;
+use std::sync::Arc;
+
+/// Configuration for the DeepLabv3-style builder.
+#[derive(Debug, Clone)]
+pub struct DeepLabConfig {
+    /// Backbone blocks per stage.
+    pub stages: Vec<usize>,
+    /// Base inner width of the backbone.
+    pub width: usize,
+    /// Segmentation classes.
+    pub classes: usize,
+    /// Module-parser configuration (applied to the backbone only).
+    pub parser: ParserConfig,
+}
+
+impl Default for DeepLabConfig {
+    fn default() -> Self {
+        DeepLabConfig {
+            stages: vec![2, 2, 2, 2],
+            width: 4,
+            classes: 6,
+            parser: ParserConfig::default(),
+        }
+    }
+}
+
+/// Builds a DeepLabv3-style segmentation model (backbone modules + one
+/// classifier module, frozen last).
+pub fn deeplab_v3(cfg: DeepLabConfig, seed: u64) -> VisionModel {
+    let classes = cfg.classes;
+    let builder = Arc::new(move || {
+        let mut rng = Rng::new(seed);
+        let w = cfg.width;
+        let stem: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new("stem.conv", 3, w, 3, 1, 1, false, &mut rng)),
+            Box::new(BatchNorm2d::new("stem.bn", w)),
+            Box::new(Activation::new(Act::Relu)),
+        ];
+        let mut units: Vec<(UnitSpec, Box<dyn Layer>)> = Vec::new();
+        let mut c_in = w;
+        // Downsample only twice (output stride 4) so the dense head keeps
+        // spatial context, mirroring DeepLab's output-stride-8/16 choice.
+        for (stage, &reps) in cfg.stages.iter().enumerate() {
+            let planes = w << stage.min(2);
+            for b in 0..reps {
+                let stride = if (stage == 1 || stage == 2) && b == 0 { 2 } else { 1 };
+                let name = format!("layer{}.{}", stage + 1, b);
+                let block = Bottleneck::new(&name, c_in, planes, stride, &mut rng);
+                let params = block.param_count();
+                units.push((
+                    UnitSpec {
+                        stage,
+                        label: name,
+                        params,
+                    },
+                    Box::new(block),
+                ));
+                c_in = planes * BOTTLENECK_EXPANSION;
+            }
+        }
+        // Classifier head: context conv stack + per-pixel logits + upsample
+        // back to input resolution (one whole module, per the paper).
+        let head_c = c_in / 2;
+        let mut head = Sequential::new();
+        head.add(Box::new(Conv2d::new("head.context", c_in, head_c, 3, 1, 1, false, &mut rng)));
+        head.add(Box::new(BatchNorm2d::new("head.bn", head_c)));
+        head.add(Box::new(Activation::new(Act::Relu)));
+        head.add(Box::new(Conv2d::new("head.proj", head_c, head_c, 1, 1, 0, false, &mut rng)));
+        head.add(Box::new(Activation::new(Act::Relu)));
+        head.add(Box::new(Conv2d::new(
+            "head.logits",
+            head_c,
+            cfg.classes,
+            1,
+            1,
+            0,
+            true,
+            &mut rng,
+        )));
+        head.add(Box::new(UpsampleNearest::new(4)));
+
+        let specs: Vec<UnitSpec> = units.iter().map(|(s, _)| s.clone()).collect();
+        let groups = plan_groups(&specs, &cfg.parser);
+        let mut layers: Vec<Option<Box<dyn Layer>>> =
+            units.into_iter().map(|(_, l)| Some(l)).collect();
+        let mut net = Network::new();
+        let mut stem = stem;
+        for (gi, group) in groups.iter().enumerate() {
+            let mut seq = Sequential::new();
+            if gi == 0 {
+                for s in stem.drain(..) {
+                    seq.add(s);
+                }
+            }
+            for &idx in group {
+                seq.add(layers[idx].take().expect("unit used once"));
+            }
+            let name = format!(
+                "backbone.{}-{}",
+                specs[*group.first().expect("non-empty")].label,
+                specs[*group.last().expect("non-empty")].label
+            );
+            net.add_block(name, Box::new(seq));
+        }
+        net.add_block("classifier", Box::new(head));
+        net
+    });
+    VisionModel::new("deeplabv3", VisionTask::Segmentation, classes, builder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{Batch, Input, Targets};
+    use crate::model::Model;
+    use egeria_tensor::Tensor;
+
+    fn tiny() -> VisionModel {
+        deeplab_v3(
+            DeepLabConfig {
+                stages: vec![1, 1, 1, 1],
+                width: 2,
+                classes: 4,
+                parser: ParserConfig::default(),
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn output_is_dense_per_pixel() {
+        let mut m = tiny();
+        let mut rng = Rng::new(6);
+        let x = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+        let targets: Vec<usize> = (0..2 * 8 * 8).map(|i| i % 4).collect();
+        let batch = Batch {
+            input: Input::Image(x),
+            targets: Targets::Pixels(targets),
+            sample_ids: vec![0, 1],
+        };
+        let r = m.train_step(&batch, None).unwrap();
+        assert!(r.loss.is_finite());
+        let e = m.eval_batch(&batch).unwrap();
+        assert!(e.metric >= 0.0 && e.metric <= 1.0);
+    }
+
+    #[test]
+    fn classifier_is_the_last_whole_module() {
+        let m = tiny();
+        let mods = m.modules();
+        assert_eq!(mods.last().unwrap().name, "classifier");
+        assert!(mods.len() >= 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Batch, input, and target types shared by all models.
+
+use egeria_tensor::Tensor;
+
+/// Model input: images for CV tasks, token ids for NLP tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Input {
+    /// NCHW image tensor.
+    Image(Tensor),
+    /// Token id sequences `(batch, time)` for encoder-only models.
+    Tokens(Vec<Vec<usize>>),
+    /// Source/target token id pairs for sequence-to-sequence models. The
+    /// target is fed teacher-forced (shifted right internally).
+    Seq2Seq {
+        /// Source token sequences.
+        src: Vec<Vec<usize>>,
+        /// Target token sequences.
+        tgt: Vec<Vec<usize>>,
+    },
+}
+
+impl Input {
+    /// Number of samples in the input.
+    pub fn batch_size(&self) -> usize {
+        match self {
+            Input::Image(t) => t.dims().first().copied().unwrap_or(0),
+            Input::Tokens(ids) => ids.len(),
+            Input::Seq2Seq { src, .. } => src.len(),
+        }
+    }
+}
+
+/// Supervision targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Targets {
+    /// One class id per sample (image classification).
+    Classes(Vec<usize>),
+    /// One class id per pixel, flattened `(batch·h·w)` row-major
+    /// (semantic segmentation).
+    Pixels(Vec<usize>),
+    /// Next-token targets per sequence (machine translation); aligned with
+    /// the decoder output positions.
+    TokenTargets(Vec<Vec<usize>>),
+    /// Answer spans `(start, end)` inclusive, one per sample (QA).
+    Spans(Vec<(usize, usize)>),
+}
+
+/// One training/evaluation batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// The model input.
+    pub input: Input,
+    /// The supervision.
+    pub targets: Targets,
+    /// Stable sample ids (dataset indices), used as activation-cache keys.
+    pub sample_ids: Vec<u64>,
+}
+
+/// Result of one `train_step`.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Activation of the captured module, if a capture was requested.
+    pub captured: Option<Tensor>,
+    /// How many layer modules ran a backward pass (frozen ones are skipped).
+    pub modules_backpropped: usize,
+}
+
+/// Result of evaluating a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalResult {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Task metric: accuracy (classification), mIoU proxy (segmentation),
+    /// token accuracy (translation; perplexity derivable from loss), or
+    /// span F1 (QA).
+    pub metric: f32,
+    /// Number of samples the metric averages over.
+    pub count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_size_per_variant() {
+        assert_eq!(Input::Image(Tensor::zeros(&[5, 3, 2, 2])).batch_size(), 5);
+        assert_eq!(Input::Tokens(vec![vec![1], vec![2]]).batch_size(), 2);
+        assert_eq!(
+            Input::Seq2Seq {
+                src: vec![vec![1]; 3],
+                tgt: vec![vec![2]; 3]
+            }
+            .batch_size(),
+            3
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Parameter-share-based grouping of building blocks into layer modules.
+//!
+//! Reproduces §6.3 / Figure 12 of the paper: "KGT parses the model based on
+//! its structure and the size of each layer, so that layer 3 (75% of the
+//! total parameters), which is significantly larger than layer 2 (20%), is
+//! split finer-grained into similar-sized modules; while layer 1 (5%) and
+//! layer 2 are evaluated as a whole. Layer 3.7–3.8 (17%) is further split
+//! because it is the last module."
+//!
+//! The planner works on sizes only ([`UnitSpec`]), so it is a pure,
+//! exhaustively testable function; model builders feed it their block lists
+//! and assemble `Sequential`s from the returned index groups.
+
+/// Size/stage metadata for one building block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitSpec {
+    /// Stage index the block belongs to (blocks are grouped only within a
+    /// stage).
+    pub stage: usize,
+    /// Human-readable label, e.g. `"layer3.4"`.
+    pub label: String,
+    /// Scalar parameter count.
+    pub params: usize,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParserConfig {
+    /// Maximum parameter share (of the whole network) one module may hold
+    /// before its stage is split into similar-sized chunks.
+    pub max_share: f32,
+    /// Whether to split the final module off (the paper splits layer
+    /// 3.7–3.8 so the tail can stay trainable at fine granularity).
+    pub split_last: bool,
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        ParserConfig {
+            max_share: 0.26,
+            split_last: true,
+        }
+    }
+}
+
+/// Groups consecutive same-stage units into modules.
+///
+/// Every returned group is a non-empty run of consecutive indices; groups
+/// cover `0..units.len()` exactly once, in order. Stages whose total share
+/// exceeds `max_share` are split into `ceil(share / max_share)` chunks
+/// balanced by parameter count. With `split_last`, a final multi-unit group
+/// sheds its last ≤2 units into an extra group.
+pub fn plan_groups(units: &[UnitSpec], cfg: &ParserConfig) -> Vec<Vec<usize>> {
+    if units.is_empty() {
+        return Vec::new();
+    }
+    let total: usize = units.iter().map(|u| u.params).sum::<usize>().max(1);
+    // Partition into stage runs.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut i = 0usize;
+    while i < units.len() {
+        let stage = units[i].stage;
+        let mut j = i;
+        while j < units.len() && units[j].stage == stage {
+            j += 1;
+        }
+        let stage_indices: Vec<usize> = (i..j).collect();
+        let stage_params: usize = stage_indices.iter().map(|&k| units[k].params).sum();
+        let share = stage_params as f32 / total as f32;
+        let chunks = ((share / cfg.max_share).ceil() as usize).clamp(1, stage_indices.len());
+        groups.extend(split_balanced(&stage_indices, chunks, |k| units[k].params));
+        i = j;
+    }
+    if cfg.split_last {
+        if let Some(last) = groups.last_mut() {
+            if last.len() > 2 {
+                let tail: Vec<usize> = last.split_off(last.len() - 2);
+                groups.push(tail);
+            }
+        }
+    }
+    groups
+}
+
+/// Splits an index run into `chunks` contiguous pieces with roughly equal
+/// total weight.
+fn split_balanced(indices: &[usize], chunks: usize, weight: impl Fn(usize) -> usize) -> Vec<Vec<usize>> {
+    if chunks <= 1 {
+        return vec![indices.to_vec()];
+    }
+    let total: usize = indices.iter().map(|&k| weight(k)).sum();
+    let target = total as f32 / chunks as f32;
+    let mut out: Vec<Vec<usize>> = Vec::with_capacity(chunks);
+    let mut cur: Vec<usize> = Vec::new();
+    let mut acc = 0usize;
+    let mut remaining_chunks = chunks;
+    for (pos, &k) in indices.iter().enumerate() {
+        cur.push(k);
+        acc += weight(k);
+        let remaining_units = indices.len() - pos - 1;
+        // Close the chunk once it reaches the per-chunk target, but never
+        // starve the remaining chunks of units.
+        if remaining_chunks > 1
+            && acc as f32 >= target
+            && remaining_units >= remaining_chunks - 1
+        {
+            out.push(std::mem::take(&mut cur));
+            acc = 0;
+            remaining_chunks -= 1;
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn units(sizes: &[(usize, usize)]) -> Vec<UnitSpec> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &(stage, params))| UnitSpec {
+                stage,
+                label: format!("layer{}.{}", stage + 1, i),
+                params,
+            })
+            .collect()
+    }
+
+    fn covers_all(groups: &[Vec<usize>], n: usize) -> bool {
+        let flat: Vec<usize> = groups.iter().flatten().copied().collect();
+        flat == (0..n).collect::<Vec<_>>()
+    }
+
+    #[test]
+    fn small_stages_stay_whole() {
+        // Shares like ResNet-56: 5% / 20% / 75% over three stages of 3.
+        let u = units(&[
+            (0, 5),
+            (0, 5),
+            (0, 5),
+            (1, 20),
+            (1, 20),
+            (1, 20),
+            (2, 75),
+            (2, 75),
+            (2, 75),
+        ]);
+        let cfg = ParserConfig {
+            max_share: 0.26,
+            split_last: false,
+        };
+        let groups = plan_groups(&u, &cfg);
+        assert!(covers_all(&groups, 9));
+        // Stage 0 and 1 whole, stage 2 split into 3 chunks (75% / 26% → 3).
+        assert_eq!(groups[0], vec![0, 1, 2]);
+        assert_eq!(groups[1], vec![3, 4, 5]);
+        assert_eq!(groups.len(), 5);
+    }
+
+    #[test]
+    fn split_last_splits_the_tail() {
+        let u = units(&[(0, 10), (0, 10), (0, 10), (0, 10), (0, 10)]);
+        let cfg = ParserConfig {
+            max_share: 1.0,
+            split_last: true,
+        };
+        let groups = plan_groups(&u, &cfg);
+        assert!(covers_all(&groups, 5));
+        assert_eq!(groups.last().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn single_unit_stages_never_split() {
+        let u = units(&[(0, 90), (1, 10)]);
+        let groups = plan_groups(&u, &ParserConfig::default());
+        assert!(covers_all(&groups, 2));
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn resnet56_like_grouping_matches_figure_12() {
+        // 27 basic blocks with paper-like shares: layer1 small, layer2
+        // medium, layer3 dominating.
+        let mut sizes = Vec::new();
+        for _ in 0..9 {
+            sizes.push((0usize, 2usize));
+        }
+        for _ in 0..9 {
+            sizes.push((1, 8));
+        }
+        for _ in 0..9 {
+            sizes.push((2, 30));
+        }
+        let u = units(&sizes);
+        let groups = plan_groups(&u, &ParserConfig::default());
+        assert!(covers_all(&groups, 27));
+        // layer1 and layer2 whole.
+        assert_eq!(groups[0].len(), 9);
+        assert_eq!(groups[1].len(), 9);
+        // layer3 split into ≥3 modules, with a 2-block tail.
+        assert!(groups.len() >= 5);
+        assert_eq!(groups.last().unwrap().len(), 2);
+        let total: usize = u.iter().map(|x| x.params).sum();
+        for g in &groups[2..groups.len() - 1] {
+            let share: usize = g.iter().map(|&k| u[k].params).sum();
+            assert!(
+                (share as f32 / total as f32) < 0.45,
+                "oversized chunk {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        assert!(plan_groups(&[], &ParserConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn groups_are_contiguous_runs() {
+        let u = units(&[(0, 1), (0, 50), (1, 50), (1, 1), (2, 10)]);
+        let groups = plan_groups(&u, &ParserConfig::default());
+        assert!(covers_all(&groups, 5));
+        for g in &groups {
+            for w in g.windows(2) {
+                assert_eq!(w[1], w[0] + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the model zoo: module-parser laws and
+//! freezing invariants across architectures.
+
+use egeria_models::module_parser::{plan_groups, ParserConfig, UnitSpec};
+use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+use egeria_models::transformer::{Seq2SeqTransformer, TransformerConfig};
+use egeria_models::Model;
+use proptest::prelude::*;
+
+fn arbitrary_units() -> impl Strategy<Value = Vec<UnitSpec>> {
+    prop::collection::vec((0usize..4, 1usize..1000), 1..24).prop_map(|raw| {
+        // Stages must be consecutive runs; sort by stage to enforce it.
+        let mut raw = raw;
+        raw.sort_by_key(|&(stage, _)| stage);
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (stage, params))| UnitSpec {
+                stage,
+                label: format!("layer{}.{}", stage + 1, i),
+                params,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parser_covers_every_unit_once_in_order(units in arbitrary_units(), max_share in 0.1f32..1.0, split_last in any::<bool>()) {
+        let cfg = ParserConfig { max_share, split_last };
+        let groups = plan_groups(&units, &cfg);
+        let flat: Vec<usize> = groups.iter().flatten().copied().collect();
+        prop_assert_eq!(flat, (0..units.len()).collect::<Vec<_>>());
+        for g in &groups {
+            prop_assert!(!g.is_empty());
+            // Contiguous runs.
+            for w in g.windows(2) {
+                prop_assert_eq!(w[1], w[0] + 1);
+            }
+            // Never crosses a stage boundary.
+            let stage = units[g[0]].stage;
+            prop_assert!(g.iter().all(|&i| units[i].stage == stage));
+        }
+    }
+
+    #[test]
+    fn parser_group_param_totals_are_conserved(units in arbitrary_units()) {
+        let groups = plan_groups(&units, &ParserConfig::default());
+        let total: usize = units.iter().map(|u| u.params).sum();
+        let grouped: usize = groups
+            .iter()
+            .flat_map(|g| g.iter().map(|&i| units[i].params))
+            .sum();
+        prop_assert_eq!(total, grouped);
+    }
+
+    #[test]
+    fn resnet_freeze_prefix_round_trips(k in 0usize..4) {
+        let mut m = resnet_cifar(
+            ResNetCifarConfig {
+                n: 2,
+                width: 4,
+                classes: 4,
+                ..Default::default()
+            },
+            5,
+        );
+        let n = m.modules().len();
+        prop_assume!(k < n);
+        m.freeze_prefix(k).unwrap();
+        prop_assert_eq!(m.frozen_prefix(), k);
+        let frac = m.active_param_fraction();
+        prop_assert!(frac > 0.0 && frac <= 1.0);
+        m.unfreeze_all();
+        prop_assert_eq!(m.frozen_prefix(), 0);
+        prop_assert!((m.active_param_fraction() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transformer_module_param_counts_cover_all_params(seed in any::<u64>()) {
+        let m = Seq2SeqTransformer::new("t", TransformerConfig::tiny(12), seed).unwrap();
+        let from_modules: usize = m.modules().iter().map(|mm| mm.param_count).sum();
+        let from_params: usize = m.params().iter().map(|p| p.numel()).sum();
+        prop_assert_eq!(from_modules, from_params);
+    }
+}

@@ -1,0 +1,115 @@
+//! Inverted dropout with a deterministic per-forward seed stream.
+
+use crate::layer::{Layer, Mode};
+use crate::param::Parameter;
+use egeria_tensor::{Result, Rng, Tensor, TensorError};
+
+/// Inverted dropout: zeroes activations with probability `p` during training
+/// and scales survivors by `1/(1−p)`; identity in eval mode.
+///
+/// The mask stream is driven by an owned deterministic [`Rng`], so whole
+/// training runs replay exactly given the same seed — a prerequisite for
+/// validating the activation cache bit-for-bit.
+pub struct Dropout {
+    p: f32,
+    rng: Rng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
+    pub fn new(p: f32, rng: Rng) -> Self {
+        Dropout {
+            p: p.clamp(0.0, 0.999),
+            rng,
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Eval || self.p == 0.0 {
+            self.mask = None;
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(x.dims());
+        for m in mask.data_mut() {
+            *m = if self.rng.uniform() < keep { scale } else { 0.0 };
+        }
+        let y = x.mul(&mask)?;
+        self.mask = Some(mask);
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            Some(mask) => {
+                if mask.dims() != grad_out.dims() {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "dropout backward",
+                        lhs: mask.dims().to_vec(),
+                        rhs: grad_out.dims().to_vec(),
+                    });
+                }
+                grad_out.mul(mask)
+            }
+            None => Ok(grad_out.clone()),
+        }
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    fn kind(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, Rng::new(1));
+        let x = Tensor::arange(10);
+        assert_eq!(d.forward(&x, Mode::Eval).unwrap(), x);
+        assert_eq!(d.backward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3, Rng::new(2));
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5, Rng::new(3));
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let g = d.backward(&Tensor::ones(&[100])).unwrap();
+        // Zero positions in y must be zero in the gradient too.
+        for (yv, gv) in y.data().iter().zip(g.data().iter()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_train() {
+        let mut d = Dropout::new(0.0, Rng::new(4));
+        let x = Tensor::arange(5);
+        assert_eq!(d.forward(&x, Mode::Train).unwrap(), x);
+    }
+}

@@ -1,0 +1,243 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! Optimizers keep per-parameter state keyed by [`Parameter::id`], so they
+//! survive the parameter-list reshuffles that happen when Egeria rebuilds
+//! its gradient buckets after a freeze/unfreeze event (§5 of the paper).
+
+use crate::param::Parameter;
+use egeria_tensor::{Result, Tensor};
+use std::collections::HashMap;
+
+/// Stochastic gradient descent with momentum and decoupled weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<u64, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (driven by a schedule each step/epoch).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update to every parameter that has a gradient and
+    /// requires one. Frozen parameters are skipped entirely, which is what
+    /// removes their update cost.
+    pub fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()> {
+        for p in params.iter_mut() {
+            if !p.requires_grad {
+                continue;
+            }
+            let Some(grad) = p.grad.clone() else { continue };
+            let mut d = grad;
+            if self.weight_decay != 0.0 {
+                d.axpy_inplace(self.weight_decay, &p.value)?;
+            }
+            if self.momentum != 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.id())
+                    .or_insert_with(|| Tensor::zeros(p.value.dims()));
+                v.scale_inplace(self.momentum);
+                v.axpy_inplace(1.0, &d)?;
+                d = v.clone();
+            }
+            p.value.axpy_inplace(-self.lr, &d)?;
+        }
+        Ok(())
+    }
+
+    /// Drops momentum state for parameters no longer present (housekeeping
+    /// after model surgery).
+    pub fn retain_state(&mut self, live_ids: &[u64]) {
+        let live: std::collections::HashSet<u64> = live_ids.iter().copied().collect();
+        self.velocity.retain(|id, _| live.contains(id));
+    }
+}
+
+/// Adam with bias correction (Kingma & Ba).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: HashMap<u64, Tensor>,
+    v: HashMap<u64, Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one Adam update; frozen or gradient-less parameters are
+    /// skipped.
+    pub fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()> {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter_mut() {
+            if !p.requires_grad {
+                continue;
+            }
+            let Some(grad) = p.grad.clone() else { continue };
+            let mut g = grad;
+            if self.weight_decay != 0.0 {
+                g.axpy_inplace(self.weight_decay, &p.value)?;
+            }
+            let m = self
+                .m
+                .entry(p.id())
+                .or_insert_with(|| Tensor::zeros(p.value.dims()));
+            m.scale_inplace(self.beta1);
+            m.axpy_inplace(1.0 - self.beta1, &g)?;
+            let v = self
+                .v
+                .entry(p.id())
+                .or_insert_with(|| Tensor::zeros(p.value.dims()));
+            for (vv, &gv) in v.data_mut().iter_mut().zip(g.data().iter()) {
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            }
+            let lr = self.lr;
+            let eps = self.eps;
+            for ((pv, &mv), &vv) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(m.data().iter())
+                .zip(v.data().iter())
+            {
+                let m_hat = mv / bc1;
+                let v_hat = vv / bc2;
+                *pv -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &Parameter) -> Tensor {
+        // d/dx of 0.5 * ||x||² is x.
+        p.value.clone()
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut p = Parameter::new("x", Tensor::full(&[4], 10.0));
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        for _ in 0..200 {
+            p.zero_grad();
+            let g = quadratic_grad(&p);
+            p.accumulate_grad(&g).unwrap();
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        assert!(p.value.norm() < 1e-3, "norm {}", p.value.norm());
+    }
+
+    #[test]
+    fn momentum_accelerates_descent() {
+        let run = |momentum: f32| {
+            let mut p = Parameter::new("x", Tensor::full(&[1], 10.0));
+            let mut opt = Sgd::new(0.01, momentum, 0.0);
+            for _ in 0..50 {
+                p.zero_grad();
+                let g = quadratic_grad(&p);
+                p.accumulate_grad(&g).unwrap();
+                opt.step(&mut [&mut p]).unwrap();
+            }
+            p.value.data()[0].abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters_without_gradient_signal() {
+        let mut p = Parameter::new("x", Tensor::full(&[1], 1.0));
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        for _ in 0..10 {
+            p.zero_grad();
+            p.accumulate_grad(&Tensor::zeros(&[1])).unwrap();
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        assert!(p.value.data()[0] < 1.0);
+    }
+
+    #[test]
+    fn frozen_parameters_are_not_updated() {
+        let mut p = Parameter::new("x", Tensor::full(&[2], 3.0));
+        p.accumulate_grad(&Tensor::ones(&[2])).unwrap();
+        p.requires_grad = false;
+        let before = p.value.clone();
+        Sgd::new(0.5, 0.9, 0.0).step(&mut [&mut p]).unwrap();
+        assert_eq!(p.value, before);
+        Adam::new(0.5, 0.0).step(&mut [&mut p]).unwrap();
+        assert_eq!(p.value, before);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut p = Parameter::new("x", Tensor::full(&[4], 5.0));
+        let mut opt = Adam::new(0.1, 0.0);
+        for _ in 0..300 {
+            p.zero_grad();
+            let g = quadratic_grad(&p);
+            p.accumulate_grad(&g).unwrap();
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        assert!(p.value.norm() < 1e-2, "norm {}", p.value.norm());
+    }
+
+    #[test]
+    fn retain_state_drops_dead_ids() {
+        let mut p = Parameter::new("x", Tensor::ones(&[1]));
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        p.accumulate_grad(&Tensor::ones(&[1])).unwrap();
+        opt.step(&mut [&mut p]).unwrap();
+        assert_eq!(opt.velocity.len(), 1);
+        opt.retain_state(&[]);
+        assert!(opt.velocity.is_empty());
+    }
+}

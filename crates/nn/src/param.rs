@@ -1,0 +1,110 @@
+//! Trainable parameters.
+
+use egeria_tensor::{Result, Tensor, TensorError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A trainable tensor: value, accumulated gradient, and freezing state.
+///
+/// `requires_grad == false` is exactly the paper's freezing mechanism (§5:
+/// "we essentially set the `requires_grad` flag of all its parameters to
+/// false"). Layers must skip gradient accumulation for frozen parameters;
+/// optimizers must skip their update.
+#[derive(Debug, Clone)]
+pub struct Parameter {
+    /// Stable identity used by optimizers to key per-parameter state.
+    id: u64,
+    /// Human-readable name, e.g. `"layer2.3.conv1.weight"`.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient; `None` until the first backward pass.
+    pub grad: Option<Tensor>,
+    /// Whether this parameter participates in backward/update.
+    pub requires_grad: bool,
+}
+
+impl Parameter {
+    /// Creates a named parameter from an initial value.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Parameter {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            name: name.into(),
+            value,
+            grad: None,
+            requires_grad: true,
+        }
+    }
+
+    /// The parameter's stable id (unique per process).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Accumulates `g` into the gradient buffer (no-op when frozen).
+    pub fn accumulate_grad(&mut self, g: &Tensor) -> Result<()> {
+        if !self.requires_grad {
+            return Ok(());
+        }
+        if g.dims() != self.value.dims() {
+            return Err(TensorError::ShapeMismatch {
+                op: "accumulate_grad",
+                lhs: self.value.dims().to_vec(),
+                rhs: g.dims().to_vec(),
+            });
+        }
+        match &mut self.grad {
+            Some(acc) => acc.axpy_inplace(1.0, g)?,
+            None => self.grad = Some(g.clone()),
+        }
+        Ok(())
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Parameter::new("a", Tensor::zeros(&[2]));
+        let b = Parameter::new("b", Tensor::zeros(&[2]));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn accumulate_sums_gradients() {
+        let mut p = Parameter::new("p", Tensor::zeros(&[3]));
+        let g = Tensor::ones(&[3]);
+        p.accumulate_grad(&g).unwrap();
+        p.accumulate_grad(&g).unwrap();
+        assert_eq!(p.grad.as_ref().unwrap().data(), &[2.0; 3]);
+        p.zero_grad();
+        assert!(p.grad.is_none());
+    }
+
+    #[test]
+    fn frozen_parameter_ignores_gradients() {
+        let mut p = Parameter::new("p", Tensor::zeros(&[3]));
+        p.requires_grad = false;
+        p.accumulate_grad(&Tensor::ones(&[3])).unwrap();
+        assert!(p.grad.is_none());
+    }
+
+    #[test]
+    fn accumulate_rejects_shape_mismatch() {
+        let mut p = Parameter::new("p", Tensor::zeros(&[3]));
+        assert!(p.accumulate_grad(&Tensor::ones(&[4])).is_err());
+    }
+}

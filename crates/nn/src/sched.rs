@@ -1,0 +1,248 @@
+//! Learning-rate schedules used by the paper's workloads (§6.1):
+//! step decay for CV training, inverse-square-root for Transformer,
+//! linear for BERT fine-tuning, plus cosine annealing and arbitrary
+//! lambda schedules (DeepLabv3's polynomial decay).
+
+/// A learning-rate schedule mapping a step index to a learning rate.
+///
+/// "Step" granularity is the caller's choice — the CV schedules in the paper
+/// are per-epoch, the NLP schedules per-iteration.
+pub trait LrSchedule: Send {
+    /// Learning rate at `step` (0-based).
+    fn lr(&self, step: usize) -> f32;
+
+    /// Base (initial) learning rate, used by Egeria's unfreeze trigger to
+    /// detect a 10× decay (§4.2.2).
+    fn base_lr(&self) -> f32;
+}
+
+/// Step decay: multiply by `gamma` every `step_size` steps.
+pub struct StepDecay {
+    base: f32,
+    gamma: f32,
+    step_size: usize,
+}
+
+impl StepDecay {
+    /// Creates a step-decay schedule (`step_size` must be non-zero).
+    pub fn new(base: f32, gamma: f32, step_size: usize) -> Self {
+        StepDecay {
+            base,
+            gamma,
+            step_size: step_size.max(1),
+        }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn lr(&self, step: usize) -> f32 {
+        self.base * self.gamma.powi((step / self.step_size) as i32)
+    }
+
+    fn base_lr(&self) -> f32 {
+        self.base
+    }
+}
+
+/// Decay by `gamma` at an explicit list of milestones (the ResNet "/10 at
+/// epoch 100 and 150" schedule).
+pub struct MultiStepDecay {
+    base: f32,
+    gamma: f32,
+    milestones: Vec<usize>,
+}
+
+impl MultiStepDecay {
+    /// Creates a multi-step decay; milestones are sorted internally.
+    pub fn new(base: f32, gamma: f32, mut milestones: Vec<usize>) -> Self {
+        milestones.sort_unstable();
+        MultiStepDecay {
+            base,
+            gamma,
+            milestones,
+        }
+    }
+}
+
+impl LrSchedule for MultiStepDecay {
+    fn lr(&self, step: usize) -> f32 {
+        let hits = self.milestones.iter().filter(|&&m| step >= m).count();
+        self.base * self.gamma.powi(hits as i32)
+    }
+
+    fn base_lr(&self) -> f32 {
+        self.base
+    }
+}
+
+/// Inverse-square-root schedule with linear warmup (Transformer training).
+pub struct InverseSqrt {
+    base: f32,
+    warmup: usize,
+}
+
+impl InverseSqrt {
+    /// Creates the schedule; `base` is the LR reached at the end of warmup.
+    pub fn new(base: f32, warmup: usize) -> Self {
+        InverseSqrt {
+            base,
+            warmup: warmup.max(1),
+        }
+    }
+}
+
+impl LrSchedule for InverseSqrt {
+    fn lr(&self, step: usize) -> f32 {
+        let s = step.max(1) as f32;
+        let w = self.warmup as f32;
+        if step < self.warmup {
+            self.base * s / w
+        } else {
+            self.base * (w / s).sqrt()
+        }
+    }
+
+    fn base_lr(&self) -> f32 {
+        self.base
+    }
+}
+
+/// Linear decay to zero over `total` steps (BERT fine-tuning).
+pub struct LinearDecay {
+    base: f32,
+    total: usize,
+}
+
+impl LinearDecay {
+    /// Creates a linear decay over `total` steps.
+    pub fn new(base: f32, total: usize) -> Self {
+        LinearDecay {
+            base,
+            total: total.max(1),
+        }
+    }
+}
+
+impl LrSchedule for LinearDecay {
+    fn lr(&self, step: usize) -> f32 {
+        let frac = 1.0 - (step.min(self.total) as f32 / self.total as f32);
+        self.base * frac
+    }
+
+    fn base_lr(&self) -> f32 {
+        self.base
+    }
+}
+
+/// Cosine annealing between `base` and `eta_min` with period `t_max`
+/// (SGDR-style warm restarts when `step` wraps past `t_max`).
+pub struct CosineAnnealing {
+    base: f32,
+    eta_min: f32,
+    t_max: usize,
+}
+
+impl CosineAnnealing {
+    /// Creates a cosine-annealing schedule.
+    pub fn new(base: f32, eta_min: f32, t_max: usize) -> Self {
+        CosineAnnealing {
+            base,
+            eta_min,
+            t_max: t_max.max(1),
+        }
+    }
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn lr(&self, step: usize) -> f32 {
+        let pos = (step % self.t_max) as f32 / self.t_max as f32;
+        self.eta_min
+            + 0.5 * (self.base - self.eta_min) * (1.0 + (std::f32::consts::PI * pos).cos())
+    }
+
+    fn base_lr(&self) -> f32 {
+        self.base
+    }
+}
+
+/// An arbitrary user-supplied schedule (the paper's "Lambda" scheduler for
+/// DeepLabv3).
+pub struct LambdaLr {
+    base: f32,
+    f: Box<dyn Fn(usize) -> f32 + Send>,
+}
+
+impl LambdaLr {
+    /// Creates a schedule whose LR is `base * f(step)`.
+    pub fn new(base: f32, f: impl Fn(usize) -> f32 + Send + 'static) -> Self {
+        LambdaLr { base, f: Box::new(f) }
+    }
+}
+
+impl LrSchedule for LambdaLr {
+    fn lr(&self, step: usize) -> f32 {
+        self.base * (self.f)(step)
+    }
+
+    fn base_lr(&self) -> f32 {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_decay_divides_on_schedule() {
+        let s = StepDecay::new(0.1, 0.1, 30);
+        assert!((s.lr(0) - 0.1).abs() < 1e-7);
+        assert!((s.lr(29) - 0.1).abs() < 1e-7);
+        assert!((s.lr(30) - 0.01).abs() < 1e-7);
+        assert!((s.lr(60) - 0.001).abs() < 1e-7);
+    }
+
+    #[test]
+    fn multistep_hits_milestones() {
+        let s = MultiStepDecay::new(0.1, 0.1, vec![150, 100]);
+        assert!((s.lr(99) - 0.1).abs() < 1e-7);
+        assert!((s.lr(100) - 0.01).abs() < 1e-7);
+        assert!((s.lr(150) - 0.001).abs() < 1e-7);
+    }
+
+    #[test]
+    fn inverse_sqrt_warms_up_then_decays() {
+        let s = InverseSqrt::new(1e-3, 100);
+        assert!(s.lr(10) < s.lr(50));
+        assert!((s.lr(100) - 1e-3).abs() < 1e-8);
+        assert!(s.lr(400) < s.lr(100));
+        assert!((s.lr(400) - 0.5e-3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn linear_reaches_zero() {
+        let s = LinearDecay::new(3e-5, 1000);
+        assert!((s.lr(0) - 3e-5).abs() < 1e-10);
+        assert!((s.lr(500) - 1.5e-5).abs() < 1e-9);
+        assert_eq!(s.lr(1000), 0.0);
+        assert_eq!(s.lr(2000), 0.0);
+    }
+
+    #[test]
+    fn cosine_cycles() {
+        let s = CosineAnnealing::new(0.1, 0.0, 100);
+        assert!((s.lr(0) - 0.1).abs() < 1e-6);
+        assert!(s.lr(50) < 0.06);
+        // Warm restart at the period boundary.
+        assert!((s.lr(100) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda_applies_user_function() {
+        // DeepLab-style polynomial decay.
+        let s = LambdaLr::new(0.01, |step| (1.0 - step as f32 / 100.0).max(0.0).powf(0.9));
+        assert!((s.lr(0) - 0.01).abs() < 1e-8);
+        assert!(s.lr(50) < 0.01);
+        assert_eq!(s.lr(100), 0.0);
+    }
+}

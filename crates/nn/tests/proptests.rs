@@ -1,0 +1,90 @@
+//! Property-based tests for the autograd layers: gradcheck on random
+//! shapes, freezing invariants, schedule laws.
+
+use egeria_nn::activation::{softmax_last, Act, Activation};
+use egeria_nn::layer::{gradcheck_input, Layer, Mode};
+use egeria_nn::linear::Linear;
+use egeria_nn::norm::LayerNorm;
+use egeria_nn::sched::{CosineAnnealing, InverseSqrt, LinearDecay, LrSchedule, MultiStepDecay};
+use egeria_nn::Sequential;
+use egeria_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn linear_gradcheck_random_shapes(seed in any::<u64>(), d_in in 2usize..6, d_out in 2usize..6, b in 1usize..4) {
+        let mut rng = Rng::new(seed);
+        let mut l = Linear::new("l", d_in, d_out, true, &mut rng);
+        let x = Tensor::randn(&[b, d_in], &mut rng);
+        let probes: Vec<usize> = (0..x.numel()).step_by(3).collect();
+        let worst = gradcheck_input(&mut l, &x, &probes, 1e-2).unwrap();
+        prop_assert!(worst < 2e-2, "deviation {}", worst);
+    }
+
+    #[test]
+    fn layernorm_output_rows_are_standardized(seed in any::<u64>(), d in 4usize..16, rows in 1usize..5) {
+        let mut rng = Rng::new(seed);
+        let mut ln = LayerNorm::new("ln", d);
+        let x = Tensor::randn(&[rows, d], &mut rng).mul_scalar(4.0).add_scalar(2.0);
+        let y = ln.forward(&x, Mode::Train).unwrap();
+        for r in 0..rows {
+            let row = &y.data()[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            prop_assert!(mean.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(seed in any::<u64>(), k in 2usize..10, rows in 1usize..5) {
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn(&[rows, k], &mut rng).mul_scalar(5.0);
+        let p = softmax_last(&x).unwrap();
+        prop_assert!(p.min() >= 0.0);
+        for r in 0..rows {
+            let s: f32 = p.data()[r * k..(r + 1) * k].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn frozen_layers_never_accumulate_grads(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let mut seq = Sequential::new()
+            .push(Box::new(Linear::new("a", 4, 6, true, &mut rng)))
+            .push(Box::new(Activation::new(Act::Relu)))
+            .push(Box::new(Linear::new("b", 6, 3, true, &mut rng)));
+        seq.set_trainable(false);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let _ = seq.forward(&x, Mode::Train).unwrap();
+        let _ = seq.backward(&Tensor::ones(&[2, 3])).unwrap();
+        prop_assert!(seq.params().iter().all(|p| p.grad.is_none()));
+    }
+
+    #[test]
+    fn schedules_are_nonnegative_and_bounded(step in 0usize..100_000, base in 1e-6f32..1.0) {
+        let schedules: Vec<Box<dyn LrSchedule>> = vec![
+            Box::new(MultiStepDecay::new(base, 0.1, vec![100, 200])),
+            Box::new(InverseSqrt::new(base, 50)),
+            Box::new(LinearDecay::new(base, 1000)),
+            Box::new(CosineAnnealing::new(base, 0.0, 500)),
+        ];
+        for s in &schedules {
+            let lr = s.lr(step);
+            prop_assert!(lr >= 0.0);
+            prop_assert!(lr <= base * 1.0001, "lr {} above base {}", lr, base);
+        }
+    }
+
+    #[test]
+    fn multistep_is_monotone_nonincreasing(base in 1e-4f32..1.0) {
+        let s = MultiStepDecay::new(base, 0.1, vec![10, 20, 30]);
+        let mut prev = f32::INFINITY;
+        for step in 0..50 {
+            let lr = s.lr(step);
+            prop_assert!(lr <= prev + 1e-9);
+            prev = lr;
+        }
+    }
+}

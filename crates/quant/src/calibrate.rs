@@ -1,0 +1,106 @@
+//! Calibration observers for static quantization.
+
+use egeria_tensor::Tensor;
+
+/// A running min/max observer over activation tensors.
+///
+/// Static quantization (the paper's choice for convolutional models) runs a
+/// few calibration batches through the model, records activation ranges,
+/// and fixes scales from them. Dynamic quantization (the paper's choice for
+/// NLP models) computes the scale per call instead — see
+/// [`dynamic_scale`].
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxObserver {
+    min: f32,
+    max: f32,
+    observed: bool,
+}
+
+impl MinMaxObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        MinMaxObserver {
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+            observed: false,
+        }
+    }
+
+    /// Folds one activation tensor into the range.
+    pub fn observe(&mut self, t: &Tensor) {
+        if t.numel() == 0 {
+            return;
+        }
+        self.min = self.min.min(t.min());
+        self.max = self.max.max(t.max());
+        self.observed = true;
+    }
+
+    /// Whether any data has been observed.
+    pub fn is_calibrated(&self) -> bool {
+        self.observed
+    }
+
+    /// The symmetric int8 scale implied by the observed range.
+    ///
+    /// Returns 1.0 before calibration (callers should check
+    /// [`Self::is_calibrated`]).
+    pub fn scale(&self) -> f32 {
+        if !self.observed {
+            return 1.0;
+        }
+        let bound = self.min.abs().max(self.max.abs());
+        if bound == 0.0 {
+            1.0
+        } else {
+            bound / 127.0
+        }
+    }
+}
+
+/// The per-call symmetric int8 scale of dynamic quantization.
+pub fn dynamic_scale(t: &Tensor) -> f32 {
+    let bound = t.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if bound == 0.0 {
+        1.0
+    } else {
+        bound / 127.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_tensor::Rng;
+
+    #[test]
+    fn observer_tracks_running_extremes() {
+        let mut o = MinMaxObserver::new();
+        assert!(!o.is_calibrated());
+        o.observe(&Tensor::from_vec(vec![-2.0, 1.0], &[2]).unwrap());
+        o.observe(&Tensor::from_vec(vec![0.5, 3.0], &[2]).unwrap());
+        assert!(o.is_calibrated());
+        assert!((o.scale() - 3.0 / 127.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn uncalibrated_scale_is_identity() {
+        assert_eq!(MinMaxObserver::new().scale(), 1.0);
+    }
+
+    #[test]
+    fn dynamic_scale_follows_batch_range() {
+        let mut rng = Rng::new(1);
+        let small = Tensor::randn(&[64], &mut rng).mul_scalar(0.1);
+        let large = small.mul_scalar(100.0);
+        assert!(dynamic_scale(&large) > dynamic_scale(&small) * 50.0);
+        assert_eq!(dynamic_scale(&Tensor::zeros(&[4])), 1.0);
+    }
+
+    #[test]
+    fn empty_tensor_is_ignored() {
+        let mut o = MinMaxObserver::new();
+        o.observe(&Tensor::zeros(&[0]));
+        assert!(!o.is_calibrated());
+    }
+}

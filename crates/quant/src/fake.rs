@@ -1,0 +1,93 @@
+//! Fake quantization: quantize→dequantize in one step.
+//!
+//! Reference models keep f32 storage but carry the exact rounding error of
+//! the target precision, so plasticity evaluation sees the same activations
+//! a true int8/f16 execution would produce (up to accumulation-order
+//! effects).
+
+use crate::qtensor::{Granularity, QTensor};
+use egeria_tensor::{Result, Tensor};
+
+/// Applies int8 fake quantization to a tensor.
+pub fn fake_int8(t: &Tensor, granularity: Granularity) -> Result<Tensor> {
+    QTensor::quantize(t, granularity)?.dequantize()
+}
+
+/// Rounds every element to IEEE half precision and back.
+pub fn fake_f16(t: &Tensor) -> Tensor {
+    t.map(f16_round)
+}
+
+/// Rounds one f32 through the f16 representation (round-to-nearest-even on
+/// the 10-bit mantissa, with overflow to ±inf clamped to f16 max).
+pub fn f16_round(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let sign = bits & 0x8000_0000;
+    let abs = f32::from_bits(bits & 0x7FFF_FFFF);
+    const F16_MAX: f32 = 65504.0;
+    if abs > F16_MAX {
+        return f32::from_bits(sign | F16_MAX.to_bits());
+    }
+    if abs < 6.103_515_6e-5 {
+        // Subnormal range: quantize to multiples of 2^-24.
+        let step = 5.960_464_5e-8;
+        let q = (abs / step).round() * step;
+        return f32::from_bits(sign | q.to_bits());
+    }
+    // Normal range: keep 10 mantissa bits (f32 has 23): round at bit 13.
+    let mant_round = bits & 0x7FFF_FFFF;
+    let rounded = (mant_round + 0x0000_1000) & !0x0000_1FFF;
+    f32::from_bits(sign | rounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_tensor::Rng;
+
+    #[test]
+    fn fake_int8_error_is_small_but_nonzero() {
+        let mut rng = Rng::new(1);
+        let t = Tensor::randn(&[256], &mut rng);
+        let f = fake_int8(&t, Granularity::PerTensor).unwrap();
+        let rel = t.sub(&f).unwrap().norm() / t.norm();
+        assert!(rel > 0.0 && rel < 0.02, "relative error {rel}");
+    }
+
+    #[test]
+    fn f16_round_is_idempotent() {
+        let mut rng = Rng::new(2);
+        let t = Tensor::randn(&[128], &mut rng);
+        let once = fake_f16(&t);
+        let twice = fake_f16(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn f16_exactly_represents_small_integers() {
+        for v in [0.0f32, 1.0, -2.0, 1024.0, 0.5, 0.25] {
+            assert_eq!(f16_round(v), v);
+        }
+    }
+
+    #[test]
+    fn f16_error_smaller_than_int8_error() {
+        let mut rng = Rng::new(3);
+        let t = Tensor::randn(&[512], &mut rng);
+        let e16 = t.sub(&fake_f16(&t)).unwrap().norm();
+        let e8 = t
+            .sub(&fake_int8(&t, Granularity::PerTensor).unwrap())
+            .unwrap()
+            .norm();
+        assert!(e16 < e8, "f16 {e16} vs int8 {e8}");
+    }
+
+    #[test]
+    fn f16_clamps_overflow() {
+        assert_eq!(f16_round(1e6), 65504.0);
+        assert_eq!(f16_round(-1e6), -65504.0);
+    }
+}

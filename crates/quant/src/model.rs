@@ -1,0 +1,135 @@
+//! Whole-model reference generation (§4.1.3, Table 2).
+
+use crate::fake::{fake_f16, fake_int8};
+use crate::qtensor::Granularity;
+use egeria_models::Model;
+use egeria_tensor::Result;
+
+/// Numeric precision of a reference model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// 8-bit integers (the paper's default reference precision).
+    Int8,
+    /// IEEE half precision.
+    F16,
+    /// Full precision (the fallback for extremely sensitive models).
+    F32,
+}
+
+impl Precision {
+    /// Measured-shape CPU inference speedup relative to f32 (Table 2 row 2
+    /// of the paper: int8 3.59×, f16 1.69×). Used by the performance
+    /// simulator to cost reference-model execution; the real kernel-level
+    /// speed ratio is measured independently by the `quant_inference`
+    /// Criterion bench.
+    pub fn cpu_speedup(&self) -> f32 {
+        match self {
+            Precision::Int8 => 3.59,
+            Precision::F16 => 1.69,
+            Precision::F32 => 1.0,
+        }
+    }
+}
+
+/// Generates a reference model: a deep copy of `model` whose parameters
+/// carry the rounding error of the requested precision.
+///
+/// Per the paper, convolution/linear weights use per-channel scales (the
+/// PyTorch static-quantization default) and everything else per-tensor.
+/// The copy's architecture, BatchNorm statistics, and module list are
+/// identical to the source, so layer-wise activations remain comparable.
+pub fn quantize_reference(model: &dyn Model, precision: Precision) -> Result<Box<dyn Model>> {
+    let mut reference = model.clone_boxed();
+    if precision == Precision::F32 {
+        return Ok(reference);
+    }
+    for p in reference.params_mut() {
+        p.value = match precision {
+            Precision::Int8 => {
+                let granularity = if p.value.rank() >= 2 {
+                    Granularity::PerChannel
+                } else {
+                    Granularity::PerTensor
+                };
+                fake_int8(&p.value, granularity)?
+            }
+            Precision::F16 => fake_f16(&p.value),
+            Precision::F32 => unreachable!("handled above"),
+        };
+        // The reference never trains.
+        p.requires_grad = false;
+    }
+    Ok(reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+    use egeria_models::{Batch, Input, Targets};
+    use egeria_tensor::{Rng, Tensor};
+
+    fn model_and_batch() -> (Box<dyn Model>, Batch) {
+        let cfg = ResNetCifarConfig {
+            n: 2,
+            width: 4,
+            classes: 4,
+            ..Default::default()
+        };
+        let m = resnet_cifar(cfg, 1);
+        let mut rng = Rng::new(2);
+        let batch = Batch {
+            input: Input::Image(Tensor::randn(&[4, 3, 8, 8], &mut rng)),
+            targets: Targets::Classes(vec![0, 1, 2, 3]),
+            sample_ids: vec![0, 1, 2, 3],
+        };
+        (Box::new(m), batch)
+    }
+
+    #[test]
+    fn f32_reference_is_exact_copy() {
+        let (m, batch) = model_and_batch();
+        let mut r = quantize_reference(m.as_ref(), Precision::F32).unwrap();
+        let mut m = m;
+        let a = m.capture_activation(&batch, 1).unwrap();
+        let b = r.capture_activation(&batch, 1).unwrap();
+        assert!(a.allclose(&b, 1e-6));
+    }
+
+    #[test]
+    fn int8_reference_is_close_but_not_identical() {
+        let (m, batch) = model_and_batch();
+        let mut r = quantize_reference(m.as_ref(), Precision::Int8).unwrap();
+        let mut m = m;
+        let a = m.capture_activation(&batch, 1).unwrap();
+        let b = r.capture_activation(&batch, 1).unwrap();
+        let rel = a.sub(&b).unwrap().norm() / a.norm().max(1e-9);
+        assert!(rel > 0.0, "int8 must differ");
+        assert!(rel < 0.25, "int8 relative activation error {rel} too large");
+    }
+
+    #[test]
+    fn f16_reference_closer_than_int8() {
+        let (m, batch) = model_and_batch();
+        let mut m = m;
+        let a = m.capture_activation(&batch, 1).unwrap();
+        let mut r16 = quantize_reference(m.as_ref(), Precision::F16).unwrap();
+        let mut r8 = quantize_reference(m.as_ref(), Precision::Int8).unwrap();
+        let e16 = a.sub(&r16.capture_activation(&batch, 1).unwrap()).unwrap().norm();
+        let e8 = a.sub(&r8.capture_activation(&batch, 1).unwrap()).unwrap().norm();
+        assert!(e16 < e8, "f16 {e16} vs int8 {e8}");
+    }
+
+    #[test]
+    fn reference_parameters_are_frozen() {
+        let (m, _) = model_and_batch();
+        let r = quantize_reference(m.as_ref(), Precision::Int8).unwrap();
+        assert!(r.params().iter().all(|p| !p.requires_grad));
+    }
+
+    #[test]
+    fn speedup_ordering_matches_paper() {
+        assert!(Precision::Int8.cpu_speedup() > Precision::F16.cpu_speedup());
+        assert!(Precision::F16.cpu_speedup() > Precision::F32.cpu_speedup());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for quantization error bounds.
+
+use egeria_quant::fake::{f16_round, fake_int8};
+use egeria_quant::qtensor::{qmatmul, Granularity, QTensor};
+use egeria_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn int8_round_trip_error_within_half_step(seed in any::<u64>(), n in 1usize..200) {
+        let mut rng = Rng::new(seed);
+        let t = Tensor::randn(&[n], &mut rng).mul_scalar(3.0);
+        let q = QTensor::quantize(&t, Granularity::PerTensor).unwrap();
+        let back = q.dequantize().unwrap();
+        let max_abs = t.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let step = max_abs / 127.0;
+        for (&a, &b) in t.data().iter().zip(back.data().iter()) {
+            prop_assert!((a - b).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn fake_int8_is_idempotent(seed in any::<u64>(), n in 1usize..100) {
+        let mut rng = Rng::new(seed);
+        let t = Tensor::randn(&[n], &mut rng);
+        let once = fake_int8(&t, Granularity::PerTensor).unwrap();
+        let twice = fake_int8(&once, Granularity::PerTensor).unwrap();
+        // The second pass re-derives (almost) the same scale, so values are
+        // already on the grid.
+        prop_assert!(once.allclose(&twice, 1e-5));
+    }
+
+    #[test]
+    fn f16_round_never_increases_magnitude_much(x in -1e5f32..1e5) {
+        let r = f16_round(x);
+        prop_assert!(r.abs() <= x.abs() * 1.001 + 1e-6);
+        // Relative error within half-ULP of the 10-bit mantissa — for
+        // values inside the f16 normal range; above 65504 the rounding
+        // clamps to f16::MAX by design.
+        if x.abs() > 1e-3 && x.abs() <= 65504.0 {
+            prop_assert!(((r - x) / x).abs() < 1e-3, "x={} r={}", x, r);
+        }
+    }
+
+    #[test]
+    fn qmatmul_relative_error_bounded(seed in any::<u64>(), m in 1usize..8, k in 1usize..16, n in 1usize..8) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let exact = a.matmul(&b).unwrap();
+        let qa = QTensor::quantize(&a, Granularity::PerTensor).unwrap();
+        let qb = QTensor::quantize(&b, Granularity::PerTensor).unwrap();
+        let approx = qmatmul(&qa, &qb).unwrap();
+        let denom = exact.norm().max(1.0);
+        prop_assert!(exact.sub(&approx).unwrap().norm() / denom < 0.15);
+    }
+
+    #[test]
+    fn per_channel_error_never_worse_than_per_tensor(seed in any::<u64>(), c in 1usize..6, d in 1usize..20) {
+        let mut rng = Rng::new(seed);
+        // Give channels wildly different scales.
+        let mut t = Tensor::randn(&[c, d], &mut rng);
+        for ch in 0..c {
+            let scale = 10f32.powi(ch as i32 % 4);
+            for j in 0..d {
+                let v = t.at(&[ch, j]).unwrap() * scale;
+                t.set(&[ch, j], v).unwrap();
+            }
+        }
+        let e_pc = t
+            .sub(&QTensor::quantize(&t, Granularity::PerChannel).unwrap().dequantize().unwrap())
+            .unwrap()
+            .sq_norm();
+        let e_pt = t
+            .sub(&QTensor::quantize(&t, Granularity::PerTensor).unwrap().dequantize().unwrap())
+            .unwrap()
+            .sq_norm();
+        prop_assert!(e_pc <= e_pt + 1e-6);
+    }
+}

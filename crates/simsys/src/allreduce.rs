@@ -1,0 +1,55 @@
+//! Ring all-reduce cost model.
+
+use crate::device::NetworkProfile;
+
+/// Time to ring-all-reduce `bytes` across `workers` peers.
+///
+/// The standard ring moves `2·(n−1)/n · bytes` per worker over its link,
+/// in `2·(n−1)` latency-bound steps.
+pub fn ring_allreduce_time(bytes: f64, workers: usize, net: NetworkProfile) -> f64 {
+    if workers <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    let n = workers as f64;
+    2.0 * (n - 1.0) / n * bytes / net.bandwidth_bps + 2.0 * (n - 1.0) * net.latency_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::FABRIC_40G;
+
+    #[test]
+    fn single_worker_costs_nothing() {
+        assert_eq!(ring_allreduce_time(1e9, 1, FABRIC_40G), 0.0);
+        assert_eq!(ring_allreduce_time(0.0, 8, FABRIC_40G), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_term_saturates_with_workers() {
+        // 2(n−1)/n → 2: doubling workers beyond a few barely changes the
+        // bandwidth term.
+        let t4 = ring_allreduce_time(1e9, 4, FABRIC_40G);
+        let t16 = ring_allreduce_time(1e9, 16, FABRIC_40G);
+        assert!(t16 < t4 * 1.5);
+        assert!(t16 > t4, "latency term still grows");
+    }
+
+    #[test]
+    fn scales_linearly_in_bytes() {
+        let t1 = ring_allreduce_time(1e8, 4, FABRIC_40G);
+        let t2 = ring_allreduce_time(2e8, 4, FABRIC_40G);
+        assert!((t2 / t1 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn matches_hand_computation() {
+        // 100 MB over 4 workers at 5 GB/s: 2*(3/4)*1e8/5e9 = 30 ms + 6*10 µs.
+        let net = NetworkProfile {
+            bandwidth_bps: 5e9,
+            latency_s: 10e-6,
+        };
+        let t = ring_allreduce_time(1e8, 4, net);
+        assert!((t - (0.03 + 6e-5)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! Hardware profiles of the paper's testbeds (§6.1).
+
+/// A GPU profile with an effective (achieved, not peak) throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuProfile {
+    /// Device name.
+    pub name: &'static str,
+    /// Effective fp32 training throughput in FLOP/s. Peak numbers are
+    /// derated to the ~30–40% utilization typical of convolution/attention
+    /// training kernels.
+    pub flops_per_sec: f64,
+}
+
+/// NVIDIA V100 (peak 15.7 TFLOPS fp32, ~35% achieved).
+pub const V100: GpuProfile = GpuProfile {
+    name: "V100",
+    flops_per_sec: 5.5e12,
+};
+
+/// NVIDIA GeForce RTX 2080 Ti (peak 13.4 TFLOPS fp32, ~33% achieved).
+pub const RTX_2080TI: GpuProfile = GpuProfile {
+    name: "RTX2080Ti",
+    flops_per_sec: 4.4e12,
+};
+
+/// A CPU profile for reference-model execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuProfile {
+    /// Effective fp32 inference throughput (all cores available to the
+    /// controller).
+    pub flops_per_sec: f64,
+    /// int8 speedup over f32 (Table 2 measures 3.59×).
+    pub int8_speedup: f64,
+}
+
+/// A 40-core Xeon-class server CPU.
+pub const SERVER_CPU: CpuProfile = CpuProfile {
+    flops_per_sec: 2.0e11,
+    int8_speedup: 3.59,
+};
+
+/// Network profile of the fabric between workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkProfile {
+    /// Per-link bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+}
+
+/// The paper's 40 Gbps leaf–spine fabric (Mellanox CX-5 / SN2100).
+pub const FABRIC_40G: NetworkProfile = NetworkProfile {
+    bandwidth_bps: 40.0e9 / 8.0,
+    latency_s: 10e-6,
+};
+
+/// Intra-node interconnect (PCIe/NVLink-class) for single-node multi-GPU.
+pub const INTRA_NODE: NetworkProfile = NetworkProfile {
+    bandwidth_bps: 12.0e9,
+    latency_s: 3e-6,
+};
+
+/// Local SSD profile for the activation cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskProfile {
+    /// Sequential read bandwidth, bytes/second.
+    pub read_bps: f64,
+    /// Sequential write bandwidth, bytes/second.
+    pub write_bps: f64,
+}
+
+/// NVMe-class local storage.
+pub const NVME: DiskProfile = DiskProfile {
+    read_bps: 2.5e9,
+    write_bps: 1.5e9,
+};
+
+/// A training cluster: `nodes × gpus_per_node` workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of machines.
+    pub nodes: usize,
+    /// GPUs per machine (one worker process per GPU).
+    pub gpus_per_node: usize,
+    /// GPU profile.
+    pub gpu: GpuProfile,
+    /// CPU profile (reference execution).
+    pub cpu: CpuProfile,
+    /// Inter-node network.
+    pub network: NetworkProfile,
+    /// Intra-node interconnect.
+    pub intra: NetworkProfile,
+    /// Local disk.
+    pub disk: DiskProfile,
+}
+
+impl ClusterSpec {
+    /// The paper's V100 cluster: `nodes` machines × 2 V100s on 40 Gbps.
+    pub fn v100_cluster(nodes: usize) -> Self {
+        ClusterSpec {
+            nodes,
+            gpus_per_node: 2,
+            gpu: V100,
+            cpu: SERVER_CPU,
+            network: FABRIC_40G,
+            intra: INTRA_NODE,
+            disk: NVME,
+        }
+    }
+
+    /// The paper's single node with 8 RTX 2080 Ti GPUs.
+    pub fn rtx_single_node() -> Self {
+        ClusterSpec {
+            nodes: 1,
+            gpus_per_node: 8,
+            gpu: RTX_2080TI,
+            cpu: SERVER_CPU,
+            network: INTRA_NODE,
+            intra: INTRA_NODE,
+            disk: NVME,
+        }
+    }
+
+    /// Total data-parallel workers.
+    pub fn workers(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// The effective network for parameter synchronization: the inter-node
+    /// fabric when more than one machine is involved, otherwise the
+    /// intra-node interconnect.
+    pub fn sync_network(&self) -> NetworkProfile {
+        if self.nodes > 1 {
+            self.network
+        } else {
+            self.intra
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_worker_counts() {
+        assert_eq!(ClusterSpec::v100_cluster(5).workers(), 10);
+        assert_eq!(ClusterSpec::rtx_single_node().workers(), 8);
+    }
+
+    #[test]
+    fn multi_node_uses_fabric() {
+        assert_eq!(ClusterSpec::v100_cluster(2).sync_network(), FABRIC_40G);
+        assert_eq!(ClusterSpec::v100_cluster(1).sync_network(), INTRA_NODE);
+        assert_eq!(ClusterSpec::rtx_single_node().sync_network(), INTRA_NODE);
+    }
+
+    #[test]
+    fn profiles_are_physically_sensible() {
+        assert!(V100.flops_per_sec > RTX_2080TI.flops_per_sec);
+        assert!(SERVER_CPU.flops_per_sec < V100.flops_per_sec / 10.0);
+        assert!(FABRIC_40G.bandwidth_bps < INTRA_NODE.bandwidth_bps * 3.0);
+        assert!(SERVER_CPU.int8_speedup > 3.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Event-driven performance simulator for the paper's testbeds.
+//!
+//! The reproduction trains width-reduced models on CPU, so wall-clock
+//! numbers cannot come from the host machine. Instead, the *real* freezing
+//! decision traces from `egeria-core` are costed against the paper's
+//! hardware:
+//!
+//! - [`device`]: V100 / RTX-2080Ti GPU profiles, CPU int8 inference, disk,
+//!   and the 40 Gbps leaf–spine fabric of §6.1,
+//! - [`arch`]: paper-scale per-module FLOP/parameter/activation profiles of
+//!   all seven Table 1 models, computed from the architectures' actual
+//!   dimensions (ImageNet-scale ResNet-50, WMT-scale Transformer, …),
+//! - [`allreduce`]: ring all-reduce cost,
+//! - [`schedule`]: a NIC-queue simulation of gradient communication under
+//!   FIFO (vanilla PyTorch, deep-layers-first) and priority (ByteScheduler,
+//!   front-layers-first with cross-iteration overlap) policies,
+//! - [`iteration`]: per-iteration timing with freezing and cached-FP,
+//! - [`tta`]: converts a `TrainReport` into time-to-accuracy series and
+//!   speedups (the Figure 9/17–20 and Table 1 numbers).
+
+pub mod allreduce;
+pub mod arch;
+pub mod device;
+pub mod iteration;
+pub mod schedule;
+pub mod tta;
+
+pub use arch::ArchSpec;
+pub use device::ClusterSpec;
+pub use iteration::{iteration_time, CommPolicy, IterationSetting, TimeBreakdown};

@@ -1,0 +1,188 @@
+//! Time-to-accuracy accounting: converts training traces into simulated
+//! wall-clock series (Figures 9/17–20, Table 1).
+
+use crate::arch::ArchSpec;
+use crate::device::ClusterSpec;
+use crate::iteration::{iteration_time, CommPolicy, IterationSetting};
+use std::collections::HashMap;
+
+/// The cost-relevant facts of one training iteration (mirrors
+/// `egeria_core::trainer::IterationRecord` without a crate dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IterTrace {
+    /// Epoch the iteration belongs to.
+    pub epoch: u32,
+    /// Frozen-prefix length during the iteration.
+    pub frozen_prefix: u16,
+    /// Whether the frozen prefix's forward pass came from the cache.
+    pub fp_cached: bool,
+}
+
+/// Cumulative simulated seconds at the end of each epoch.
+///
+/// Iteration timings are memoized per distinct `(prefix, cached)` state, so
+/// costing a 10⁴-iteration trace is cheap.
+pub fn epoch_times(
+    arch: &ArchSpec,
+    cluster: &ClusterSpec,
+    trace: &[IterTrace],
+    batch_size: usize,
+    policy: CommPolicy,
+) -> Vec<f64> {
+    let mut memo: HashMap<(u16, bool), f64> = HashMap::new();
+    let max_epoch = trace.iter().map(|t| t.epoch).max().map(|e| e as usize + 1).unwrap_or(0);
+    let mut cum = vec![0.0f64; max_epoch];
+    for t in trace {
+        let dt = *memo.entry((t.frozen_prefix, t.fp_cached)).or_insert_with(|| {
+            iteration_time(
+                arch,
+                cluster,
+                IterationSetting {
+                    frozen_prefix: t.frozen_prefix as usize,
+                    fp_cached: t.fp_cached,
+                    batch_size,
+                },
+                policy,
+            )
+            .total
+        });
+        cum[t.epoch as usize] += dt;
+    }
+    // Prefix-sum to cumulative time.
+    for e in 1..cum.len() {
+        cum[e] += cum[e - 1];
+    }
+    cum
+}
+
+/// Average training throughput in samples/second over a trace.
+pub fn throughput(
+    arch: &ArchSpec,
+    cluster: &ClusterSpec,
+    trace: &[IterTrace],
+    batch_size: usize,
+    policy: CommPolicy,
+) -> f64 {
+    let times = epoch_times(arch, cluster, trace, batch_size, policy);
+    let total = times.last().copied().unwrap_or(0.0);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let samples = trace.len() as f64 * batch_size as f64 * cluster.workers() as f64;
+    samples / total
+}
+
+/// The first simulated time at which the metric series reaches `target`.
+///
+/// `epoch_metrics[e]` is the validation metric at the end of epoch `e`
+/// (`None` when not evaluated); `higher_is_better` selects the comparison
+/// direction (accuracy/F1/mIoU vs. perplexity).
+pub fn time_to_target(
+    times: &[f64],
+    epoch_metrics: &[Option<f32>],
+    target: f32,
+    higher_is_better: bool,
+) -> Option<f64> {
+    for (e, m) in epoch_metrics.iter().enumerate() {
+        if let Some(v) = m {
+            let hit = if higher_is_better { *v >= target } else { *v <= target };
+            if hit {
+                return times.get(e).copied();
+            }
+        }
+    }
+    None
+}
+
+/// TTA speedup of a treatment over a baseline, reported like the paper
+/// ("28%" = baseline takes 28% longer ⇔ treatment is `1 − t/b` shorter).
+pub fn tta_speedup(baseline_seconds: f64, treatment_seconds: f64) -> f64 {
+    if baseline_seconds <= 0.0 {
+        return 0.0;
+    }
+    1.0 - treatment_seconds / baseline_seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{FlopsModel, PaperScale};
+
+    fn spec() -> ArchSpec {
+        ArchSpec::scaled(
+            "m",
+            &[100, 200, 400],
+            None,
+            FlopsModel::PerBlockUniform,
+            PaperScale::resnet56_cifar(),
+        )
+    }
+
+    fn trace(epochs: u32, iters: usize, prefix: u16, cached: bool) -> Vec<IterTrace> {
+        (0..epochs)
+            .flat_map(|e| {
+                (0..iters).map(move |_| IterTrace {
+                    epoch: e,
+                    frozen_prefix: prefix,
+                    fp_cached: cached,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cumulative_times_are_monotone() {
+        let cluster = ClusterSpec::v100_cluster(1);
+        let times = epoch_times(&spec(), &cluster, &trace(5, 10, 0, false), 32, CommPolicy::Vanilla);
+        assert_eq!(times.len(), 5);
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn frozen_trace_is_faster() {
+        let cluster = ClusterSpec::v100_cluster(2);
+        let slow = epoch_times(&spec(), &cluster, &trace(3, 10, 0, false), 32, CommPolicy::Vanilla);
+        let fast = epoch_times(&spec(), &cluster, &trace(3, 10, 2, true), 32, CommPolicy::Vanilla);
+        assert!(fast.last().unwrap() < slow.last().unwrap());
+    }
+
+    #[test]
+    fn throughput_scales_with_workers() {
+        // More workers process more samples per second, though not quite
+        // linearly due to all-reduce cost.
+        let t1 = throughput(
+            &spec(),
+            &ClusterSpec::v100_cluster(1),
+            &trace(2, 10, 0, false),
+            32,
+            CommPolicy::Vanilla,
+        );
+        let t4 = throughput(
+            &spec(),
+            &ClusterSpec::v100_cluster(4),
+            &trace(2, 10, 0, false),
+            32,
+            CommPolicy::Vanilla,
+        );
+        assert!(t4 > t1 * 2.0, "t1 {t1} t4 {t4}");
+        assert!(t4 < t1 * 8.5);
+    }
+
+    #[test]
+    fn time_to_target_direction_matters() {
+        let times = vec![1.0, 2.0, 3.0];
+        let acc = vec![Some(0.5), Some(0.7), Some(0.9)];
+        assert_eq!(time_to_target(&times, &acc, 0.7, true), Some(2.0));
+        assert_eq!(time_to_target(&times, &acc, 0.95, true), None);
+        let ppl = vec![Some(10.0), Some(5.0), Some(4.0)];
+        assert_eq!(time_to_target(&times, &ppl, 5.0, false), Some(2.0));
+    }
+
+    #[test]
+    fn speedup_formula_matches_paper_convention() {
+        assert!((tta_speedup(100.0, 72.0) - 0.28).abs() < 1e-9);
+        assert_eq!(tta_speedup(0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Result alias used across the tensor crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor operations.
+///
+/// All fallible tensor APIs return [`Result`]; shape errors carry the
+/// offending shapes so callers can produce actionable diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes were incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Left-hand / first shape involved.
+        lhs: Vec<usize>,
+        /// Right-hand / second shape involved.
+        rhs: Vec<usize>,
+    },
+    /// A reshape target had a different element count than the source.
+    InvalidReshape {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// An axis argument was out of range for the tensor rank.
+    AxisOutOfRange {
+        /// The requested axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// An index was out of bounds along some dimension.
+    IndexOutOfBounds {
+        /// The offending multi-dimensional index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A numerical routine failed to converge or met a singular input.
+    Numerical(String),
+    /// Deserialization found a malformed byte buffer.
+    Corrupt(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::InvalidReshape { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+            TensorError::Corrupt(msg) => write!(f, "corrupt tensor buffer: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch_names_op_and_shapes() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn display_invalid_reshape_mentions_both_shapes() {
+        let e = TensorError::InvalidReshape {
+            from: vec![6],
+            to: vec![4],
+        };
+        assert!(e.to_string().contains("[6]"));
+        assert!(e.to_string().contains("[4]"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TensorError::Numerical("x".into()));
+    }
+}

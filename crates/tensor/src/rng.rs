@@ -1,0 +1,168 @@
+//! Deterministic random number generation.
+//!
+//! Training reproducibility is load-bearing in this system: the activation
+//! cache (§4.3 of the paper) is only correct if random data augmentation is
+//! *stateless*, i.e. re-derivable from `(seed, epoch, sample id)`. We wrap a
+//! seeded [`rand::rngs::StdRng`] and expose exactly the distributions the
+//! stack needs, plus a [`Rng::derive`] combinator that builds the
+//! per-(epoch, sample) streams used by stateless augmentation.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// A seeded random number generator with explicit derivation.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent generator keyed by `salt`.
+    ///
+    /// The derivation is a pure function of `(seed, salt)`, which is what
+    /// makes augmentation stateless: `rng.derive(epoch).derive(sample_id)`
+    /// always yields the same stream regardless of call order elsewhere.
+    pub fn derive(&self, salt: u64) -> Rng {
+        // SplitMix64-style mixing keeps derived seeds well separated.
+        let mut z = self.seed.wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng::new(z ^ (z >> 31))
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// A standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        // Box–Muller on two uniforms; clamp u1 away from 0 to avoid ln(0).
+        let u1 = self.inner.gen::<f64>().max(1e-12);
+        let u2 = self.inner.gen::<f64>();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// Returns 0 when `n == 0` so callers need no special case for empty
+    /// ranges (they must check emptiness themselves where it matters).
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.inner.gen::<bool>()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        if slice.len() < 2 {
+            return;
+        }
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn derive_is_pure_in_seed_and_salt() {
+        let base = Rng::new(99);
+        let mut d1 = base.derive(5);
+        let mut d2 = base.derive(5);
+        assert_eq!(d1.uniform(), d2.uniform());
+        let mut d3 = base.derive(6);
+        assert_ne!(Rng::new(99).derive(5).uniform(), d3.uniform());
+    }
+
+    #[test]
+    fn derive_is_independent_of_consumption() {
+        let mut base = Rng::new(1);
+        let before = base.derive(3).uniform();
+        let _ = base.uniform();
+        let _ = base.uniform();
+        let after = base.derive(3).uniform();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn normal_has_roughly_standard_moments() {
+        let mut rng = Rng::new(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = Rng::new(3);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+        }
+        assert_eq!(rng.below(0), 0);
+        assert_eq!(rng.below(1), 0);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = Rng::new(5);
+        let p = rng.permutation(50);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_slices() {
+        let mut rng = Rng::new(5);
+        let mut empty: [u8; 0] = [];
+        rng.shuffle(&mut empty);
+        let mut one = [42];
+        rng.shuffle(&mut one);
+        assert_eq!(one, [42]);
+    }
+}

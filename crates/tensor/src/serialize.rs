@@ -1,0 +1,114 @@
+//! Tensor serialization: the on-disk format of the activation cache.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  u32  = 0x45474552 ("EGER")
+//! rank   u32
+//! dims   u64 × rank
+//! data   f32 × numel
+//! ```
+//!
+//! The format is self-describing so the prefetcher can validate cache entries
+//! written by an earlier epoch before handing them to the training loop.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic number prefixed to every serialized tensor.
+pub const MAGIC: u32 = 0x4547_4552;
+
+/// Serializes a tensor to a byte buffer.
+pub fn to_bytes(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + t.rank() * 8 + t.numel() * 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(t.rank() as u32);
+    for &d in t.dims() {
+        buf.put_u64_le(d as u64);
+    }
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a tensor from a byte buffer produced by [`to_bytes`].
+pub fn from_bytes(mut buf: &[u8]) -> Result<Tensor> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Corrupt("buffer shorter than header".into()));
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(TensorError::Corrupt(format!("bad magic {magic:#x}")));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 8 {
+        return Err(TensorError::Corrupt(format!("implausible rank {rank}")));
+    }
+    if buf.remaining() < rank * 8 {
+        return Err(TensorError::Corrupt("truncated dims".into()));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u64_le() as usize);
+    }
+    let numel: usize = dims.iter().product();
+    if buf.remaining() != numel * 4 {
+        return Err(TensorError::Corrupt(format!(
+            "payload is {} bytes, expected {}",
+            buf.remaining(),
+            numel * 4
+        )));
+    }
+    let mut data = Vec::with_capacity(numel);
+    for _ in 0..numel {
+        data.push(buf.get_f32_le());
+    }
+    Tensor::from_vec(data, &dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn round_trip_preserves_tensor_exactly() {
+        let mut rng = Rng::new(1);
+        let t = Tensor::randn(&[3, 4, 5], &mut rng);
+        let bytes = to_bytes(&t);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn round_trip_scalar_and_empty() {
+        let s = Tensor::scalar(7.0);
+        assert_eq!(from_bytes(&to_bytes(&s)).unwrap(), s);
+        let e = Tensor::zeros(&[0, 3]);
+        assert_eq!(from_bytes(&to_bytes(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = to_bytes(&Tensor::zeros(&[2])).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(from_bytes(&bytes), Err(TensorError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let bytes = to_bytes(&Tensor::zeros(&[4]));
+        assert!(from_bytes(&bytes[..bytes.len() - 2]).is_err());
+        assert!(from_bytes(&bytes[..6]).is_err());
+    }
+
+    #[test]
+    fn rejects_implausible_rank() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        assert!(from_bytes(&buf).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Shape and stride arithmetic for contiguous row-major tensors.
+
+use crate::error::{Result, TensorError};
+
+/// A tensor shape: the extent of each dimension, outermost first.
+///
+/// Shapes are small (rank ≤ 4 in practice: `(batch, channel, height, width)`),
+/// so a plain `Vec<usize>` is used for storage.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for rank 0).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    ///
+    /// The last dimension always has stride 1; a zero-rank shape yields an
+    /// empty stride vector.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1usize;
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// Returns an error if the index rank differs from the shape rank or any
+    /// coordinate is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.0.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.0.clone(),
+            });
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(self.0.iter()).zip(strides.iter()) {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.0.clone(),
+                });
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// Computes the broadcast shape of `self` and `other` under NumPy rules.
+    ///
+    /// Dimensions are aligned from the trailing end; extents must match or one
+    /// of them must be 1.
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![0usize; rank];
+        for i in 0..rank {
+            let a = if i < rank - self.rank() { 1 } else { self.0[i - (rank - self.rank())] };
+            let b = if i < rank - other.rank() { 1 } else { other.0[i - (rank - other.rank())] };
+            dims[i] = if a == b || b == 1 {
+                a
+            } else if a == 1 {
+                b
+            } else {
+                return Err(TensorError::ShapeMismatch {
+                    op: "broadcast",
+                    lhs: self.0.clone(),
+                    rhs: other.0.clone(),
+                });
+            };
+        }
+        Ok(Shape(dims))
+    }
+
+    /// Strides to iterate this shape as if broadcast to `target` (stride 0 on
+    /// broadcast dimensions).
+    ///
+    /// `target` must be a valid broadcast result that includes this shape.
+    pub fn broadcast_strides(&self, target: &Shape) -> Result<Vec<usize>> {
+        if self.rank() > target.rank() {
+            return Err(TensorError::ShapeMismatch {
+                op: "broadcast_strides",
+                lhs: self.0.clone(),
+                rhs: target.0.clone(),
+            });
+        }
+        let own = self.strides();
+        let offset = target.rank() - self.rank();
+        let mut out = vec![0usize; target.rank()];
+        for i in 0..target.rank() {
+            if i < offset {
+                out[i] = 0;
+            } else {
+                let d = self.0[i - offset];
+                let t = target.0[i];
+                if d == t {
+                    out[i] = own[i - offset];
+                } else if d == 1 {
+                    out[i] = 0;
+                } else {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "broadcast_strides",
+                        lhs: self.0.clone(),
+                        rhs: target.0.clone(),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn numel_counts_elements() {
+        assert_eq!(Shape::new(&[2, 3, 4]).numel(), 24);
+        assert_eq!(Shape::new(&[]).numel(), 1);
+        assert_eq!(Shape::new(&[0, 7]).numel(), 0);
+    }
+
+    #[test]
+    fn offset_round_trips_indices() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[0, 1, 2]).unwrap(), 6);
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn broadcast_matches_numpy_rules() {
+        let a = Shape::new(&[4, 1, 3]);
+        let b = Shape::new(&[2, 3]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::new(&[4, 2, 3]));
+        let scalar = Shape::new(&[]);
+        assert_eq!(a.broadcast(&scalar).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_rejects_incompatible() {
+        let a = Shape::new(&[4, 3]);
+        let b = Shape::new(&[2, 3]);
+        assert!(a.broadcast(&b).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zero_on_expanded_dims() {
+        let a = Shape::new(&[1, 3]);
+        let t = Shape::new(&[4, 2, 3]);
+        assert_eq!(a.broadcast_strides(&t).unwrap(), vec![0, 0, 1]);
+    }
+}

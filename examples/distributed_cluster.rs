@@ -1,0 +1,103 @@
+//! Distributed-training what-if analysis with the performance simulator.
+//!
+//! ```text
+//! cargo run --release --example distributed_cluster
+//! ```
+//!
+//! Trains a ResNet with Egeria once (locally, CPU), then costs the same
+//! freezing trace on the paper's V100 clusters at 1–5 nodes under vanilla
+//! and ByteScheduler-style communication scheduling, showing how freezing
+//! removes gradient synchronization for converged modules.
+
+use egeria_core::trainer::{EgeriaTrainer, Optimizer, TrainerOptions};
+use egeria_core::EgeriaConfig;
+use egeria_data::images::{ImageDataConfig, SyntheticImages};
+use egeria_data::DataLoader;
+use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+use egeria_models::Model;
+use egeria_nn::optim::Sgd;
+use egeria_nn::sched::MultiStepDecay;
+use egeria_simsys::arch::{FlopsModel, PaperScale};
+use egeria_simsys::device::ClusterSpec;
+use egeria_simsys::iteration::CommPolicy;
+use egeria_simsys::tta::{throughput, IterTrace};
+use egeria_simsys::ArchSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = resnet_cifar(
+        ResNetCifarConfig {
+            n: 4,
+            width: 4,
+            classes: 8,
+            ..Default::default()
+        },
+        42,
+    );
+    let module_params: Vec<usize> = model.modules().iter().map(|m| m.param_count).collect();
+    let data = SyntheticImages::new(
+        ImageDataConfig {
+            samples: 192,
+            classes: 8,
+            size: 10,
+            noise: 0.5,
+            augment: true,
+        },
+        5,
+    );
+    let loader = DataLoader::new(192, 16, 3, true);
+    let mut trainer = EgeriaTrainer::new(
+        Box::new(model),
+        Optimizer::Sgd(Sgd::new(0.1, 0.9, 1e-4)),
+        Box::new(MultiStepDecay::new(0.1, 0.1, vec![100])),
+        TrainerOptions {
+            epochs: 20,
+            egeria: Some(EgeriaConfig {
+                n: 4,
+                w: 8,
+                s: 8,
+                t: 2e-4,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    );
+    println!("training the freezing trace locally...");
+    let report = trainer.train(&data, &loader, None)?;
+    let trace: Vec<IterTrace> = report
+        .iterations
+        .iter()
+        .map(|i| IterTrace {
+            epoch: i.epoch,
+            frozen_prefix: i.frozen_prefix,
+            fp_cached: i.fp_cached,
+        })
+        .collect();
+    let baseline: Vec<IterTrace> = trace
+        .iter()
+        .map(|t| IterTrace {
+            frozen_prefix: 0,
+            fp_cached: false,
+            ..*t
+        })
+        .collect();
+    // Cost the trace at ImageNet/ResNet-50 scale.
+    let arch = ArchSpec::scaled(
+        "resnet50",
+        &module_params,
+        None,
+        FlopsModel::PerBlockUniform,
+        PaperScale::resnet50_imagenet(),
+    );
+    println!("\nnodes  baseline(sps)  bytescheduler(sps)  egeria(sps)  egeria_gain");
+    for nodes in 1..=5 {
+        let cluster = ClusterSpec::v100_cluster(nodes);
+        let base = throughput(&arch, &cluster, &baseline, 16, CommPolicy::Vanilla);
+        let bs = throughput(&arch, &cluster, &baseline, 16, CommPolicy::ByteScheduler);
+        let eg = throughput(&arch, &cluster, &trace, 16, CommPolicy::Vanilla);
+        println!(
+            "{nodes:5}  {base:13.0}  {bs:18.0}  {eg:11.0}  {:+9.1}%",
+            (eg / base - 1.0) * 100.0
+        );
+    }
+    Ok(())
+}

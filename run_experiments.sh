@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every table and figure (see DESIGN.md experiment index).
+set -x
+for bin in table1_tta_summary fig09_time_to_accuracy fig12_freeze_timeline \
+           fig02_premature_freezing fig01_pwcca_convergence fig04_plasticity_trend \
+           fig07_reference_update fig15_16_heatmaps fig10_breakdown \
+           fig11_distributed table2_reference_precision fig13_w_sensitivity \
+           gradnorm_baseline \
+           overhead_report; do
+  ./target/release/$bin > results/${bin}.log 2>&1 || echo "FAILED: $bin" >> results/failures.txt
+done
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,2 @@
+//! Workspace façade crate. Re-exports the public crates for examples and integration tests.
+pub use egeria_core as core_sys;

@@ -1,0 +1,149 @@
+//! Cross-crate consistency of the performance simulator against real
+//! training traces.
+
+use egeria_simsys::arch::{ArchSpec, FlopsModel, PaperScale};
+use egeria_simsys::device::ClusterSpec;
+use egeria_simsys::iteration::{iteration_time, CommPolicy, IterationSetting};
+use egeria_simsys::tta::{epoch_times, throughput, tta_speedup, IterTrace};
+
+fn spec() -> ArchSpec {
+    ArchSpec::scaled(
+        "resnet50",
+        &[50_000, 120_000, 300_000, 500_000],
+        Some(&[3, 4, 6, 3]),
+        FlopsModel::PerBlockUniform,
+        PaperScale::resnet50_imagenet(),
+    )
+}
+
+#[test]
+fn deeper_freezing_is_monotonically_faster() {
+    let cluster = ClusterSpec::v100_cluster(3);
+    let mut prev = f64::INFINITY;
+    for prefix in 0..4 {
+        let t = iteration_time(
+            &spec(),
+            &cluster,
+            IterationSetting {
+                frozen_prefix: prefix,
+                fp_cached: prefix > 0,
+                batch_size: 32,
+            },
+            CommPolicy::Vanilla,
+        );
+        assert!(
+            t.total < prev,
+            "prefix {prefix}: {} not faster than {prev}",
+            t.total
+        );
+        prev = t.total;
+    }
+}
+
+#[test]
+fn paper_speedup_band_for_a_plausible_freezing_trace() {
+    // A trace shaped like the paper's ResNet-50 run: front module frozen
+    // after ~1/3, two modules after ~2/3; cached FP once frozen.
+    let cluster = ClusterSpec::v100_cluster(1);
+    let mut trace = Vec::new();
+    let epochs = 90u32;
+    for e in 0..epochs {
+        let prefix = if e < 30 {
+            0
+        } else if e < 60 {
+            1
+        } else {
+            2
+        };
+        for _ in 0..100 {
+            trace.push(IterTrace {
+                epoch: e,
+                frozen_prefix: prefix,
+                fp_cached: prefix > 0,
+            });
+        }
+    }
+    let base: Vec<IterTrace> = trace
+        .iter()
+        .map(|t| IterTrace {
+            frozen_prefix: 0,
+            fp_cached: false,
+            ..*t
+        })
+        .collect();
+    let tb = *epoch_times(&spec(), &cluster, &base, 32, CommPolicy::Vanilla)
+        .last()
+        .unwrap();
+    let te = *epoch_times(&spec(), &cluster, &trace, 32, CommPolicy::Vanilla)
+        .last()
+        .unwrap();
+    let speedup = tta_speedup(tb, te);
+    // The paper reports 19%–43% across workloads; a same-epoch-count run
+    // with this trace should land in a generous band around that.
+    assert!(
+        (0.05..0.6).contains(&speedup),
+        "simulated speedup {speedup} outside plausible band"
+    );
+}
+
+#[test]
+fn bytescheduler_helps_most_when_comm_bound() {
+    let trace: Vec<IterTrace> = (0..5u32)
+        .flat_map(|e| {
+            (0..20).map(move |_| IterTrace {
+                epoch: e,
+                frozen_prefix: 0,
+                fp_cached: false,
+            })
+        })
+        .collect();
+    // Large cluster (comm-heavy): BS must beat vanilla.
+    let big = ClusterSpec::v100_cluster(5);
+    let v = throughput(&spec(), &big, &trace, 32, CommPolicy::Vanilla);
+    let b = throughput(&spec(), &big, &trace, 32, CommPolicy::ByteScheduler);
+    assert!(b >= v * 0.99, "BS {b} collapsed vs vanilla {v}");
+    // Single node (compute-bound): BS within a whisker of vanilla, possibly
+    // slightly below (the paper's observed dip).
+    let small = ClusterSpec::v100_cluster(1);
+    let v1 = throughput(&spec(), &small, &trace, 32, CommPolicy::Vanilla);
+    let b1 = throughput(&spec(), &small, &trace, 32, CommPolicy::ByteScheduler);
+    assert!(b1 > v1 * 0.95 && b1 < v1 * 1.05);
+}
+
+#[test]
+fn freezing_saves_time_at_every_cluster_size() {
+    // Frozen modules skip backward compute and gradient synchronization,
+    // so the run must get faster at every cluster size. (How the saving
+    // scales with nodes depends on how much of the removed communication
+    // was hidden behind backward compute, so no cross-cluster ordering is
+    // asserted.)
+    let frozen: Vec<IterTrace> = (0..3u32)
+        .flat_map(|e| {
+            (0..20).map(move |_| IterTrace {
+                epoch: e,
+                frozen_prefix: 2,
+                fp_cached: false,
+            })
+        })
+        .collect();
+    let base: Vec<IterTrace> = frozen
+        .iter()
+        .map(|t| IterTrace {
+            frozen_prefix: 0,
+            ..*t
+        })
+        .collect();
+    let saved = |nodes: usize| {
+        let c = ClusterSpec::v100_cluster(nodes);
+        let tb = *epoch_times(&spec(), &c, &base, 32, CommPolicy::Vanilla).last().unwrap();
+        let tf = *epoch_times(&spec(), &c, &frozen, 32, CommPolicy::Vanilla).last().unwrap();
+        assert!(tf < tb, "freezing must always save time ({nodes} nodes)");
+        tb - tf
+    };
+    // Absolute savings can shift either way depending on how much of the
+    // removed communication was already hidden behind backward compute, so
+    // the portable assertion is positivity at every cluster size.
+    for nodes in 1..=5 {
+        assert!(saved(nodes) > 0.0, "no saving at {nodes} nodes");
+    }
+}
