@@ -29,10 +29,10 @@ fn main() {
     let mut rows = Vec::new();
     for (epoch, snap) in snaps {
         let mut snap = snap;
-        for m in 0..n_modules {
+        for (m, final_act) in final_acts.iter().enumerate() {
             let act = activation_matrix(&snap.capture_activation(&probe, m).expect("capture"))
                 .expect("matrix");
-            let d = pwcca_distance(&act, &final_acts[m]).expect("pwcca");
+            let d = pwcca_distance(&act, final_act).expect("pwcca");
             rows.push(format!("{epoch},{m},{d:.5}"));
         }
         eprintln!("epoch {epoch} done");

@@ -37,7 +37,7 @@ fn run_gradnorm(epochs: usize) -> Result<GradNormOutcome> {
         for plan in loader.epoch_plan(epoch) {
             let batch = w.train.materialize(&plan.indices)?;
             let _ = w.model.train_step(&batch, None)?;
-            if step % cfg.n == 0 {
+            if step.is_multiple_of(cfg.n) {
                 let front = freezer.front();
                 if front < w.model.modules().len() {
                     let norm = GradNormFreezer::module_grad_norm(w.model.as_ref(), front);

@@ -124,6 +124,14 @@ pub fn running_best(series: &[Option<f32>], higher_is_better: bool) -> Vec<Optio
         .collect()
 }
 
+/// Epoch-tagged model snapshots, the final model, and the shared probe batch
+/// returned by [`train_with_snapshots`].
+pub type SnapshotRun = (
+    Vec<(usize, Box<dyn egeria_models::Model>)>,
+    Box<dyn egeria_models::Model>,
+    egeria_models::Batch,
+);
+
 /// Manually trains a workload (no Egeria), returning model snapshots at the
 /// requested epoch boundaries plus the final model and a fixed probe batch
 /// for activation analysis. Used by the post hoc PWCCA / SP-loss figures.
@@ -133,11 +141,7 @@ pub fn train_with_snapshots(
     epochs: usize,
     snap_epochs: &[usize],
     probe_batch: usize,
-) -> Result<(
-    Vec<(usize, Box<dyn egeria_models::Model>)>,
-    Box<dyn egeria_models::Model>,
-    egeria_models::Batch,
-)> {
+) -> Result<SnapshotRun> {
     let mut w = Workload::make(kind, seed);
     let loader = w.loader(seed.wrapping_add(77));
     let mut opt = w.optimizer();

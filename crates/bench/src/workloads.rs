@@ -510,7 +510,7 @@ mod tests {
             let spec = w.arch_spec();
             assert_eq!(spec.num_modules(), w.model.modules().len(), "{}", w.name);
             assert!(w.train.len() > w.batch_size);
-            assert!(w.val.len() > 0);
+            assert!(!w.val.is_empty());
             let _ = w.optimizer();
             let s = w.schedule();
             assert!(s.lr(0) >= 0.0);

@@ -8,6 +8,16 @@
 
 use egeria_analysis::series::relative_change;
 
+/// The complete persistent state of a [`BootstrapMonitor`], exposed for
+/// checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapSnapshot {
+    /// Sampled loss history.
+    pub losses: Vec<f32>,
+    /// Whether the critical period already ended (latched).
+    pub done: bool,
+}
+
 /// Monitors the loss changing rate over a window of sampled losses.
 #[derive(Debug, Clone)]
 pub struct BootstrapMonitor {
@@ -57,6 +67,21 @@ impl BootstrapMonitor {
     /// Sampled loss history.
     pub fn history(&self) -> &[f32] {
         &self.losses
+    }
+
+    /// Serializable view for checkpointing (window/rate/min-samples come
+    /// from the config, so only the history and latch need persisting).
+    pub fn snapshot(&self) -> BootstrapSnapshot {
+        BootstrapSnapshot {
+            losses: self.losses.clone(),
+            done: self.done,
+        }
+    }
+
+    /// Restores a previously snapshotted state into this monitor.
+    pub fn restore(&mut self, s: &BootstrapSnapshot) {
+        self.losses = s.losses.clone();
+        self.done = s.done;
     }
 }
 

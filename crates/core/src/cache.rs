@@ -6,6 +6,7 @@
 //! samples from disk ahead of the training loop, exploiting the loader's
 //! known-future batch order.
 
+use crate::faults::{FaultAction, FaultInjector, FaultSite};
 use egeria_tensor::{serialize, Result, Tensor, TensorError};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -26,9 +27,28 @@ pub struct CacheStats {
     pub disk_bytes: u64,
     /// Samples loaded from disk by prefetch/get.
     pub disk_reads: usize,
+    /// Disk writes that failed (ENOSPC etc.); the entry stays
+    /// memory-resident and training continues.
+    pub write_errors: usize,
+    /// Corrupt on-disk entries detected (bad magic/length/checksum); each
+    /// is deleted and recomputed on the next full forward.
+    pub corrupt_entries: usize,
+}
+
+impl CacheStats {
+    /// Whether any degradation (failed write or corrupt entry) occurred.
+    pub fn degraded(&self) -> bool {
+        self.write_errors > 0 || self.corrupt_entries > 0
+    }
 }
 
 /// On-disk + in-memory activation cache keyed by sample id.
+///
+/// Disk trouble never stops training: a failed write keeps the entry
+/// memory-resident and counts [`CacheStats::write_errors`]; a corrupt or
+/// unreadable on-disk entry is deleted, counted in
+/// [`CacheStats::corrupt_entries`], and reported as a miss so the trainer
+/// recomputes the activation.
 pub struct ActivationCache {
     dir: PathBuf,
     mem: HashMap<u64, Tensor>,
@@ -39,6 +59,7 @@ pub struct ActivationCache {
     /// change invalidates everything.
     valid_prefix: Option<usize>,
     stats: CacheStats,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl ActivationCache {
@@ -46,8 +67,7 @@ impl ActivationCache {
     /// most recent `mem_batches` batches in memory.
     pub fn new(dir: impl Into<PathBuf>, mem_batches: usize) -> Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)
-            .map_err(|e| TensorError::Numerical(format!("cache dir: {e}")))?;
+        fs::create_dir_all(&dir)?;
         Ok(ActivationCache {
             dir,
             mem: HashMap::new(),
@@ -55,7 +75,37 @@ impl ActivationCache {
             mem_batches: mem_batches.max(1),
             valid_prefix: None,
             stats: CacheStats::default(),
+            faults: None,
         })
+    }
+
+    /// Attaches a fault injector (testing): [`FaultSite::CacheWrite`] makes
+    /// entry writes fail, [`FaultSite::CacheRead`] corrupts the bytes read
+    /// back from disk.
+    pub fn set_faults(&mut self, faults: Option<Arc<FaultInjector>>) {
+        self.faults = faults;
+    }
+
+    fn read_entry(&mut self, id: u64) -> Option<Vec<u8>> {
+        let mut bytes = fs::read(self.path_of(id)).ok()?;
+        if let Some(FaultAction::CorruptBytes) = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.check(FaultSite::CacheRead))
+        {
+            FaultInjector::corrupt(&mut bytes);
+        }
+        Some(bytes)
+    }
+
+    /// A disk entry failed validation: drop it so the slot is refilled by
+    /// the next full forward pass instead of failing forever.
+    fn quarantine(&mut self, id: u64) {
+        let _ = fs::remove_file(self.path_of(id));
+        self.stats.corrupt_entries += 1;
+        eprintln!(
+            "egeria: corrupt cache entry for sample {id}; deleted, will recompute"
+        );
     }
 
     fn path_of(&self, id: u64) -> PathBuf {
@@ -84,6 +134,11 @@ impl ActivationCache {
 
     /// Stores one batch's frozen-prefix activation, computed at prefix
     /// length `prefix`. Invalidates the cache first if the prefix changed.
+    ///
+    /// Disk-write failures (ENOSPC and friends) are *not* errors: the
+    /// entry stays memory-resident, `write_errors` is counted, and the
+    /// next lookup after eviction simply misses and recomputes. Only
+    /// caller bugs (batch/id mismatch) return `Err`.
     pub fn put_batch(&mut self, ids: &[u64], activation: &Tensor, prefix: usize) -> Result<()> {
         if self.valid_prefix != Some(prefix) {
             self.invalidate();
@@ -104,9 +159,27 @@ impl ActivationCache {
         for (row, &id) in ids.iter().enumerate() {
             let sample = activation.narrow(0, row, 1)?;
             let bytes = serialize::to_bytes(&sample);
-            fs::write(self.path_of(id), &bytes)
-                .map_err(|e| TensorError::Numerical(format!("cache write: {e}")))?;
-            self.stats.disk_bytes += bytes.len() as u64;
+            let injected_fail = self
+                .faults
+                .as_ref()
+                .map(|f| f.should_fail(FaultSite::CacheWrite))
+                .unwrap_or(false);
+            let write = if injected_fail {
+                Err(std::io::Error::other("injected cache write failure"))
+            } else {
+                fs::write(self.path_of(id), &bytes)
+            };
+            match write {
+                Ok(()) => self.stats.disk_bytes += bytes.len() as u64,
+                Err(e) => {
+                    if self.stats.write_errors == 0 {
+                        eprintln!(
+                            "egeria: cache write failed ({e}); continuing without disk persistence"
+                        );
+                    }
+                    self.stats.write_errors += 1;
+                }
+            }
             self.mem.insert(id, sample);
         }
         self.recent.push_back(ids.to_vec());
@@ -126,18 +199,23 @@ impl ActivationCache {
     }
 
     /// Loads the given samples from disk into memory ahead of use.
+    /// Unreadable or corrupt entries are quarantined and skipped —
+    /// prefetching is best-effort and never fails the caller.
     pub fn prefetch(&mut self, ids: &[u64]) -> Result<usize> {
         let mut loaded = 0;
         for &id in ids {
             if self.mem.contains_key(&id) {
                 continue;
             }
-            let path = self.path_of(id);
-            if let Ok(bytes) = fs::read(&path) {
-                let t = serialize::from_bytes(&bytes)?;
-                self.mem.insert(id, t);
-                self.stats.disk_reads += 1;
-                loaded += 1;
+            if let Some(bytes) = self.read_entry(id) {
+                match serialize::from_bytes(&bytes) {
+                    Ok(t) => {
+                        self.mem.insert(id, t);
+                        self.stats.disk_reads += 1;
+                        loaded += 1;
+                    }
+                    Err(_) => self.quarantine(id),
+                }
             }
         }
         self.recent.push_back(ids.to_vec());
@@ -155,8 +233,10 @@ impl ActivationCache {
     }
 
     /// Fetches a whole batch; `None` (a miss) if any sample is absent from
-    /// both memory and disk, or if the cache is valid for a different
-    /// prefix.
+    /// both memory and disk, corrupt on disk, or the cache is valid for a
+    /// different prefix. A corrupt entry is quarantined so the subsequent
+    /// recompute refills it — corruption degrades to a miss, never an
+    /// error.
     pub fn get_batch(&mut self, ids: &[u64], prefix: usize) -> Result<Option<Tensor>> {
         if self.valid_prefix != Some(prefix) {
             self.stats.misses += 1;
@@ -168,14 +248,19 @@ impl ActivationCache {
                 parts.push(t.clone());
                 continue;
             }
-            let path = self.path_of(id);
-            match fs::read(&path) {
-                Ok(bytes) => {
-                    let t = serialize::from_bytes(&bytes)?;
-                    self.stats.disk_reads += 1;
-                    parts.push(t);
-                }
-                Err(_) => {
+            match self.read_entry(id) {
+                Some(bytes) => match serialize::from_bytes(&bytes) {
+                    Ok(t) => {
+                        self.stats.disk_reads += 1;
+                        parts.push(t);
+                    }
+                    Err(_) => {
+                        self.quarantine(id);
+                        self.stats.misses += 1;
+                        return Ok(None);
+                    }
+                },
+                None => {
                     self.stats.misses += 1;
                     return Ok(None);
                 }
@@ -343,5 +428,79 @@ mod tests {
         let mut c = ActivationCache::new(tmp_dir("shape"), 2).unwrap();
         let act = Tensor::ones(&[2, 2]);
         assert!(c.put_batch(&[1], &act, 0).is_err());
+    }
+
+    #[test]
+    fn corrupt_disk_entry_degrades_to_miss_and_recompute() {
+        let mut c = ActivationCache::new(tmp_dir("corrupt"), 1).unwrap();
+        let act = Tensor::ones(&[1, 4]);
+        c.put_batch(&[5], &act, 0).unwrap();
+        // Evict from memory so the next get goes to disk.
+        c.put_batch(&[6], &act, 0).unwrap();
+        // Flip a byte of the on-disk entry.
+        let path = c.path_of(5);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        // Corruption is detected, the entry quarantined, and the lookup is
+        // a plain miss (Ok(None)), not an error.
+        let got = c.get_batch(&[5], 0).unwrap();
+        assert!(got.is_none());
+        assert_eq!(c.stats().corrupt_entries, 1);
+        assert!(c.stats().degraded());
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        // Refill (the trainer's recompute) and read back cleanly.
+        c.put_batch(&[5], &act, 0).unwrap();
+        assert!(c.get_batch(&[5], 0).unwrap().is_some());
+    }
+
+    #[test]
+    fn injected_read_corruption_degrades_to_miss() {
+        let mut c = ActivationCache::new(tmp_dir("faultread"), 1).unwrap();
+        let faults = FaultInjector::new();
+        faults.arm(FaultSite::CacheRead, 0, 1, FaultAction::CorruptBytes);
+        c.set_faults(Some(faults.clone()));
+        let act = Tensor::ones(&[1, 4]);
+        c.put_batch(&[1], &act, 0).unwrap();
+        c.put_batch(&[2], &act, 0).unwrap(); // evict 1 from memory
+        assert!(c.get_batch(&[1], 0).unwrap().is_none());
+        assert_eq!(c.stats().corrupt_entries, 1);
+        assert_eq!(faults.injected(FaultSite::CacheRead), 1);
+        // Fault window exhausted: refill and the cache works again.
+        c.put_batch(&[1], &act, 0).unwrap();
+        assert!(c.get_batch(&[1], 0).unwrap().is_some());
+    }
+
+    #[test]
+    fn write_failure_keeps_training_alive_via_memory() {
+        let mut c = ActivationCache::new(tmp_dir("faultwrite"), 2).unwrap();
+        let faults = FaultInjector::new();
+        // Every write fails: the disk is "full" for the whole test.
+        faults.arm(FaultSite::CacheWrite, 0, usize::MAX, FaultAction::Fail);
+        c.set_faults(Some(faults));
+        let act = Tensor::ones(&[1, 4]);
+        c.put_batch(&[1], &act, 0).unwrap(); // Ok despite the dead disk
+        assert!(c.stats().write_errors >= 1);
+        // Memory-resident entry still serves hits.
+        assert!(c.get_batch(&[1], 0).unwrap().is_some());
+        // After eviction the entry is gone (never reached disk): a miss,
+        // not an error.
+        c.put_batch(&[2], &act, 0).unwrap();
+        c.put_batch(&[3], &act, 0).unwrap();
+        assert!(c.get_batch(&[1], 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn prefetch_skips_corrupt_entries() {
+        let mut c = ActivationCache::new(tmp_dir("prefetchcorrupt"), 1).unwrap();
+        let act = Tensor::ones(&[1, 4]);
+        c.put_batch(&[1], &act, 0).unwrap();
+        c.put_batch(&[2], &act, 0).unwrap();
+        c.put_batch(&[3], &act, 0).unwrap(); // evict 1 and 2 from memory
+        fs::write(c.path_of(1), b"garbage").unwrap();
+        let loaded = c.prefetch(&[1, 2]).unwrap();
+        assert_eq!(loaded, 1, "only the intact entry loads");
+        assert_eq!(c.stats().corrupt_entries, 1);
     }
 }

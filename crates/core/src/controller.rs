@@ -9,13 +9,15 @@
 //! worker on a decision channel. All three queues are
 //! single-producer/single-consumer, exactly as in Figure 6.
 
+use crate::faults::{FaultInjector, FaultSite};
 use crate::reference::ReferenceManager;
 use egeria_analysis::sp_loss;
 use egeria_models::{Batch, Model};
 use egeria_tensor::Tensor;
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A plasticity evaluation request (what goes into IQ).
 struct EvalRequest {
@@ -62,9 +64,13 @@ pub fn system_load_probe() -> LoadProbe {
 }
 
 /// The worker-side handle to the controller thread.
+///
+/// The senders are `Option` so [`Drop`] can close the queues explicitly:
+/// once both are dropped, every `recv` on the controller thread errors out
+/// and the loop exits even if the command queue was full.
 pub struct AsyncController {
-    cmd_tx: Sender<Command>,
-    toq_tx: Sender<(u64, Tensor)>,
+    cmd_tx: Option<Sender<Command>>,
+    toq_tx: Option<Sender<(u64, Tensor)>>,
     result_rx: Receiver<PlasticityResult>,
     handle: Option<JoinHandle<()>>,
     next_eval: u64,
@@ -75,7 +81,20 @@ impl AsyncController {
     ///
     /// `gate` is the CPU-load fraction above which reference execution is
     /// skipped (§4.1.2 uses 50%); `probe` supplies the load reading.
-    pub fn spawn(mut reference: ReferenceManager, gate: f32, probe: LoadProbe) -> Self {
+    pub fn spawn(reference: ReferenceManager, gate: f32, probe: LoadProbe) -> Self {
+        Self::spawn_with_faults(reference, gate, probe, None)
+    }
+
+    /// [`AsyncController::spawn`] with an attached fault injector: an armed
+    /// [`FaultSite::ControllerEval`] kills the controller thread mid-eval
+    /// (before any result is sent), the way a panic in the reference
+    /// forward would.
+    pub fn spawn_with_faults(
+        mut reference: ReferenceManager,
+        gate: f32,
+        probe: LoadProbe,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self {
         let (cmd_tx, cmd_rx) = bounded::<Command>(32);
         let (toq_tx, toq_rx) = bounded::<(u64, Tensor)>(32);
         // ROQ lives entirely on the controller thread but is a real queue
@@ -90,6 +109,16 @@ impl AsyncController {
                         let _ = reference.generate(snapshot.as_ref());
                     }
                     Command::Eval(req) => {
+                        if faults
+                            .as_ref()
+                            .map(|f| f.should_fail(FaultSite::ControllerEval))
+                            .unwrap_or(false)
+                        {
+                            // Simulated controller crash: die mid-eval
+                            // without replying. The worker-side watchdog
+                            // must notice and respawn.
+                            return;
+                        }
                         // (2a) Reference forward, gated on CPU load.
                         if probe() > gate {
                             let _ = result_tx.send(PlasticityResult {
@@ -133,12 +162,21 @@ impl AsyncController {
             }
         });
         AsyncController {
-            cmd_tx,
-            toq_tx,
+            cmd_tx: Some(cmd_tx),
+            toq_tx: Some(toq_tx),
             result_rx,
             handle: Some(handle),
             next_eval: 0,
         }
+    }
+
+    /// Whether the controller thread is still running. `false` after the
+    /// thread died (panic, injected fault) — the worker should respawn.
+    pub fn is_alive(&self) -> bool {
+        self.handle
+            .as_ref()
+            .map(|h| !h.is_finished())
+            .unwrap_or(false)
     }
 
     /// Submits a plasticity evaluation: the batch goes to IQ, the hooked
@@ -146,35 +184,39 @@ impl AsyncController {
     /// queues are full (the evaluation is skipped rather than blocking
     /// training).
     pub fn submit(&mut self, batch: Batch, module: usize, train_act: Tensor) -> Option<u64> {
+        if !self.is_alive() {
+            return None; // Dead thread: nothing will drain the queues.
+        }
         let eval_id = self.next_eval;
         let req = Command::Eval(EvalRequest {
             eval_id,
             module,
             batch,
         });
-        if self.cmd_tx.try_send(req).is_err() {
+        if self.cmd_tx.as_ref()?.try_send(req).is_err() {
             return None;
         }
         // TOQ capacity matches IQ, so this send succeeds whenever the IQ
         // send did; a full TOQ here would desynchronize pairing, so block.
-        let _ = self.toq_tx.send((eval_id, train_act));
+        if let Some(toq) = &self.toq_tx {
+            let _ = toq.send((eval_id, train_act));
+        }
         self.next_eval += 1;
         Some(eval_id)
     }
 
     /// Ships a fresh training snapshot for reference regeneration.
     pub fn update_reference(&self, snapshot: Box<dyn Model>) {
-        let _ = self.cmd_tx.send(Command::UpdateReference(snapshot));
+        if let Some(tx) = &self.cmd_tx {
+            let _ = tx.try_send(Command::UpdateReference(snapshot));
+        }
     }
 
     /// Drains all completed plasticity results without blocking.
     pub fn poll_results(&self) -> Vec<PlasticityResult> {
         let mut out = Vec::new();
-        loop {
-            match self.result_rx.try_recv() {
-                Ok(r) => out.push(r),
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        while let Ok(r) = self.result_rx.try_recv() {
+            out.push(r);
         }
         out
     }
@@ -192,10 +234,29 @@ impl AsyncController {
 }
 
 impl Drop for AsyncController {
+    /// Bounded shutdown: never hangs, even if the controller thread is
+    /// stuck or already dead with full queues.
     fn drop(&mut self) {
-        let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(tx) = &self.cmd_tx {
+            // Best effort; a full queue is fine because closing the
+            // channels below also terminates the loop.
+            let _ = tx.try_send(Command::Shutdown);
+        }
+        // Close IQ and TOQ so every blocked `recv` on the controller thread
+        // errors out instead of waiting forever.
+        self.cmd_tx = None;
+        self.toq_tx = None;
         if let Some(h) = self.handle.take() {
-            let _ = h.join();
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while !h.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                // Detach rather than deadlock the training process.
+                eprintln!("egeria: controller thread unresponsive at shutdown; detaching");
+            }
         }
     }
 }
@@ -246,7 +307,7 @@ mod tests {
         let r = ctrl.wait_for(id).unwrap();
         let v = r.value.expect("evaluation must succeed when idle");
         // Int8 reference on the same weights: small but positive SP loss.
-        assert!(v >= 0.0 && v < 1.0, "plasticity {v}");
+        assert!((0.0..1.0).contains(&v), "plasticity {v}");
     }
 
     #[test]
@@ -304,5 +365,45 @@ mod tests {
         let probe = system_load_probe();
         let v = probe();
         assert!(v.is_finite() && v >= 0.0);
+    }
+
+    #[test]
+    fn dropping_mid_eval_does_not_hang() {
+        // Regression: the old Drop did a blocking send + unconditional
+        // join, which could deadlock with in-flight evaluations. Queue up
+        // work and drop immediately without draining any result.
+        let (mut model, batch) = setup();
+        let mut refmgr = ReferenceManager::new(&EgeriaConfig::default());
+        refmgr.generate(model.as_ref()).unwrap();
+        let mut ctrl = AsyncController::spawn(refmgr, 0.5, always_idle());
+        let act = model.capture_activation(&batch, 0).unwrap();
+        for _ in 0..8 {
+            let _ = ctrl.submit(batch.clone(), 0, act.clone());
+        }
+        drop(ctrl); // Must return promptly (bounded wait, then detach).
+    }
+
+    #[test]
+    fn injected_fault_kills_thread_and_is_detected() {
+        let (mut model, batch) = setup();
+        let mut refmgr = ReferenceManager::new(&EgeriaConfig::default());
+        refmgr.generate(model.as_ref()).unwrap();
+        let faults = FaultInjector::new();
+        faults.arm(FaultSite::ControllerEval, 0, 1, crate::faults::FaultAction::Fail);
+        let mut ctrl =
+            AsyncController::spawn_with_faults(refmgr, 0.5, always_idle(), Some(faults.clone()));
+        assert!(ctrl.is_alive());
+        let act = model.capture_activation(&batch, 0).unwrap();
+        ctrl.submit(batch.clone(), 0, act.clone()).unwrap();
+        // The thread dies without replying; wait for it to wind down.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ctrl.is_alive() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!ctrl.is_alive(), "controller must die on the injected fault");
+        assert_eq!(faults.injected(FaultSite::ControllerEval), 1);
+        // Submitting to a dead controller degrades to a skipped eval.
+        assert!(ctrl.submit(batch, 0, act).is_none());
+        drop(ctrl); // Still must not hang.
     }
 }

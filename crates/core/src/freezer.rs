@@ -5,8 +5,27 @@
 //! the learning-rate-annealing unfreeze with relaxed refreeze criteria.
 
 use crate::config::{EgeriaConfig, UnfreezePolicy};
-use crate::plasticity::{PlasticityObservation, PlasticityTracker};
+use crate::plasticity::{PlasticityObservation, PlasticityTracker, TrackerSnapshot};
 use egeria_tensor::{Result, Tensor};
+
+/// The complete persistent state of a [`FreezingEngine`], exposed for
+/// checkpointing. Restoring it (against the same config) reproduces the
+/// engine's future freeze/unfreeze decisions exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreezerSnapshot {
+    /// Frontmost active module (frozen-prefix length).
+    pub front: usize,
+    /// LR recorded when the current freeze run started.
+    pub lr_at_first_freeze: Option<f32>,
+    /// Whether refreeze criteria are relaxed.
+    pub relaxed: bool,
+    /// Total evaluations folded so far.
+    pub evaluations: usize,
+    /// Event history `(evaluation index, event)`.
+    pub events: Vec<(usize, FreezeEvent)>,
+    /// Per-module tracker states, in module order.
+    pub trackers: Vec<TrackerSnapshot>,
+}
 
 /// A freezing decision produced by one plasticity evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,6 +169,41 @@ impl FreezingEngine {
     /// Whether refreeze criteria are currently relaxed.
     pub fn is_relaxed(&self) -> bool {
         self.relaxed
+    }
+
+    /// Serializable view of the engine for checkpointing.
+    pub fn snapshot(&self) -> FreezerSnapshot {
+        FreezerSnapshot {
+            front: self.front,
+            lr_at_first_freeze: self.lr_at_first_freeze,
+            relaxed: self.relaxed,
+            evaluations: self.evaluations,
+            events: self.events.clone(),
+            trackers: self.trackers.iter().map(|t| t.snapshot()).collect(),
+        }
+    }
+
+    /// Restores a previously snapshotted state into this engine.
+    ///
+    /// The engine must have been built for the same module count (and the
+    /// same config, though only the tracker criteria embedded in the
+    /// snapshot are actually consulted afterwards).
+    pub fn restore(&mut self, s: &FreezerSnapshot) -> Result<()> {
+        if s.trackers.len() != self.num_modules || s.front > self.num_modules {
+            return Err(egeria_tensor::TensorError::Corrupt(format!(
+                "freezer snapshot covers {} modules (front {}), engine has {}",
+                s.trackers.len(),
+                s.front,
+                self.num_modules
+            )));
+        }
+        self.front = s.front;
+        self.lr_at_first_freeze = s.lr_at_first_freeze;
+        self.relaxed = s.relaxed;
+        self.evaluations = s.evaluations;
+        self.events = s.events.clone();
+        self.trackers = s.trackers.iter().map(PlasticityTracker::from_snapshot).collect();
+        Ok(())
     }
 }
 

@@ -30,14 +30,18 @@ pub mod api;
 pub mod baselines;
 pub mod bootstrap;
 pub mod cache;
+pub mod checkpoint;
 pub mod config;
 pub mod controller;
 pub mod distributed;
+pub mod faults;
 pub mod freezer;
 pub mod plasticity;
 pub mod reference;
 pub mod trainer;
 
 pub use api::{EgeriaController, EgeriaModule};
+pub use checkpoint::{CheckpointOptions, CheckpointStore, TrainerCheckpoint};
 pub use config::EgeriaConfig;
+pub use faults::{FaultAction, FaultInjector, FaultSite};
 pub use trainer::{EgeriaTrainer, TrainReport};

@@ -21,6 +21,25 @@ pub struct PlasticityObservation {
     pub converged: bool,
 }
 
+/// The complete persistent state of a [`PlasticityTracker`], exposed for
+/// checkpointing. Restoring it reproduces the tracker's future decisions
+/// exactly (the histories, stale counter and criteria are its only state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackerSnapshot {
+    /// Raw SP-loss history.
+    pub raw: Vec<f32>,
+    /// Smoothed (Equation 2) history.
+    pub smoothed: Vec<f32>,
+    /// Consecutive sub-tolerance evaluations so far.
+    pub stale: usize,
+    /// Current window `W`.
+    pub w: usize,
+    /// Current stale threshold `S`.
+    pub s: usize,
+    /// Slope tolerance `T`.
+    pub t: f32,
+}
+
 /// Plasticity history of one layer module.
 #[derive(Debug, Clone)]
 pub struct PlasticityTracker {
@@ -66,18 +85,15 @@ impl PlasticityTracker {
         // of magnitude (the paper re-tunes an absolute T per task
         // instead).
         let std = window_std(&self.raw, self.w);
-        match (slope, std) {
-            (Some(sl), Some(sd)) => {
-                let span = self.w.min(self.smoothed.len()).saturating_sub(1) as f32;
-                // A hard zero std means a perfectly flat (converged) curve.
-                let stationary = sl.abs() * span <= self.t * sd.max(f32::EPSILON);
-                if stationary {
-                    self.stale += 1;
-                } else {
-                    self.stale = 0;
-                }
+        if let (Some(sl), Some(sd)) = (slope, std) {
+            let span = self.w.min(self.smoothed.len()).saturating_sub(1) as f32;
+            // A hard zero std means a perfectly flat (converged) curve.
+            let stationary = sl.abs() * span <= self.t * sd.max(f32::EPSILON);
+            if stationary {
+                self.stale += 1;
+            } else {
+                self.stale = 0;
             }
-            _ => {}
         }
         Ok(PlasticityObservation {
             raw: p,
@@ -103,6 +119,30 @@ impl PlasticityTracker {
     /// The smoothed plasticity history (`pList` in Algorithm 1).
     pub fn smoothed_history(&self) -> &[f32] {
         &self.smoothed
+    }
+
+    /// Serializable view of the tracker for checkpointing.
+    pub fn snapshot(&self) -> TrackerSnapshot {
+        TrackerSnapshot {
+            raw: self.raw.clone(),
+            smoothed: self.smoothed.clone(),
+            stale: self.stale,
+            w: self.w,
+            s: self.s,
+            t: self.t,
+        }
+    }
+
+    /// Rebuilds a tracker from a [`TrackerSnapshot`].
+    pub fn from_snapshot(s: &TrackerSnapshot) -> Self {
+        PlasticityTracker {
+            raw: s.raw.clone(),
+            smoothed: s.smoothed.clone(),
+            stale: s.stale,
+            w: s.w.max(1),
+            s: s.s.max(1),
+            t: s.t,
+        }
     }
 
     /// Resets the stale counter and (optionally) relaxes the window for

@@ -84,6 +84,103 @@ impl ReferenceManager {
     pub fn stats(&self) -> ReferenceStats {
         self.stats
     }
+
+    /// Exports the reference model's weights for checkpointing: parameter
+    /// values keyed by name plus the positional non-parameter state
+    /// buffers. `None` when no reference has been generated yet.
+    ///
+    /// The reference produced by [`quantize_reference`] is fake-quantized
+    /// (f32 storage carrying the rounding error), so these tensors capture
+    /// it exactly.
+    pub fn export_reference(&self) -> Option<ReferenceSnapshot> {
+        let r = self.reference.as_deref()?;
+        Some(ReferenceSnapshot {
+            params: r
+                .params()
+                .iter()
+                .map(|p| (p.name.clone(), p.value.clone()))
+                .collect(),
+            state_buffers: r.state_buffers().iter().map(|t| (*t).clone()).collect(),
+        })
+    }
+
+    /// Rebuilds the reference from an exported snapshot, using `template`
+    /// (the training model) only for its architecture.
+    ///
+    /// This restores the *exact* reference that was active when the
+    /// checkpoint was taken, which is what makes sync-mode resume
+    /// trajectories match uninterrupted runs.
+    pub fn restore_reference(
+        &mut self,
+        template: &dyn Model,
+        snapshot: &ReferenceSnapshot,
+    ) -> Result<()> {
+        let mut r = template.clone_boxed();
+        {
+            let mut params = r.params_mut();
+            if params.len() != snapshot.params.len() {
+                return Err(TensorError::Corrupt(format!(
+                    "reference snapshot has {} params, model has {}",
+                    snapshot.params.len(),
+                    params.len()
+                )));
+            }
+            for p in params.iter_mut() {
+                let value = snapshot
+                    .params
+                    .iter()
+                    .find(|(n, _)| *n == p.name)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| {
+                        TensorError::Corrupt(format!(
+                            "reference snapshot is missing parameter {:?}",
+                            p.name
+                        ))
+                    })?;
+                if value.dims() != p.value.dims() {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "restore_reference",
+                        lhs: p.value.dims().to_vec(),
+                        rhs: value.dims().to_vec(),
+                    });
+                }
+                p.value = value.clone();
+            }
+        }
+        {
+            let mut bufs = r.state_buffers_mut();
+            if bufs.len() != snapshot.state_buffers.len() {
+                return Err(TensorError::Corrupt(format!(
+                    "reference snapshot has {} state buffers, model has {}",
+                    snapshot.state_buffers.len(),
+                    bufs.len()
+                )));
+            }
+            for (dst, src) in bufs.iter_mut().zip(snapshot.state_buffers.iter()) {
+                if src.dims() != dst.dims() {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "restore_reference",
+                        lhs: dst.dims().to_vec(),
+                        rhs: src.dims().to_vec(),
+                    });
+                }
+                **dst = src.clone();
+            }
+        }
+        r.unfreeze_all();
+        self.reference = Some(r);
+        Ok(())
+    }
+}
+
+/// An exported reference model: parameter values by name plus positional
+/// state buffers (BatchNorm running statistics).
+#[derive(Debug, Clone)]
+pub struct ReferenceSnapshot {
+    /// Parameter values keyed by parameter name.
+    pub params: Vec<(String, Tensor)>,
+    /// Non-parameter state buffers in architecture order.
+    pub state_buffers: Vec<Tensor>,
 }
 
 #[cfg(test)]

@@ -11,17 +11,20 @@
 
 use crate::bootstrap::BootstrapMonitor;
 use crate::cache::{ActivationCache, CacheStats};
+use crate::checkpoint::{CheckpointOptions, CheckpointStore, TrainerCheckpoint};
 use crate::config::{ControllerMode, EgeriaConfig, UnfreezePolicy};
 use crate::controller::{system_load_probe, AsyncController};
+use crate::faults::{FaultInjector, FaultSite};
 use crate::freezer::{FreezeEvent, FreezingEngine};
 use crate::reference::{ReferenceManager, ReferenceStats};
 use egeria_data::{DataLoader, Dataset};
 use egeria_models::Model;
-use egeria_nn::optim::{Adam, Sgd};
+use egeria_nn::optim::{Adam, OptimizerState, Sgd};
 use egeria_nn::sched::LrSchedule;
 use egeria_tensor::{Result, TensorError};
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The optimizer driving parameter updates.
@@ -48,6 +51,22 @@ impl Optimizer {
             Optimizer::Adam(o) => o.step(params),
         }
     }
+
+    /// Snapshots the optimizer state for checkpointing.
+    pub fn export_state(&self, params: &[&egeria_nn::Parameter]) -> OptimizerState {
+        match self {
+            Optimizer::Sgd(o) => o.export_state(params),
+            Optimizer::Adam(o) => o.export_state(params),
+        }
+    }
+
+    /// Restores optimizer state from a checkpoint.
+    pub fn load_state(&mut self, state: &OptimizerState, params: &[&egeria_nn::Parameter]) -> Result<()> {
+        match self {
+            Optimizer::Sgd(o) => o.load_state(state, params),
+            Optimizer::Adam(o) => o.load_state(state, params),
+        }
+    }
 }
 
 /// Trainer options beyond model/optimizer/schedule.
@@ -64,6 +83,12 @@ pub struct TrainerOptions {
     pub cache_dir: Option<PathBuf>,
     /// Evaluate on the validation set every this many epochs (1 = every).
     pub eval_every: usize,
+    /// Crash-consistent checkpointing; `None` disables it. When set, the
+    /// trainer auto-resumes from the newest valid checkpoint in the
+    /// directory before the first epoch.
+    pub checkpoint: Option<CheckpointOptions>,
+    /// Fault injector for robustness tests; `None` in production.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for TrainerOptions {
@@ -74,6 +99,8 @@ impl Default for TrainerOptions {
             lr_per_iteration: false,
             cache_dir: None,
             eval_every: 1,
+            checkpoint: None,
+            faults: None,
         }
     }
 }
@@ -159,6 +186,12 @@ pub struct TrainReport {
     /// Total bytes of input data materialized (for the cache-storage-ratio
     /// report).
     pub input_bytes: u64,
+    /// Times a dead async-controller thread was detected and respawned.
+    pub controller_restarts: usize,
+    /// Checkpoint saves that failed (training continued without them).
+    pub checkpoint_save_errors: usize,
+    /// The epoch training resumed from, if a checkpoint was loaded.
+    pub resumed_from_epoch: Option<usize>,
 }
 
 /// The training harness.
@@ -230,10 +263,39 @@ impl EgeriaTrainer {
             }
             _ => None,
         };
+        let faults = self.options.faults.clone();
+        if let Some(c) = cache.as_mut() {
+            c.set_faults(faults.clone());
+        }
 
         let mut global_step = 0usize;
         let mut evals_since_ref_update = 0usize;
-        for epoch in 0..self.options.epochs {
+
+        // Crash consistency: open the checkpoint store and resume from the
+        // newest valid checkpoint before the first epoch.
+        let mut store = match &self.options.checkpoint {
+            Some(opts) => Some(
+                CheckpointStore::open(&opts.dir, opts.keep)?.with_faults(faults.clone()),
+            ),
+            None => None,
+        };
+        let mut start_epoch = 0usize;
+        if let Some(s) = store.as_ref() {
+            if let Some(ckpt) = s.load_latest() {
+                start_epoch = self.resume_from(
+                    &ckpt,
+                    &mut bootstrap,
+                    &mut freezer,
+                    &mut refmgr,
+                    &mut async_ctrl,
+                    &mut report,
+                    &mut global_step,
+                    &mut evals_since_ref_update,
+                )?;
+            }
+        }
+
+        for epoch in start_epoch..self.options.epochs {
             let plans = loader.epoch_plan(epoch);
             let mut epoch_loss = 0.0f64;
             let mut epoch_batches = 0usize;
@@ -243,6 +305,15 @@ impl EgeriaTrainer {
                 epoch
             });
             for plan in &plans {
+                // Simulated mid-epoch crash (robustness tests): abort the
+                // run exactly here, before any state for this step exists.
+                if let Some(f) = &faults {
+                    if f.should_fail(FaultSite::TrainStep) {
+                        return Err(TensorError::Io(
+                            "injected crash: training aborted mid-epoch".into(),
+                        ));
+                    }
+                }
                 let lr = self.schedule.lr(if self.options.lr_per_iteration {
                     global_step
                 } else {
@@ -252,6 +323,28 @@ impl EgeriaTrainer {
                 let batch = train.materialize(&plan.indices)?;
                 report.input_bytes += batch_input_bytes(&batch);
                 let prefix = self.model.frozen_prefix();
+
+                // Watchdog: a dead controller thread (panic or injected
+                // fault) is detected here and respawned with a fresh
+                // reference generated from the current weights. In-flight
+                // evaluations are lost — a skipped eval, not an error.
+                if async_ctrl.as_ref().map(|c| !c.is_alive()).unwrap_or(false) {
+                    if let Some(cfg) = egeria_cfg.as_ref() {
+                        eprintln!(
+                            "egeria: controller thread died; respawning with a fresh reference"
+                        );
+                        let mut rm = ReferenceManager::new(cfg);
+                        rm.generate(self.model.as_ref())?;
+                        async_ctrl = Some(AsyncController::spawn_with_faults(
+                            rm,
+                            cfg.cpu_load_gate,
+                            system_load_probe(),
+                            faults.clone(),
+                        ));
+                        report.controller_restarts += 1;
+                        evals_since_ref_update = 0;
+                    }
+                }
 
                 // Drain async plasticity results first so decisions apply
                 // promptly.
@@ -274,13 +367,17 @@ impl EgeriaTrainer {
                 let reference_available = refmgr.as_ref().map(|r| r.is_ready()).unwrap_or(false)
                     || async_ctrl.is_some();
                 let do_eval = egeria_cfg
-                    .map(|c| bootstrap_done && global_step % c.n == 0)
+                    .map(|c| bootstrap_done && global_step.is_multiple_of(c.n))
                     .unwrap_or(false)
                     && reference_available;
 
                 let mut fp_cached = false;
-                let step_result = if do_eval {
-                    let front = freezer.as_ref().expect("egeria on").front();
+                let eval_front = if do_eval {
+                    freezer.as_ref().map(|f| f.front())
+                } else {
+                    None
+                };
+                let step_result = if let Some(front) = eval_front {
                     let r = self.model.train_step(&batch, Some(front))?;
                     let a_train = r.captured.clone().ok_or_else(|| {
                         TensorError::Numerical("capture hook returned nothing".into())
@@ -291,30 +388,33 @@ impl EgeriaTrainer {
                         }
                         (None, Some(rm)) => {
                             let a_ref = rm.capture(&batch, front)?;
-                            let fr = freezer.as_mut().expect("egeria on");
-                            let (obs, event) = fr.observe(&a_train, &a_ref, lr)?;
-                            if let Some(o) = &obs {
-                                record_plasticity(&mut report, global_step, front, o.raw, obs);
-                            }
-                            self.apply_event(event, &mut cache)?;
-                            record_event(&mut report, global_step, event, self.model.frozen_prefix());
-                            evals_since_ref_update += 1;
-                            let cfg = egeria_cfg.expect("egeria on");
-                            if cfg.reference_update_every > 0
-                                && evals_since_ref_update >= cfg.reference_update_every
+                            if let (Some(fr), Some(cfg)) =
+                                (freezer.as_mut(), egeria_cfg.as_ref())
                             {
-                                rm.generate(self.model.as_ref())?;
-                                evals_since_ref_update = 0;
+                                let (obs, event) = fr.observe(&a_train, &a_ref, lr)?;
+                                if let Some(o) = &obs {
+                                    record_plasticity(&mut report, global_step, front, o.raw, obs);
+                                }
+                                self.apply_event(event, &mut cache)?;
+                                record_event(&mut report, global_step, event, self.model.frozen_prefix());
+                                evals_since_ref_update += 1;
+                                if cfg.reference_update_every > 0
+                                    && evals_since_ref_update >= cfg.reference_update_every
+                                {
+                                    rm.generate(self.model.as_ref())?;
+                                    evals_since_ref_update = 0;
+                                }
                             }
                         }
                         _ => {}
                     }
                     r
-                } else if prefix > 0
-                    && egeria_cfg.map(|c| c.cache_fp).unwrap_or(false)
-                    && self.model.supports_cached_fp(prefix)
-                {
-                    let c = cache.as_mut().expect("cache on");
+                } else if let (true, Some(c)) = (
+                    prefix > 0
+                        && egeria_cfg.map(|c| c.cache_fp).unwrap_or(false)
+                        && self.model.supports_cached_fp(prefix),
+                    cache.as_mut(),
+                ) {
                     match c.get_batch(&batch.sample_ids, prefix)? {
                         Some(act) => {
                             fp_cached = true;
@@ -336,17 +436,18 @@ impl EgeriaTrainer {
 
                 // Bootstrap monitoring happens at the same n-interval.
                 if let (Some(b), Some(c)) = (bootstrap.as_mut(), egeria_cfg.as_ref()) {
-                    if !b.is_done() && global_step % c.n == 0 && b.observe(step_result.loss) {
+                    if !b.is_done() && global_step.is_multiple_of(c.n) && b.observe(step_result.loss) {
                         // Critical period over: generate the reference.
                         if let Some(rm) = refmgr.as_mut() {
                             rm.generate(self.model.as_ref())?;
                         }
                         if c.controller == ControllerMode::Async {
                             if let Some(rm_owned) = refmgr.take() {
-                                async_ctrl = Some(AsyncController::spawn(
+                                async_ctrl = Some(AsyncController::spawn_with_faults(
                                     rm_owned,
                                     c.cpu_load_gate,
                                     system_load_probe(),
+                                    faults.clone(),
                                 ));
                             }
                         }
@@ -392,6 +493,33 @@ impl EgeriaTrainer {
                 frozen_prefix: self.model.frozen_prefix(),
                 active_param_fraction: self.model.active_param_fraction(),
             });
+
+            // Epoch-boundary checkpoint. A failed save is a logged
+            // degradation, never a training failure.
+            if let Some(s) = store.as_mut() {
+                let every = self
+                    .options
+                    .checkpoint
+                    .as_ref()
+                    .map(|o| o.every.max(1))
+                    .unwrap_or(1);
+                if (epoch + 1) % every == 0 || epoch + 1 == self.options.epochs {
+                    let ckpt = self.build_checkpoint(
+                        epoch + 1,
+                        global_step,
+                        evals_since_ref_update,
+                        &bootstrap,
+                        &freezer,
+                        &refmgr,
+                        &report,
+                    );
+                    if let Err(e) = s.save(&ckpt) {
+                        eprintln!("egeria: checkpoint save failed at epoch {epoch}: {e}");
+                        s.save_errors += 1;
+                        report.checkpoint_save_errors += 1;
+                    }
+                }
+            }
         }
         if let Some(c) = cache {
             report.cache_stats = c.stats();
@@ -425,6 +553,186 @@ impl EgeriaTrainer {
                 Ok(())
             }
         }
+    }
+
+    /// Assembles the complete persistent state at an epoch boundary.
+    ///
+    /// In async mode the reference lives on the controller thread, so
+    /// `reference` is `None` and resume regenerates it from the restored
+    /// weights (async decisions are load-dependent and nondeterministic
+    /// anyway; sync mode restores the exact reference for exact replay).
+    #[allow(clippy::too_many_arguments)]
+    fn build_checkpoint(
+        &self,
+        next_epoch: usize,
+        global_step: usize,
+        evals_since_ref_update: usize,
+        bootstrap: &Option<BootstrapMonitor>,
+        freezer: &Option<FreezingEngine>,
+        refmgr: &Option<ReferenceManager>,
+        report: &TrainReport,
+    ) -> TrainerCheckpoint {
+        let params = self.model.params();
+        let optimizer = self.optimizer.export_state(&params);
+        TrainerCheckpoint {
+            model_name: self.model.name().to_string(),
+            next_epoch: next_epoch as u64,
+            global_step: global_step as u64,
+            evals_since_ref_update: evals_since_ref_update as u64,
+            frozen_prefix: self.model.frozen_prefix() as u64,
+            params: params
+                .iter()
+                .map(|p| (p.name.clone(), p.value.clone()))
+                .collect(),
+            state_buffers: self
+                .model
+                .state_buffers()
+                .iter()
+                .map(|t| (*t).clone())
+                .collect(),
+            optimizer,
+            freezer: freezer.as_ref().map(|f| f.snapshot()),
+            bootstrap: bootstrap.as_ref().map(|b| b.snapshot()),
+            reference: refmgr.as_ref().and_then(|rm| rm.export_reference()),
+            epochs: report.epochs.clone(),
+            iterations: report.iterations.clone(),
+            plasticity: report.plasticity.clone(),
+            events: report.events.clone(),
+            input_bytes: report.input_bytes,
+        }
+    }
+
+    /// Restores trainer state from a loaded checkpoint; returns the epoch
+    /// to continue from.
+    #[allow(clippy::too_many_arguments)]
+    fn resume_from(
+        &mut self,
+        ckpt: &TrainerCheckpoint,
+        bootstrap: &mut Option<BootstrapMonitor>,
+        freezer: &mut Option<FreezingEngine>,
+        refmgr: &mut Option<ReferenceManager>,
+        async_ctrl: &mut Option<AsyncController>,
+        report: &mut TrainReport,
+        global_step: &mut usize,
+        evals_since_ref_update: &mut usize,
+    ) -> Result<usize> {
+        if ckpt.model_name != self.model.name() {
+            return Err(TensorError::Corrupt(format!(
+                "checkpoint is for model {:?}, trainer has {:?}",
+                ckpt.model_name,
+                self.model.name()
+            )));
+        }
+        // Model parameters, by name.
+        {
+            let mut params = self.model.params_mut();
+            if params.len() != ckpt.params.len() {
+                return Err(TensorError::Corrupt(format!(
+                    "checkpoint has {} params, model has {}",
+                    ckpt.params.len(),
+                    params.len()
+                )));
+            }
+            for p in params.iter_mut() {
+                let value = ckpt
+                    .params
+                    .iter()
+                    .find(|(n, _)| *n == p.name)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| {
+                        TensorError::Corrupt(format!(
+                            "checkpoint is missing parameter {:?}",
+                            p.name
+                        ))
+                    })?;
+                if value.dims() != p.value.dims() {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "resume",
+                        lhs: p.value.dims().to_vec(),
+                        rhs: value.dims().to_vec(),
+                    });
+                }
+                p.value = value.clone();
+            }
+        }
+        // Non-parameter state (BatchNorm running statistics), positional.
+        {
+            let mut bufs = self.model.state_buffers_mut();
+            if bufs.len() != ckpt.state_buffers.len() {
+                return Err(TensorError::Corrupt(format!(
+                    "checkpoint has {} state buffers, model has {}",
+                    ckpt.state_buffers.len(),
+                    bufs.len()
+                )));
+            }
+            for (dst, src) in bufs.iter_mut().zip(ckpt.state_buffers.iter()) {
+                if src.dims() != dst.dims() {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "resume",
+                        lhs: dst.dims().to_vec(),
+                        rhs: src.dims().to_vec(),
+                    });
+                }
+                **dst = src.clone();
+            }
+        }
+        self.model.zero_grad();
+        self.model.unfreeze_all();
+        if ckpt.frozen_prefix > 0 {
+            self.model.freeze_prefix(ckpt.frozen_prefix as usize)?;
+        }
+        {
+            let params = self.model.params();
+            self.optimizer.load_state(&ckpt.optimizer, &params)?;
+        }
+        if let (Some(fr), Some(s)) = (freezer.as_mut(), ckpt.freezer.as_ref()) {
+            fr.restore(s)?;
+        }
+        if let (Some(b), Some(s)) = (bootstrap.as_mut(), ckpt.bootstrap.as_ref()) {
+            b.restore(s);
+        }
+        // Reference model. The bootstrap-completion transition that
+        // normally generates the reference (and, in async mode, spawns the
+        // controller) is latched and will never re-fire after restore, so
+        // both are reconstructed here explicitly.
+        let bootstrap_done = bootstrap.as_ref().map(|b| b.is_done()).unwrap_or(false);
+        if let Some(cfg) = self.options.egeria.as_ref() {
+            if bootstrap_done {
+                match cfg.controller {
+                    ControllerMode::Sync => {
+                        if let Some(rm) = refmgr.as_mut() {
+                            match ckpt.reference.as_ref() {
+                                Some(snap) => {
+                                    rm.restore_reference(self.model.as_ref(), snap)?
+                                }
+                                None => rm.generate(self.model.as_ref())?,
+                            }
+                        }
+                    }
+                    ControllerMode::Async => {
+                        if let Some(mut rm) = refmgr.take() {
+                            rm.generate(self.model.as_ref())?;
+                            *async_ctrl = Some(AsyncController::spawn_with_faults(
+                                rm,
+                                cfg.cpu_load_gate,
+                                system_load_probe(),
+                                self.options.faults.clone(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Report accumulators, so the final report covers the whole run.
+        report.epochs = ckpt.epochs.clone();
+        report.iterations = ckpt.iterations.clone();
+        report.plasticity = ckpt.plasticity.clone();
+        report.events = ckpt.events.clone();
+        report.input_bytes = ckpt.input_bytes;
+        report.resumed_from_epoch = Some(ckpt.next_epoch as usize);
+        *global_step = ckpt.global_step as usize;
+        *evals_since_ref_update = ckpt.evals_since_ref_update as usize;
+        Ok(ckpt.next_epoch as usize)
     }
 
     /// Applies a user-defined cyclical unfreeze (the `Custom` policy hook).

@@ -69,6 +69,13 @@ impl DataLoader {
         self.batch_size
     }
 
+    /// Shuffle seed. Together with the epoch index this fully determines
+    /// every batch plan, which is what makes checkpoint/resume exact: a
+    /// resumed run rebuilds the identical plans without any cursor state.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The full, deterministic batch plan of an epoch.
     pub fn epoch_plan(&self, epoch: usize) -> Vec<BatchPlan> {
         let mut rng = Rng::new(self.seed).derive(epoch as u64);

@@ -72,6 +72,8 @@ impl SyntheticQa {
 }
 
 impl Dataset for SyntheticQa {
+    // `cfg.len` is the sequence length; the dataset's length is `samples`.
+    #[allow(clippy::misnamed_getters)]
     fn len(&self) -> usize {
         self.cfg.samples
     }

@@ -127,7 +127,7 @@ mod tests {
         let mut has_obj = false;
         for i in 0..20 {
             let (_, mask) = d.sample(i);
-            has_bg |= mask.iter().any(|&m| m == 0);
+            has_bg |= mask.contains(&0);
             has_obj |= mask.iter().any(|&m| m != 0);
         }
         assert!(has_bg && has_obj);

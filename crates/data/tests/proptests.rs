@@ -85,7 +85,7 @@ proptest! {
         prop_assert_eq!(src.len(), tgt.len());
         let mut seen = std::collections::HashSet::new();
         for &t in &tgt {
-            prop_assert!(t >= 1 && t < 12);
+            prop_assert!((1..12).contains(&t));
             seen.insert(t);
         }
         let _ = seen;

@@ -81,7 +81,7 @@ impl BertQa {
         })
     }
 
-    fn tokens<'a>(batch: &'a Batch) -> Result<&'a [Vec<usize>]> {
+    fn tokens(batch: &Batch) -> Result<&[Vec<usize>]> {
         match &batch.input {
             Input::Tokens(t) => Ok(t),
             _ => Err(TensorError::Numerical("bert needs token input".into())),

@@ -87,6 +87,20 @@ pub trait Model: Send {
     /// All parameters, mutably (optimizer access).
     fn params_mut(&mut self) -> Vec<&mut Parameter>;
 
+    /// Non-parameter state buffers (BatchNorm running statistics) in a
+    /// stable architecture-defined order; empty for models without such
+    /// state. Checkpoints must capture these: frozen BatchNorm layers
+    /// normalize with running statistics even during training, so the
+    /// training trajectory after a resume depends on them.
+    fn state_buffers(&self) -> Vec<&egeria_tensor::Tensor> {
+        Vec::new()
+    }
+
+    /// Mutable view of [`Model::state_buffers`] (checkpoint restore).
+    fn state_buffers_mut(&mut self) -> Vec<&mut egeria_tensor::Tensor> {
+        Vec::new()
+    }
+
     /// Clears gradients.
     fn zero_grad(&mut self);
 

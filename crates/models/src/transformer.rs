@@ -19,6 +19,9 @@ use egeria_nn::norm::LayerNorm;
 use egeria_nn::Parameter;
 use egeria_tensor::{Result, Rng, Tensor, TensorError};
 
+/// Borrowed `(source, target)` token sequences from a seq2seq batch.
+type SeqPair<'a> = (&'a [Vec<usize>], &'a [Vec<usize>]);
+
 /// One post-LN encoder block: self-attention + feed-forward, each with a
 /// residual connection and layer norm.
 pub struct EncoderBlock {
@@ -281,7 +284,7 @@ impl Seq2SeqTransformer {
         })
     }
 
-    fn seq_input<'a>(batch: &'a Batch) -> Result<(&'a [Vec<usize>], &'a [Vec<usize>])> {
+    fn seq_input(batch: &Batch) -> Result<SeqPair<'_>> {
         match &batch.input {
             Input::Seq2Seq { src, tgt } => Ok((src, tgt)),
             _ => Err(TensorError::Numerical("transformer needs seq2seq input".into())),

@@ -242,6 +242,14 @@ impl Model for VisionModel {
         self.net.params_mut()
     }
 
+    fn state_buffers(&self) -> Vec<&Tensor> {
+        self.net.state_buffers()
+    }
+
+    fn state_buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.net.state_buffers_mut()
+    }
+
     fn zero_grad(&mut self) {
         self.net.zero_grad()
     }

@@ -69,7 +69,7 @@ impl MultiHeadAttention {
     ///
     /// Returns an error if `d_model` is not divisible by `heads`.
     pub fn new(name: &str, d_model: usize, heads: usize, causal: bool, rng: &mut Rng) -> Result<Self> {
-        if heads == 0 || d_model % heads != 0 {
+        if heads == 0 || !d_model.is_multiple_of(heads) {
             return Err(TensorError::Numerical(format!(
                 "d_model {d_model} not divisible by heads {heads}"
             )));

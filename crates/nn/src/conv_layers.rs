@@ -23,6 +23,7 @@ impl Conv2d {
     ///
     /// # Panics
     /// Panics if `stride == 0` (a construction-time programmer error).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: &str,
         c_in: usize,
@@ -87,9 +88,9 @@ impl Layer for Conv2d {
                 };
                 let mut gb = vec![0.0f32; c];
                 for ni in 0..n {
-                    for ci in 0..c {
+                    for (ci, g) in gb.iter_mut().enumerate() {
                         let base = (ni * c + ci) * oh * ow;
-                        gb[ci] += grad_out.data()[base..base + oh * ow].iter().sum::<f32>();
+                        *g += grad_out.data()[base..base + oh * ow].iter().sum::<f32>();
                     }
                 }
                 b.accumulate_grad(&Tensor::from_vec(gb, &[c])?)?;

@@ -48,7 +48,7 @@ impl Embedding {
     fn position_encoding(pos: usize, dim: usize, d_model: usize) -> f32 {
         let i = (dim / 2) as f32;
         let angle = pos as f32 / (10_000f32).powf(2.0 * i / d_model as f32);
-        if dim % 2 == 0 {
+        if dim.is_multiple_of(2) {
             angle.sin()
         } else {
             angle.cos()

@@ -246,19 +246,28 @@ impl Network {
         active as f32 / total as f32
     }
 
+    /// All non-parameter state buffers (BatchNorm running statistics) in
+    /// block order.
+    pub fn state_buffers(&self) -> Vec<&Tensor> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.layer.state_buffers())
+            .collect()
+    }
+
+    /// Mutable view of [`Network::state_buffers`].
+    pub fn state_buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.blocks
+            .iter_mut()
+            .flat_map(|b| b.layer.state_buffers_mut())
+            .collect()
+    }
+
     /// Copies non-parameter state (BatchNorm running statistics) from
     /// `other`; architectures must match.
     pub fn copy_running_stats_from(&mut self, other: &Network) -> Result<()> {
-        let src: Vec<&Tensor> = other
-            .blocks
-            .iter()
-            .flat_map(|b| b.layer.state_buffers())
-            .collect();
-        let mut dst: Vec<&mut Tensor> = self
-            .blocks
-            .iter_mut()
-            .flat_map(|b| b.layer.state_buffers_mut())
-            .collect();
+        let src: Vec<&Tensor> = other.state_buffers();
+        let mut dst: Vec<&mut Tensor> = self.state_buffers_mut();
         if src.len() != dst.len() {
             return Err(TensorError::ShapeMismatch {
                 op: "copy_running_stats_from",

@@ -5,8 +5,77 @@
 //! its gradient buckets after a freeze/unfreeze event (§5 of the paper).
 
 use crate::param::Parameter;
-use egeria_tensor::{Result, Tensor};
+use egeria_tensor::{Result, Tensor, TensorError};
 use std::collections::HashMap;
+
+/// Portable snapshot of an optimizer's mutable state.
+///
+/// Per-parameter slots are keyed by parameter *name*, not [`Parameter::id`]:
+/// ids are assigned from a process-local counter, so they differ between the
+/// run that wrote a checkpoint and the run that resumes from it. Names are
+/// stable across process restarts as long as the model is constructed the
+/// same way.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizerState {
+    /// Optimizer kind tag (`"sgd"` or `"adam"`); checked on load.
+    pub kind: String,
+    /// Learning rate at snapshot time.
+    pub lr: f32,
+    /// Adam's bias-correction step counter (0 for SGD).
+    pub step_count: u64,
+    /// Named state slots (`"velocity"`, `"m"`, `"v"`), each mapping
+    /// parameter name → state tensor.
+    pub slots: Vec<(String, Vec<(String, Tensor)>)>,
+}
+
+impl OptimizerState {
+    fn slot(&self, name: &str) -> &[(String, Tensor)] {
+        self.slots
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, entries)| entries.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Turns an id-keyed state map into a name-keyed slot, sorted for
+/// deterministic checkpoint bytes. State for ids not in `params` (stale
+/// entries from removed parameters) is dropped.
+fn export_slot(state: &HashMap<u64, Tensor>, params: &[&Parameter]) -> Vec<(String, Tensor)> {
+    let mut entries: Vec<(String, Tensor)> = params
+        .iter()
+        .filter_map(|p| state.get(&p.id()).map(|t| (p.name.clone(), t.clone())))
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+/// Rebuilds an id-keyed state map from a name-keyed slot. Names absent from
+/// `params` are ignored (the model may have been rebuilt without them);
+/// shape mismatches are an error since silently mis-sized state would
+/// corrupt the update math.
+fn import_slot(
+    entries: &[(String, Tensor)],
+    params: &[&Parameter],
+) -> Result<HashMap<u64, Tensor>> {
+    let by_name: HashMap<&str, &Parameter> =
+        params.iter().map(|p| (p.name.as_str(), *p)).collect();
+    let mut state = HashMap::new();
+    for (name, tensor) in entries {
+        let Some(p) = by_name.get(name.as_str()) else {
+            continue;
+        };
+        if tensor.dims() != p.value.dims() {
+            return Err(TensorError::ShapeMismatch {
+                op: "optimizer state load",
+                lhs: p.value.dims().to_vec(),
+                rhs: tensor.dims().to_vec(),
+            });
+        }
+        state.insert(p.id(), tensor.clone());
+    }
+    Ok(state)
+}
 
 /// Stochastic gradient descent with momentum and decoupled weight decay.
 pub struct Sgd {
@@ -69,6 +138,29 @@ impl Sgd {
     pub fn retain_state(&mut self, live_ids: &[u64]) {
         let live: std::collections::HashSet<u64> = live_ids.iter().copied().collect();
         self.velocity.retain(|id, _| live.contains(id));
+    }
+
+    /// Snapshots the momentum state, keyed by parameter name.
+    pub fn export_state(&self, params: &[&Parameter]) -> OptimizerState {
+        OptimizerState {
+            kind: "sgd".into(),
+            lr: self.lr,
+            step_count: 0,
+            slots: vec![("velocity".into(), export_slot(&self.velocity, params))],
+        }
+    }
+
+    /// Restores momentum state from a snapshot taken by [`Sgd::export_state`].
+    pub fn load_state(&mut self, state: &OptimizerState, params: &[&Parameter]) -> Result<()> {
+        if state.kind != "sgd" {
+            return Err(TensorError::Corrupt(format!(
+                "optimizer kind mismatch: checkpoint has {:?}, expected \"sgd\"",
+                state.kind
+            )));
+        }
+        self.lr = state.lr;
+        self.velocity = import_slot(state.slot("velocity"), params)?;
+        Ok(())
     }
 }
 
@@ -153,6 +245,35 @@ impl Adam {
         }
         Ok(())
     }
+
+    /// Snapshots the moment estimates and step counter, keyed by parameter
+    /// name.
+    pub fn export_state(&self, params: &[&Parameter]) -> OptimizerState {
+        OptimizerState {
+            kind: "adam".into(),
+            lr: self.lr,
+            step_count: self.t,
+            slots: vec![
+                ("m".into(), export_slot(&self.m, params)),
+                ("v".into(), export_slot(&self.v, params)),
+            ],
+        }
+    }
+
+    /// Restores state from a snapshot taken by [`Adam::export_state`].
+    pub fn load_state(&mut self, state: &OptimizerState, params: &[&Parameter]) -> Result<()> {
+        if state.kind != "adam" {
+            return Err(TensorError::Corrupt(format!(
+                "optimizer kind mismatch: checkpoint has {:?}, expected \"adam\"",
+                state.kind
+            )));
+        }
+        self.lr = state.lr;
+        self.t = state.step_count;
+        self.m = import_slot(state.slot("m"), params)?;
+        self.v = import_slot(state.slot("v"), params)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +349,91 @@ mod tests {
             opt.step(&mut [&mut p]).unwrap();
         }
         assert!(p.value.norm() < 1e-2, "norm {}", p.value.norm());
+    }
+
+    #[test]
+    fn sgd_state_round_trips_across_fresh_parameter_ids() {
+        // Train one parameter, export, then rebuild the "same" parameter
+        // (new process-local id) and confirm the restored optimizer takes
+        // identical steps — the resume-exactness requirement.
+        let mut p = Parameter::new("x", Tensor::full(&[3], 4.0));
+        let mut opt = Sgd::new(0.1, 0.9, 0.01);
+        for _ in 0..5 {
+            p.zero_grad();
+            p.accumulate_grad(&p.value.clone()).unwrap();
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        let state = opt.export_state(&[&p]);
+
+        let mut p2 = Parameter::new("x", p.value.clone());
+        assert_ne!(p.id(), p2.id());
+        let mut opt2 = Sgd::new(0.1, 0.9, 0.01);
+        opt2.load_state(&state, &[&p2]).unwrap();
+
+        for _ in 0..5 {
+            p.zero_grad();
+            p.accumulate_grad(&p.value.clone()).unwrap();
+            opt.step(&mut [&mut p]).unwrap();
+            p2.zero_grad();
+            p2.accumulate_grad(&p2.value.clone()).unwrap();
+            opt2.step(&mut [&mut p2]).unwrap();
+        }
+        assert_eq!(p.value, p2.value);
+    }
+
+    #[test]
+    fn adam_state_round_trips_across_fresh_parameter_ids() {
+        let mut p = Parameter::new("x", Tensor::full(&[3], 4.0));
+        let mut opt = Adam::new(0.05, 0.01);
+        for _ in 0..5 {
+            p.zero_grad();
+            p.accumulate_grad(&p.value.clone()).unwrap();
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        let state = opt.export_state(&[&p]);
+        assert_eq!(state.step_count, 5);
+
+        let mut p2 = Parameter::new("x", p.value.clone());
+        let mut opt2 = Adam::new(0.05, 0.01);
+        opt2.load_state(&state, &[&p2]).unwrap();
+
+        for _ in 0..5 {
+            p.zero_grad();
+            p.accumulate_grad(&p.value.clone()).unwrap();
+            opt.step(&mut [&mut p]).unwrap();
+            p2.zero_grad();
+            p2.accumulate_grad(&p2.value.clone()).unwrap();
+            opt2.step(&mut [&mut p2]).unwrap();
+        }
+        assert_eq!(p.value, p2.value);
+    }
+
+    #[test]
+    fn load_state_rejects_kind_and_shape_mismatch() {
+        let p = Parameter::new("x", Tensor::ones(&[2]));
+        let sgd_state = Sgd::new(0.1, 0.9, 0.0).export_state(&[&p]);
+        assert!(Adam::new(0.1, 0.0).load_state(&sgd_state, &[&p]).is_err());
+
+        let mut mismatched = sgd_state.clone();
+        mismatched.slots = vec![("velocity".into(), vec![("x".into(), Tensor::ones(&[5]))])];
+        assert!(Sgd::new(0.1, 0.9, 0.0)
+            .load_state(&mismatched, &[&p])
+            .is_err());
+    }
+
+    #[test]
+    fn load_state_ignores_unknown_parameter_names() {
+        let p = Parameter::new("x", Tensor::ones(&[2]));
+        let state = OptimizerState {
+            kind: "sgd".into(),
+            lr: 0.2,
+            step_count: 0,
+            slots: vec![("velocity".into(), vec![("gone".into(), Tensor::ones(&[7]))])],
+        };
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        opt.load_state(&state, &[&p]).unwrap();
+        assert_eq!(opt.lr(), 0.2);
+        assert!(opt.velocity.is_empty());
     }
 
     #[test]

@@ -156,6 +156,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn profiles_are_physically_sensible() {
         assert!(V100.flops_per_sec > RTX_2080TI.flops_per_sec);
         assert!(SERVER_CPU.flops_per_sec < V100.flops_per_sec / 10.0);

@@ -45,6 +45,14 @@ pub enum TensorError {
     Numerical(String),
     /// Deserialization found a malformed byte buffer.
     Corrupt(String),
+    /// An underlying I/O operation failed (disk full, unreadable file, …).
+    Io(String),
+}
+
+impl From<std::io::Error> for TensorError {
+    fn from(e: std::io::Error) -> Self {
+        TensorError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for TensorError {
@@ -64,6 +72,7 @@ impl fmt::Display for TensorError {
             }
             TensorError::Numerical(msg) => write!(f, "numerical error: {msg}"),
             TensorError::Corrupt(msg) => write!(f, "corrupt tensor buffer: {msg}"),
+            TensorError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

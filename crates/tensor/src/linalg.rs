@@ -16,6 +16,9 @@ use crate::tensor::Tensor;
 ///
 /// Returns `(Q, R)` with `Q` of shape `m×n` having orthonormal columns and
 /// `R` upper triangular `n×n`, such that `A = Q·R`.
+// The reflector loops index `v` alongside strided slices of R and Q; the
+// shared running index is the clearest way to express that correspondence.
+#[allow(clippy::needless_range_loop)]
 pub fn qr(a: &Tensor) -> Result<(Tensor, Tensor)> {
     if a.rank() != 2 {
         return Err(TensorError::ShapeMismatch {
@@ -312,8 +315,8 @@ mod tests {
         // Rebuild A = U diag(S) Vᵀ.
         let mut us = u.clone();
         for i in 0..8 {
-            for j in 0..5 {
-                us.data_mut()[i * 5 + j] *= s[j];
+            for (j, sv) in s.iter().enumerate() {
+                us.data_mut()[i * 5 + j] *= sv;
             }
         }
         let recon = us.matmul(&v.transpose2d().unwrap()).unwrap();
@@ -349,8 +352,8 @@ mod tests {
         let mut us = u.clone();
         let k = s.len();
         for i in 0..u.dims()[0] {
-            for j in 0..k {
-                us.data_mut()[i * k + j] *= s[j];
+            for (j, sv) in s.iter().enumerate() {
+                us.data_mut()[i * k + j] *= sv;
             }
         }
         let recon = us.matmul(&v.transpose2d().unwrap()).unwrap();

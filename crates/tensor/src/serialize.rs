@@ -1,16 +1,25 @@
-//! Tensor serialization: the on-disk format of the activation cache.
+//! Tensor serialization: the on-disk format of the activation cache and the
+//! building block of checkpoint files.
 //!
-//! Layout (little-endian):
+//! Layout (little-endian), format version 2:
 //!
 //! ```text
-//! magic  u32  = 0x45474552 ("EGER")
-//! rank   u32
-//! dims   u64 × rank
-//! data   f32 × numel
+//! magic        u32  = 0x45474552 ("EGER")
+//! version      u8   = 2
+//! payload_len  u64  (bytes of payload following the crc field)
+//! crc32        u32  (IEEE CRC-32 of the payload)
+//! payload:
+//!   rank   u32
+//!   dims   u64 × rank
+//!   data   f32 × numel
 //! ```
 //!
-//! The format is self-describing so the prefetcher can validate cache entries
-//! written by an earlier epoch before handing them to the training loop.
+//! The header makes three classes of disk corruption detectable before any
+//! payload byte is interpreted: truncation (`payload_len` disagrees with the
+//! buffer), bit flips (`crc32` mismatch), and format drift (`version`
+//! mismatch). All three surface as [`TensorError::Corrupt`], never as a
+//! panic or a silently misread tensor; callers such as the activation cache
+//! degrade to recomputation on that error.
 
 use crate::error::{Result, TensorError};
 use crate::tensor::Tensor;
@@ -19,28 +28,82 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// Magic number prefixed to every serialized tensor.
 pub const MAGIC: u32 = 0x4547_4552;
 
+/// Current wire-format version.
+pub const FORMAT_VERSION: u8 = 2;
+
+/// Fixed header size: magic + version + payload_len + crc32.
+const HEADER_LEN: usize = 4 + 1 + 8 + 4;
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), used by both the tensor format
+/// and the checkpoint container.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
 /// Serializes a tensor to a byte buffer.
 pub fn to_bytes(t: &Tensor) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + t.rank() * 8 + t.numel() * 4);
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(t.rank() as u32);
+    let payload_len = 4 + t.rank() * 8 + t.numel() * 4;
+    let mut payload = BytesMut::with_capacity(payload_len);
+    payload.put_u32_le(t.rank() as u32);
     for &d in t.dims() {
-        buf.put_u64_le(d as u64);
+        payload.put_u64_le(d as u64);
     }
     for &v in t.data() {
-        buf.put_f32_le(v);
+        payload.put_f32_le(v);
     }
+    let payload = payload.freeze();
+
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(FORMAT_VERSION);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_u32_le(crc32(&payload));
+    buf.put_slice(&payload);
     buf.freeze()
 }
 
 /// Deserializes a tensor from a byte buffer produced by [`to_bytes`].
 pub fn from_bytes(mut buf: &[u8]) -> Result<Tensor> {
-    if buf.remaining() < 8 {
+    if buf.remaining() < HEADER_LEN {
         return Err(TensorError::Corrupt("buffer shorter than header".into()));
     }
     let magic = buf.get_u32_le();
     if magic != MAGIC {
         return Err(TensorError::Corrupt(format!("bad magic {magic:#x}")));
+    }
+    let version = buf.get_u8();
+    if version != FORMAT_VERSION {
+        return Err(TensorError::Corrupt(format!(
+            "unsupported format version {version} (expected {FORMAT_VERSION})"
+        )));
+    }
+    let payload_len = buf.get_u64_le();
+    let expected_crc = buf.get_u32_le();
+    if buf.remaining() as u64 != payload_len {
+        return Err(TensorError::Corrupt(format!(
+            "payload is {} bytes, header declares {}",
+            buf.remaining(),
+            payload_len
+        )));
+    }
+    let actual_crc = crc32(buf);
+    if actual_crc != expected_crc {
+        return Err(TensorError::Corrupt(format!(
+            "checksum mismatch: stored {expected_crc:#010x}, computed {actual_crc:#010x}"
+        )));
+    }
+
+    if buf.remaining() < 4 {
+        return Err(TensorError::Corrupt("payload shorter than rank field".into()));
     }
     let rank = buf.get_u32_le() as usize;
     if rank > 8 {
@@ -56,7 +119,7 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<Tensor> {
     let numel: usize = dims.iter().product();
     if buf.remaining() != numel * 4 {
         return Err(TensorError::Corrupt(format!(
-            "payload is {} bytes, expected {}",
+            "tensor data is {} bytes, expected {}",
             buf.remaining(),
             numel * 4
         )));
@@ -98,6 +161,14 @@ mod tests {
     }
 
     #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = to_bytes(&Tensor::zeros(&[2])).to_vec();
+        bytes[4] = FORMAT_VERSION + 1;
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
     fn rejects_truncated_payload() {
         let bytes = to_bytes(&Tensor::zeros(&[4]));
         assert!(from_bytes(&bytes[..bytes.len() - 2]).is_err());
@@ -105,10 +176,47 @@ mod tests {
     }
 
     #[test]
+    fn rejects_any_single_bit_flip_in_payload() {
+        let mut rng = Rng::new(3);
+        let t = Tensor::randn(&[2, 3], &mut rng);
+        let clean = to_bytes(&t).to_vec();
+        for byte in HEADER_LEN..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[byte] ^= 0x10;
+            assert!(
+                from_bytes(&bytes).is_err(),
+                "flip at payload byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_length_field_tampering() {
+        let mut bytes = to_bytes(&Tensor::zeros(&[4])).to_vec();
+        bytes[5] ^= 0x01;
+        assert!(matches!(from_bytes(&bytes), Err(TensorError::Corrupt(_))));
+    }
+
+    #[test]
     fn rejects_implausible_rank() {
+        // A payload declaring rank 100, correctly checksummed: the rank
+        // sanity check must still fire.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&100u32.to_le_bytes());
         let mut buf = Vec::new();
         buf.extend_from_slice(&MAGIC.to_le_bytes());
-        buf.extend_from_slice(&100u32.to_le_bytes());
-        assert!(from_bytes(&buf).is_err());
+        buf.push(FORMAT_VERSION);
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let err = from_bytes(&buf).unwrap_err();
+        assert!(err.to_string().contains("rank"), "{err}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

@@ -76,10 +76,10 @@ impl Shape {
     pub fn broadcast(&self, other: &Shape) -> Result<Shape> {
         let rank = self.rank().max(other.rank());
         let mut dims = vec![0usize; rank];
-        for i in 0..rank {
+        for (i, dim) in dims.iter_mut().enumerate() {
             let a = if i < rank - self.rank() { 1 } else { self.0[i - (rank - self.rank())] };
             let b = if i < rank - other.rank() { 1 } else { other.0[i - (rank - other.rank())] };
-            dims[i] = if a == b || b == 1 {
+            *dim = if a == b || b == 1 {
                 a
             } else if a == 1 {
                 b

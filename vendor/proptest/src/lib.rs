@@ -1,0 +1,532 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Random-input testing with the same call-site grammar this workspace
+//! uses: `proptest! { #![proptest_config(..)] #[test] fn f(x in strat) {..} }`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, `any::<T>()`, range and
+//! tuple strategies, `prop_map`, and `prop::collection::{vec, hash_set}`.
+//!
+//! Differences from the real crate, deliberate for an offline stub: no
+//! shrinking (a failing case reports its assertion message only), and the
+//! per-test RNG is seeded from the test's name, so runs are deterministic
+//! across invocations and machines.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic generator backing each property test (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Seeds deterministically from a test's name, so every test gets a
+    /// distinct but reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name bytes.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How a single generated case ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case did not meet a `prop_assume!` precondition; retry.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Per-block configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; the stub keeps unconfigured
+        // blocks cheaper since this workspace always sets cases explicitly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// Types with a whole-domain default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The default whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A/a);
+impl_tuple_strategy!(A/a, B/b);
+impl_tuple_strategy!(A/a, B/b, C/c);
+impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+
+/// Collection strategies (`prop::collection::{vec, hash_set}`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of `element` with length drawn from `sizes`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// A `Vec` of `element` values with length in `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.sizes.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s of `element` with size drawn from `sizes`.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// A `HashSet` of `element` values with target size in `sizes`.
+    pub fn hash_set<S>(element: S, sizes: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, sizes }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.sizes.clone().generate(rng);
+            let mut set = HashSet::with_capacity(target);
+            // Duplicates shrink the set; bound the retries so a small value
+            // domain cannot loop forever.
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 50 + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Everything the standard `use proptest::prelude::*;` import provides.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, Any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[doc(hidden)]
+pub fn __run_cases<F>(name: &str, cfg: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = cfg.cases.saturating_mul(20).max(100);
+    while accepted < cfg.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "proptest `{name}`: gave up after {attempts} attempts \
+                 ({accepted}/{} cases accepted); prop_assume! rejects too much",
+                cfg.cases
+            );
+        }
+        attempts += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed: {msg}")
+            }
+        }
+    }
+}
+
+/// Declares a block of property tests.
+///
+/// Grammar (matching the real crate's common form):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..10, seed in any::<u64>()) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__run_cases(
+                    stringify!($name),
+                    $cfg,
+                    |__rng: &mut $crate::TestRng| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __left,
+                        __right
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: {} == {}: {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        format!($($fmt)+),
+                        __left,
+                        __right
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if *__left == *__right {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: {} != {}\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __left
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (retried with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pair(max: usize) -> impl Strategy<Value = (usize, usize)> {
+        (1..max, 1..max).prop_map(|(a, b)| (a.min(b), a.max(b)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, f in -2.0f32..2.0, s in any::<u64>()) {
+            let _ = s;
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn mapped_tuples_are_ordered(p in pair(16)) {
+            prop_assert!(p.0 <= p.1);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0usize..5, 2..7),
+            s in prop::collection::hash_set(0u64..1000, 1..12),
+        ) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 12);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(a in 0usize..10, b in 0usize..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn eq_on_slices(n in 1usize..4) {
+            let v = vec![7usize; n];
+            prop_assert_eq!(&v[..], &vec![7usize; n][..]);
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn impossible_assume_gives_up() {
+        crate::__run_cases("impossible", ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::Reject)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_case_panics_with_message() {
+        crate::__run_cases("failing", ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::Fail("assertion failed: nope".into()))
+        });
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only ever serializes reports to JSON (`serde_json::to_string`
+//! on `#[derive(Serialize)]` structs), so instead of serde's full
+//! visitor/data-model machinery this stub defines one trait that writes JSON
+//! straight into a `String`. The derive macro (re-exported from the vendored
+//! `serde_derive`) emits calls to [`write_field`] for each non-skipped field,
+//! honouring `#[serde(skip)]`.
+
+pub use serde_derive::Serialize;
+
+/// A type that can write itself as a JSON value.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn itoa_buf(v: i128) -> String {
+    v.to_string()
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        // JSON has no NaN/Infinity; serde_json emits null for them.
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+/// Appends `s` as a JSON string literal with escaping.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends one `"key":value` pair, managing the leading comma.
+///
+/// Called by the derive-generated `serialize_json` for each field.
+pub fn write_field<T: Serialize + ?Sized>(
+    out: &mut String,
+    first: &mut bool,
+    key: &str,
+    value: &T,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write_json_string(out, key);
+    out.push(':');
+    value.serialize_json(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(json(42u32), "42");
+        assert_eq!(json(-3i64), "-3");
+        assert_eq!(json(1.5f32), "1.5");
+        assert_eq!(json(f64::NAN), "null");
+        assert_eq!(json(true), "true");
+        assert_eq!(json(Option::<f32>::None), "null");
+        assert_eq!(json(Some(2.0f32)), "2");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn sequences() {
+        assert_eq!(json(vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(json(Vec::<u8>::new()), "[]");
+    }
+
+    #[test]
+    fn field_writer_manages_commas() {
+        let mut out = String::from("{");
+        let mut first = true;
+        write_field(&mut out, &mut first, "a", &1u32);
+        write_field(&mut out, &mut first, "b", "x");
+        out.push('}');
+        assert_eq!(out, r#"{"a":1,"b":"x"}"#);
+    }
+}

@@ -1,0 +1,160 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` on structs with named fields into an
+//! `impl ::serde::Serialize` that writes a JSON object, one
+//! `::serde::write_field` call per field. `#[serde(skip)]` is honoured.
+//! Implemented with hand-rolled token walking (no `syn`/`quote`, which the
+//! offline build cannot download); this covers exactly the shapes the
+//! workspace derives on: non-generic structs with named fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let (name, fields_group) = parse_struct(&tokens)
+        .unwrap_or_else(|msg| panic!("#[derive(Serialize)] stub: {msg}"));
+
+    let fields = match fields_group {
+        Some(group) => parse_named_fields(group),
+        // Unit struct: serialize as an empty object.
+        None => Vec::new(),
+    };
+
+    let mut body = String::new();
+    for field in &fields {
+        body.push_str(&format!(
+            "::serde::write_field(out, &mut first, \"{field}\", &self.{field});\n"
+        ));
+    }
+
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n\
+                 out.push('{{');\n\
+                 let mut first = true;\n\
+                 {body}\
+                 let _ = &mut first;\n\
+                 out.push('}}');\n\
+             }}\n\
+         }}\n"
+    );
+    code.parse().expect("derive stub produced invalid Rust")
+}
+
+/// Finds the struct name and its brace-delimited field group.
+fn parse_struct(tokens: &[TokenTree]) -> Result<(String, Option<TokenStream>), String> {
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`) and visibility before `struct`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // '#' plus the bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("enums are not supported; derive on structs only".into());
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a struct name after `struct`".into()),
+    };
+    i += 1;
+    // Generic parameters would need bound plumbing; the workspace has none.
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic struct `{name}` is not supported"));
+    }
+    // Named-field structs end in a brace group; unit structs in `;`.
+    for tok in &tokens[i..] {
+        match tok {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                return Ok((name, Some(g.stream())));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple struct `{name}` is not supported"));
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => {}
+        }
+    }
+    Ok((name, None))
+}
+
+/// Extracts non-skipped field names from a named-field body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Collect this field's attributes, watching for #[serde(skip)].
+        let mut skip = false;
+        loop {
+            match (&tokens.get(i), &tokens.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility: `pub` optionally followed by `(...)`.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        // Field name.
+        let name = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        // Skip `:` and the type, up to the next top-level comma. Angle
+        // brackets nest (`Option<Vec<f32>>`), so track their depth.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if !skip {
+            fields.push(name);
+        }
+    }
+    fields
+}
+
+/// Whether a `#[...]` attribute body is `serde(... skip ...)`.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (&tokens.first(), &tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream().into_iter().any(
+                |t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"),
+            )
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! `to_string` delegates to the stub `serde::Serialize` (which writes JSON
+//! directly); `to_string_pretty` re-indents the compact output with a small
+//! string-aware formatter. Serialization is infallible here, so both return
+//! `Ok` — the `Result` signature is kept for call-site compatibility.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Serialization error (never produced by this stub, kept for API parity).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to an indented JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+
+    let newline = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                let closer = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&closer) {
+                    out.push(chars.next().unwrap());
+                } else {
+                    indent += 1;
+                    newline(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_string_compact() {
+        assert_eq!(to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+        assert_eq!(to_string("a:b").unwrap(), r#""a:b""#);
+    }
+
+    #[test]
+    fn pretty_indents_and_preserves_strings() {
+        let pretty = prettify(r#"{"a":[1,2],"b":"x{,}y","c":{}}"#);
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": \"x{,}y\",\n  \"c\": {}\n}"
+        );
+    }
+}
