@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
-# Repo CI gate: build, test, lint. Run from the repo root.
+# Repo CI gate: build, test (serial and parallel pool), lint, bench smoke.
+# Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
+
+# The parallel compute backend must be bit-identical at every pool size:
+# run the suite pinned to 1 thread and again at the machine default.
+EGERIA_THREADS=1 cargo test -q
 cargo test -q
+
 cargo clippy --workspace -- -D warnings
+
+# Kernel perf smoke: times the hot paths under both backends and emits a
+# machine-readable report (BENCH_ops.json) with ns/iter and speedups.
+cargo run --release -p egeria-bench --bin bench_ops -- --smoke

@@ -1,0 +1,181 @@
+//! Machine-readable kernel perf report: `BENCH_ops.json`.
+//!
+//! Times the three training hot paths — a 512³ matmul, a conv2d
+//! forward+backward, and a full ResNet train step — under both compute
+//! backends:
+//!
+//! - `serial`: the seed repo's naive serial kernels
+//!   (`EGERIA_COMPUTE_BACKEND=reference` path), and
+//! - `parallel`: the blocked, register-tiled GEMM backend on the worker
+//!   pool at the default thread count.
+//!
+//! Also asserts the determinism contract (blocked output at the default
+//! thread count is bit-identical to a 1-thread pool) and records the
+//! verdict in the report. Pass `--smoke` for a fast low-iteration run with
+//! the same report shape.
+
+use egeria_bench::write_json;
+use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+use egeria_models::{Batch, Input, Model, Targets};
+use egeria_tensor::backend::{set_backend, Backend};
+use egeria_tensor::gemm::{gemm, Layout};
+use egeria_tensor::{pool, Rng, Tensor, ThreadPool};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct OpReport {
+    op: String,
+    serial_ns_per_iter: u64,
+    parallel_ns_per_iter: u64,
+    speedup: f64,
+    iters: u32,
+}
+
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    bit_identical_to_serial: bool,
+    ops: Vec<OpReport>,
+}
+
+/// Median-of-runs timer: one warmup call, then `iters` timed calls.
+fn time_ns(iters: u32, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_pair(
+    op: &str,
+    iters: u32,
+    mut f: impl FnMut(),
+) -> OpReport {
+    set_backend(Backend::Reference);
+    let serial = time_ns(iters, &mut f);
+    set_backend(Backend::Blocked);
+    let parallel = time_ns(iters, &mut f);
+    let r = OpReport {
+        op: op.into(),
+        serial_ns_per_iter: serial,
+        parallel_ns_per_iter: parallel,
+        speedup: serial as f64 / parallel.max(1) as f64,
+        iters,
+    };
+    println!(
+        "{:<12} serial {:>12} ns/iter   parallel {:>12} ns/iter   speedup {:.2}x",
+        r.op, r.serial_ns_per_iter, r.parallel_ns_per_iter, r.speedup
+    );
+    r
+}
+
+/// Blocked GEMM at the default thread count vs a 1-thread pool must agree
+/// bit-for-bit — the determinism contract the report certifies.
+fn check_bit_identical() -> bool {
+    let mut rng = Rng::new(9);
+    let (m, n, k) = (130, 67, 129);
+    let a = Tensor::randn(&[m, k], &mut rng);
+    let b = Tensor::randn(&[k, n], &mut rng);
+    let mut c1 = vec![0.0f32; m * n];
+    let p1 = ThreadPool::new(1);
+    gemm(&p1, a.data(), Layout::RowMajor, b.data(), Layout::RowMajor, m, n, k, &mut c1);
+    let mut cd = vec![0.0f32; m * n];
+    gemm(
+        ThreadPool::global(),
+        a.data(),
+        Layout::RowMajor,
+        b.data(),
+        Layout::RowMajor,
+        m,
+        n,
+        k,
+        &mut cd,
+    );
+    c1.iter().zip(cd.iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters: u32 = if smoke { 2 } else { 5 };
+    let threads = ThreadPool::global().threads().max(pool::default_threads());
+    println!(
+        "bench_ops: {} threads, {} iters/op{}",
+        threads,
+        iters,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut ops = Vec::new();
+
+    // 512³ matmul (the acceptance benchmark's canonical GEMM shape).
+    {
+        let dim = if smoke { 192 } else { 512 };
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn(&[dim, dim], &mut rng);
+        let b = Tensor::randn(&[dim, dim], &mut rng);
+        ops.push(bench_pair(&format!("matmul_{dim}"), iters, || {
+            let c = a.matmul(&b).unwrap();
+            std::hint::black_box(c.data()[0]);
+        }));
+    }
+
+    // conv2d forward + both gradients (the CNN layer hot path).
+    {
+        use egeria_tensor::conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, Conv2dSpec};
+        let (n, ci, co, hw) = if smoke { (2, 8, 8, 12) } else { (4, 16, 32, 16) };
+        let spec = Conv2dSpec::new(1, 1).unwrap();
+        let mut rng = Rng::new(2);
+        let x = Tensor::randn(&[n, ci, hw, hw], &mut rng);
+        let w = Tensor::randn(&[co, ci, 3, 3], &mut rng);
+        let g = Tensor::randn(&[n, co, hw, hw], &mut rng);
+        ops.push(bench_pair("conv2d", iters, || {
+            let y = conv2d(&x, &w, None, spec).unwrap();
+            let gx = conv2d_grad_input(&g, &w, x.dims(), spec).unwrap();
+            let gw = conv2d_grad_weight(&g, &x, w.dims(), spec).unwrap();
+            std::hint::black_box((y.data()[0], gx.data()[0], gw.data()[0]));
+        }));
+    }
+
+    // Full ResNet train step (forward + backward through every layer).
+    {
+        let n = if smoke { 2 } else { 3 };
+        let mut model = resnet_cifar(
+            ResNetCifarConfig {
+                n,
+                width: 4,
+                classes: 8,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut rng = Rng::new(3);
+        let batch = Batch {
+            input: Input::Image(Tensor::randn(&[16, 3, 10, 10], &mut rng)),
+            targets: Targets::Classes((0..16).map(|i| i % 8).collect()),
+            sample_ids: (0..16).collect(),
+        };
+        ops.push(bench_pair("train_step", iters, || {
+            let r = model.train_step(&batch, None).unwrap();
+            model.zero_grad();
+            std::hint::black_box(r.loss);
+        }));
+    }
+
+    set_backend(Backend::Blocked);
+    let report = Report {
+        threads,
+        bit_identical_to_serial: check_bit_identical(),
+        ops,
+    };
+    assert!(
+        report.bit_identical_to_serial,
+        "determinism contract violated: blocked GEMM differs across thread counts"
+    );
+    write_json(std::path::Path::new("BENCH_ops.json"), &report).expect("write BENCH_ops.json");
+}

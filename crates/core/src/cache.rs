@@ -282,20 +282,29 @@ impl ActivationCache {
 pub struct Prefetcher {
     tx: Option<crossbeam::channel::Sender<Vec<u64>>>,
     handle: Option<std::thread::JoinHandle<()>>,
+    /// Count of fully-processed hints plus the condvar that announces each
+    /// increment, so waiters can block instead of polling.
+    processed: Arc<(std::sync::Mutex<u64>, std::sync::Condvar)>,
 }
 
 impl Prefetcher {
     /// Spawns the prefetch thread over a shared cache.
     pub fn spawn(cache: Arc<Mutex<ActivationCache>>) -> Self {
         let (tx, rx) = crossbeam::channel::bounded::<Vec<u64>>(64);
+        let processed = Arc::new((std::sync::Mutex::new(0u64), std::sync::Condvar::new()));
+        let signal = Arc::clone(&processed);
         let handle = std::thread::spawn(move || {
             while let Ok(ids) = rx.recv() {
                 let _ = cache.lock().prefetch(&ids);
+                let (count, cv) = &*signal;
+                *count.lock().expect("prefetch counter poisoned") += 1;
+                cv.notify_all();
             }
         });
         Prefetcher {
             tx: Some(tx),
             handle: Some(handle),
+            processed,
         }
     }
 
@@ -305,6 +314,18 @@ impl Prefetcher {
         if let Some(tx) = &self.tx {
             let _ = tx.try_send(ids);
         }
+    }
+
+    /// Blocks until at least `count` hints have been fully processed or
+    /// `timeout` elapses; returns whether the count was reached. Dropped
+    /// hints (full queue) never count, so callers should bound the wait.
+    pub fn wait_processed(&self, count: u64, timeout: std::time::Duration) -> bool {
+        let (lock, cv) = &*self.processed;
+        let guard = lock.lock().expect("prefetch counter poisoned");
+        let (_guard, res) = cv
+            .wait_timeout_while(guard, timeout, |n| *n < count)
+            .expect("prefetch counter poisoned");
+        !res.timed_out()
     }
 }
 
@@ -411,15 +432,12 @@ mod tests {
         }
         let p = Prefetcher::spawn(Arc::clone(&cache));
         p.hint(vec![7]);
-        // Wait for the prefetch to land.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
-        loop {
-            if cache.lock().mem.contains_key(&7) {
-                break;
-            }
-            assert!(std::time::Instant::now() < deadline, "prefetch never landed");
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
+        // Block on the processed-count condvar — no sleep polling.
+        assert!(
+            p.wait_processed(1, std::time::Duration::from_secs(5)),
+            "prefetch never landed"
+        );
+        assert!(cache.lock().mem.contains_key(&7));
         drop(p);
     }
 

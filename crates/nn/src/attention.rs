@@ -103,7 +103,7 @@ impl MultiHeadAttention {
         let v = split_heads(&self.wv.forward(ctx, mode)?, self.heads)?;
         let dh = d / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
-        let mut scores = q.bmm(&k.permute(&[0, 2, 1])?)?.mul_scalar(scale);
+        let mut scores = q.bmm_tb(&k)?.mul_scalar(scale);
         if self.causal {
             // Mask future positions with a large negative logit.
             let bh = scores.dims()[0];
@@ -146,12 +146,12 @@ impl MultiHeadAttention {
         let g_merged = self.wo.backward(grad_out)?;
         let g_ctx_out = split_heads(&g_merged, self.heads)?;
         // O = P·V.
-        let g_probs = g_ctx_out.bmm(&cache.v.permute(&[0, 2, 1])?)?;
-        let g_v = cache.probs.permute(&[0, 2, 1])?.bmm(&g_ctx_out)?;
+        let g_probs = g_ctx_out.bmm_tb(&cache.v)?;
+        let g_v = cache.probs.bmm_ta(&g_ctx_out)?;
         let g_scores = softmax_last_grad(&cache.probs, &g_probs)?.mul_scalar(scale);
         // S = Q·Kᵀ (scaled).
         let g_q = g_scores.bmm(&cache.k)?;
-        let g_k = g_scores.permute(&[0, 2, 1])?.bmm(&cache.q)?;
+        let g_k = g_scores.bmm_ta(&cache.q)?;
         let g_q = merge_heads(&g_q, self.heads, b)?;
         let g_k = merge_heads(&g_k, self.heads, b)?;
         let g_v = merge_heads(&g_v, self.heads, b)?;

@@ -77,8 +77,8 @@ impl Linear {
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
         let (x2, dims) = self.flatten_batch(x)?;
-        let wt = self.weight.value.transpose2d()?;
-        let mut y = x2.matmul(&wt)?;
+        // x·Wᵀ reading W through its transpose — no materialized copy.
+        let mut y = x2.matmul_tb(&self.weight.value)?;
         if let Some(b) = &self.bias {
             y = y.add(&b.value)?;
         }
@@ -96,7 +96,7 @@ impl Layer for Linear {
         let g2 = grad_out.reshape(&[rows, self.out_features])?;
         // dW = gᵀ·x, db = colsum(g), dx = g·W.
         if self.weight.requires_grad {
-            let gw = g2.transpose2d()?.matmul(x2)?;
+            let gw = g2.matmul_ta(x2)?;
             self.weight.accumulate_grad(&gw)?;
         }
         if let Some(b) = &mut self.bias {

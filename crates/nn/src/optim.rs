@@ -124,8 +124,7 @@ impl Sgd {
                     .velocity
                     .entry(p.id())
                     .or_insert_with(|| Tensor::zeros(p.value.dims()));
-                v.scale_inplace(self.momentum);
-                v.axpy_inplace(1.0, &d)?;
+                v.decay_axpy_inplace(self.momentum, 1.0, &d)?;
                 d = v.clone();
             }
             p.value.axpy_inplace(-self.lr, &d)?;
@@ -220,28 +219,14 @@ impl Adam {
                 .m
                 .entry(p.id())
                 .or_insert_with(|| Tensor::zeros(p.value.dims()));
-            m.scale_inplace(self.beta1);
-            m.axpy_inplace(1.0 - self.beta1, &g)?;
+            m.decay_axpy_inplace(self.beta1, 1.0 - self.beta1, &g)?;
             let v = self
                 .v
                 .entry(p.id())
                 .or_insert_with(|| Tensor::zeros(p.value.dims()));
-            for (vv, &gv) in v.data_mut().iter_mut().zip(g.data().iter()) {
-                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
-            }
-            let lr = self.lr;
-            let eps = self.eps;
-            for ((pv, &mv), &vv) in p
-                .value
-                .data_mut()
-                .iter_mut()
-                .zip(m.data().iter())
-                .zip(v.data().iter())
-            {
-                let m_hat = mv / bc1;
-                let v_hat = vv / bc2;
-                *pv -= lr * m_hat / (v_hat.sqrt() + eps);
-            }
+            v.ema_sq_inplace(self.beta2, &g)?;
+            p.value
+                .adam_update_inplace(self.lr, self.eps, bc1, bc2, m, v)?;
         }
         Ok(())
     }

@@ -1,6 +1,6 @@
 //! Real int8 tensors and kernels.
 
-use egeria_tensor::{Result, Tensor, TensorError};
+use egeria_tensor::{pool, Result, Tensor, TensorError, ThreadPool};
 
 /// Quantization granularity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,20 +136,23 @@ pub fn qmatmul(a: &QTensor, b: &QTensor) -> Result<Tensor> {
     let n = b.dims[1];
     let scale = a.scales[0] * b.scales[0];
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
+    // Row-parallel over the output: each pool task owns a disjoint output
+    // row and accumulates exactly in i32 before the single f32 rescale, so
+    // results are bit-identical for every thread count.
+    pool::for_each_batch_mut(ThreadPool::global(), &mut out, n, |i, orow| {
         let arow = &a.data[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
+        let mut acc = vec![0i32; n];
         for (p, &av) in arow.iter().enumerate() {
-            if av == 0 {
-                continue;
-            }
             let av = av as i32;
             let brow = &b.data[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += (av * bv as i32) as f32 * scale;
+            for (o, &bv) in acc.iter_mut().zip(brow.iter()) {
+                *o += av * bv as i32;
             }
         }
-    }
+        for (o, &s) in orow.iter_mut().zip(acc.iter()) {
+            *o = s as f32 * scale;
+        }
+    });
     Tensor::from_vec(out, &[m, n])
 }
 

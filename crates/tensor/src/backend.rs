@@ -1,0 +1,52 @@
+//! Runtime-selectable compute backend for the GEMM-bound kernels.
+//!
+//! `Blocked` (the default) routes `matmul`/`bmm`/`conv2d` through the
+//! parallel cache-blocked GEMM in [`crate::gemm`]; `Reference` routes them
+//! through the seed repo's serial triple loops. The switch exists so perf
+//! benches can measure the speedup against the seed kernels in-process and
+//! so regressions can be bisected with `EGERIA_COMPUTE_BACKEND=reference`.
+//!
+//! Elementwise and reduction kernels are not switched: their parallel forms
+//! are deterministic by construction (fixed chunk geometry, ordered partial
+//! folds) and strictly faster.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which implementation the GEMM-bound tensor kernels use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Parallel blocked GEMM (production path).
+    Blocked,
+    /// Seed serial triple loops (baseline / bisection path).
+    Reference,
+}
+
+const UNSET: u8 = u8::MAX;
+static BACKEND: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The active backend. First call reads `EGERIA_COMPUTE_BACKEND`
+/// (`"reference"` selects [`Backend::Reference`]; anything else, or unset,
+/// selects [`Backend::Blocked`]).
+pub fn backend() -> Backend {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => Backend::Blocked,
+        1 => Backend::Reference,
+        _ => {
+            let b = match std::env::var("EGERIA_COMPUTE_BACKEND").as_deref() {
+                Ok("reference") => Backend::Reference,
+                _ => Backend::Blocked,
+            };
+            set_backend(b);
+            b
+        }
+    }
+}
+
+/// Overrides the active backend (used by benches for in-process A/B runs).
+pub fn set_backend(b: Backend) {
+    let v = match b {
+        Backend::Blocked => 0,
+        Backend::Reference => 1,
+    };
+    BACKEND.store(v, Ordering::Relaxed);
+}

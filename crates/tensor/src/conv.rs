@@ -3,8 +3,22 @@
 //! Forward kernels plus the two convolution gradient kernels
 //! ([`conv2d_grad_input`], [`conv2d_grad_weight`]) that the autograd layer in
 //! `egeria-nn` composes into a backward pass. All kernels take NCHW tensors.
+//!
+//! The three GEMM-bound kernels are lowered to im2col plus the parallel
+//! blocked GEMM in [`crate::gemm`], dispatched one pool task per image so a
+//! batch saturates the worker pool. The seed repo's direct loops survive in
+//! [`reference`] as the numerical baseline and the
+//! [`Backend::Reference`](crate::backend::Backend) path.
+//!
+//! Determinism: each task writes a disjoint image slice, im2col/col2im walk
+//! fixed index orders, and the cross-image reduction in
+//! [`conv2d_grad_weight`] folds per-image partials in ascending image order
+//! — so outputs are bit-identical for every thread count.
 
+use crate::backend::{backend, Backend};
 use crate::error::{Result, TensorError};
+use crate::gemm::{gemm, Layout};
+use crate::pool::{self, ThreadPool};
 use crate::tensor::Tensor;
 
 /// Convolution geometry: square stride and zero padding.
@@ -67,6 +81,111 @@ fn valid_out_range(out_extent: usize, extent: usize, k: usize, stride: usize, pa
     (lo.min(out_extent), hi)
 }
 
+/// Geometry shared by the im2col lowering of one image.
+#[derive(Clone, Copy)]
+struct ColGeom {
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl ColGeom {
+    fn rows(&self) -> usize {
+        self.c_in * self.kh * self.kw
+    }
+    fn cols(&self) -> usize {
+        self.oh * self.ow
+    }
+}
+
+/// Unfolds one NCHW image into the `(c_in·kh·kw) × (oh·ow)` patch matrix.
+/// `col` is fully overwritten (padding positions become zeros).
+fn im2col(x_img: &[f32], g: ColGeom, col: &mut [f32]) {
+    col.fill(0.0);
+    for ci in 0..g.c_in {
+        let in_base = ci * g.h * g.w;
+        for ki in 0..g.kh {
+            let (oi_lo, oi_hi) = valid_out_range(g.oh, g.h, ki, g.stride, g.pad);
+            for kj in 0..g.kw {
+                let (oj_lo, oj_hi) = valid_out_range(g.ow, g.w, kj, g.stride, g.pad);
+                if oj_lo >= oj_hi {
+                    continue;
+                }
+                let row = ((ci * g.kh + ki) * g.kw + kj) * g.cols();
+                let len = oj_hi - oj_lo;
+                for oi in oi_lo..oi_hi {
+                    let ii = oi * g.stride + ki - g.pad;
+                    // Non-negative by construction of `oj_lo`.
+                    let start = in_base + ii * g.w + oj_lo * g.stride + kj - g.pad;
+                    let dst = row + oi * g.ow + oj_lo;
+                    if g.stride == 1 {
+                        col[dst..dst + len].copy_from_slice(&x_img[start..start + len]);
+                    } else {
+                        for d in 0..len {
+                            col[dst + d] = x_img[start + d * g.stride];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a patch-matrix gradient back onto one
+/// image's input gradient. `gx_img` must be zero-initialized by the caller.
+fn col2im_add(colg: &[f32], g: ColGeom, gx_img: &mut [f32]) {
+    for ci in 0..g.c_in {
+        let in_base = ci * g.h * g.w;
+        for ki in 0..g.kh {
+            let (oi_lo, oi_hi) = valid_out_range(g.oh, g.h, ki, g.stride, g.pad);
+            for kj in 0..g.kw {
+                let (oj_lo, oj_hi) = valid_out_range(g.ow, g.w, kj, g.stride, g.pad);
+                if oj_lo >= oj_hi {
+                    continue;
+                }
+                let row = ((ci * g.kh + ki) * g.kw + kj) * g.cols();
+                let len = oj_hi - oj_lo;
+                for oi in oi_lo..oi_hi {
+                    let ii = oi * g.stride + ki - g.pad;
+                    let start = in_base + ii * g.w + oj_lo * g.stride + kj - g.pad;
+                    let src = row + oi * g.ow + oj_lo;
+                    if g.stride == 1 {
+                        for d in 0..len {
+                            gx_img[start + d] += colg[src + d];
+                        }
+                    } else {
+                        for d in 0..len {
+                            gx_img[start + d * g.stride] += colg[src + d];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn geom(input_dims: &[usize], weight_dims: &[usize], spec: Conv2dSpec) -> Result<ColGeom> {
+    let (h, w) = (input_dims[2], input_dims[3]);
+    let (kh, kw) = (weight_dims[2], weight_dims[3]);
+    Ok(ColGeom {
+        c_in: input_dims[1],
+        h,
+        w,
+        kh,
+        kw,
+        oh: spec.out_extent(h, kh)?,
+        ow: spec.out_extent(w, kw)?,
+        stride: spec.stride,
+        pad: spec.padding,
+    })
+}
+
 /// 2-D convolution: input `(n, c_in, h, w)`, weight `(c_out, c_in, kh, kw)`,
 /// optional bias `(c_out)`, producing `(n, c_out, oh, ow)`.
 pub fn conv2d(
@@ -76,10 +195,8 @@ pub fn conv2d(
     spec: Conv2dSpec,
 ) -> Result<Tensor> {
     check_conv_shapes(input, weight)?;
-    let (n, c_in, h, w) = dims4(input);
-    let (c_out, _, kh, kw) = dims4(weight);
-    let oh = spec.out_extent(h, kh)?;
-    let ow = spec.out_extent(w, kw)?;
+    let c_out = weight.dims()[0];
+    geom(input.dims(), weight.dims(), spec)?;
     if let Some(b) = bias {
         if b.dims() != [c_out] {
             return Err(TensorError::ShapeMismatch {
@@ -89,57 +206,54 @@ pub fn conv2d(
             });
         }
     }
+    if backend() == Backend::Reference {
+        return reference::conv2d(input, weight, bias, spec);
+    }
+    conv2d_with_pool(ThreadPool::global(), input, weight, bias, spec)
+}
+
+/// Blocked-path [`conv2d`] on an explicit pool. Shapes must already be
+/// consistent; exposed for the cross-thread-count determinism tests.
+#[doc(hidden)]
+pub fn conv2d_with_pool(
+    pool_ref: &ThreadPool,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let (n, _, _, _) = dims4(input);
+    let c_out = weight.dims()[0];
+    let g = geom(input.dims(), weight.dims(), spec)?;
     let x = input.data();
     let wd = weight.data();
-    let mut out = vec![0.0f32; n * c_out * oh * ow];
-    let (stride, pad) = (spec.stride, spec.padding);
-    for ni in 0..n {
-        for co in 0..c_out {
-            let out_base = (ni * c_out + co) * oh * ow;
-            for ci in 0..c_in {
-                let in_base = (ni * c_in + ci) * h * w;
-                let w_base = (co * c_in + ci) * kh * kw;
-                for ki in 0..kh {
-                    let (oi_lo, oi_hi) = valid_out_range(oh, h, ki, stride, pad);
-                    for kj in 0..kw {
-                        let wv = wd[w_base + ki * kw + kj];
-                        if wv == 0.0 {
-                            continue;
-                        }
-                        let (oj_lo, oj_hi) = valid_out_range(ow, w, kj, stride, pad);
-                        if oj_lo >= oj_hi {
-                            continue;
-                        }
-                        for oi in oi_lo..oi_hi {
-                            let ii = oi * stride + ki - pad;
-                            // Non-negative by construction of `oj_lo`.
-                            let start = in_base + ii * w + oj_lo * stride + kj - pad;
-                            let orow = out_base + oi * ow;
-                            let len = oj_hi - oj_lo;
-                            if stride == 1 {
-                                let xs = &x[start..start + len];
-                                let os = &mut out[orow + oj_lo..orow + oj_hi];
-                                for (o, &xv) in os.iter_mut().zip(xs.iter()) {
-                                    *o += wv * xv;
-                                }
-                            } else {
-                                for d in 0..len {
-                                    out[orow + oj_lo + d] += wv * x[start + d * stride];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            if let Some(b) = bias {
-                let bv = b.data()[co];
-                for v in &mut out[out_base..out_base + oh * ow] {
+    let (rows, cols) = (g.rows(), g.cols());
+    let img_in = g.c_in * g.h * g.w;
+    let mut out = vec![0.0f32; n * c_out * cols];
+    pool::for_each_batch_mut(pool_ref, &mut out, c_out * cols, |ni, o_img| {
+        let mut col = vec![0.0f32; rows * cols];
+        im2col(&x[ni * img_in..(ni + 1) * img_in], g, &mut col);
+        // OUT_i = W (c_out × K) · COL_i (K × P).
+        gemm(
+            pool_ref,
+            wd,
+            Layout::RowMajor,
+            &col,
+            Layout::RowMajor,
+            c_out,
+            cols,
+            rows,
+            o_img,
+        );
+        if let Some(b) = bias {
+            for (co, &bv) in b.data().iter().enumerate() {
+                for v in &mut o_img[co * cols..(co + 1) * cols] {
                     *v += bv;
                 }
             }
         }
-    }
-    Tensor::from_vec(out, &[n, c_out, oh, ow])
+    });
+    Tensor::from_vec(out, &[n, c_out, g.oh, g.ow])
 }
 
 /// Gradient of [`conv2d`] w.r.t. the input (a "full" transposed convolution).
@@ -156,8 +270,8 @@ pub fn conv2d_grad_input(
             rhs: input_dims.to_vec(),
         });
     }
-    let (n, c_out, oh, ow) = dims4(grad_out);
-    let (c_out_w, c_in, kh, kw) = dims4(weight);
+    let (_, c_out, _, _) = dims4(grad_out);
+    let (c_out_w, c_in, _, _) = dims4(weight);
     if c_out != c_out_w || input_dims[1] != c_in {
         return Err(TensorError::ShapeMismatch {
             op: "conv2d_grad_input",
@@ -165,50 +279,56 @@ pub fn conv2d_grad_input(
             rhs: weight.dims().to_vec(),
         });
     }
-    let (h, w) = (input_dims[2], input_dims[3]);
-    let g = grad_out.data();
-    let wd = weight.data();
-    let mut gx = vec![0.0f32; n * c_in * h * w];
-    let (stride, pad) = (spec.stride, spec.padding);
-    for ni in 0..n {
-        for co in 0..c_out {
-            let g_base = (ni * c_out + co) * oh * ow;
-            for ci in 0..c_in {
-                let x_base = (ni * c_in + ci) * h * w;
-                let w_base = (co * c_in + ci) * kh * kw;
-                for ki in 0..kh {
-                    let (oi_lo, oi_hi) = valid_out_range(oh, h, ki, stride, pad);
-                    for kj in 0..kw {
-                        let wv = wd[w_base + ki * kw + kj];
-                        if wv == 0.0 {
-                            continue;
-                        }
-                        let (oj_lo, oj_hi) = valid_out_range(ow, w, kj, stride, pad);
-                        if oj_lo >= oj_hi {
-                            continue;
-                        }
-                        for oi in oi_lo..oi_hi {
-                            let ii = oi * stride + ki - pad;
-                            let start = x_base + ii * w + oj_lo * stride + kj - pad;
-                            let grow = g_base + oi * ow;
-                            let len = oj_hi - oj_lo;
-                            if stride == 1 {
-                                let gs = &g[grow + oj_lo..grow + oj_hi];
-                                let xs = &mut gx[start..start + len];
-                                for (xv, &gv) in xs.iter_mut().zip(gs.iter()) {
-                                    *xv += wv * gv;
-                                }
-                            } else {
-                                for d in 0..len {
-                                    gx[start + d * stride] += wv * g[grow + oj_lo + d];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    let g = geom(input_dims, weight.dims(), spec)?;
+    if g.oh != grad_out.dims()[2] || g.ow != grad_out.dims()[3] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_grad_input",
+            lhs: grad_out.dims().to_vec(),
+            rhs: input_dims.to_vec(),
+        });
     }
+    if backend() == Backend::Reference {
+        return reference::conv2d_grad_input(grad_out, weight, input_dims, spec);
+    }
+    conv2d_grad_input_with_pool(ThreadPool::global(), grad_out, weight, input_dims, spec)
+}
+
+/// Blocked-path [`conv2d_grad_input`] on an explicit pool. Shapes must
+/// already be consistent; exposed for the determinism tests.
+#[doc(hidden)]
+pub fn conv2d_grad_input_with_pool(
+    pool_ref: &ThreadPool,
+    grad_out: &Tensor,
+    weight: &Tensor,
+    input_dims: &[usize],
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let (n, c_out, _, _) = dims4(grad_out);
+    let c_in = weight.dims()[1];
+    let g = geom(input_dims, weight.dims(), spec)?;
+    let go = grad_out.data();
+    let wd = weight.data();
+    let (rows, cols) = (g.rows(), g.cols());
+    let img_in = c_in * g.h * g.w;
+    let img_out = c_out * cols;
+    let mut gx = vec![0.0f32; n * img_in];
+    pool::for_each_batch_mut(pool_ref, &mut gx, img_in, |ni, gx_img| {
+        // COLG_i = Wᵀ (K × c_out) · G_i (c_out × P); W's storage is the
+        // transpose of the logical operand.
+        let mut colg = vec![0.0f32; rows * cols];
+        gemm(
+            pool_ref,
+            wd,
+            Layout::Transposed,
+            &go[ni * img_out..(ni + 1) * img_out],
+            Layout::RowMajor,
+            rows,
+            cols,
+            c_out,
+            &mut colg,
+        );
+        col2im_add(&colg, g, gx_img);
+    });
     Tensor::from_vec(gx, input_dims)
 }
 
@@ -226,9 +346,8 @@ pub fn conv2d_grad_weight(
             rhs: weight_dims.to_vec(),
         });
     }
-    let (n, c_out, oh, ow) = dims4(grad_out);
-    let (_, c_in, h, w) = dims4(input);
-    let (kh, kw) = (weight_dims[2], weight_dims[3]);
+    let (_, c_out, _, _) = dims4(grad_out);
+    let (_, c_in, _, _) = dims4(input);
     if weight_dims[0] != c_out || weight_dims[1] != c_in {
         return Err(TensorError::ShapeMismatch {
             op: "conv2d_grad_weight",
@@ -236,52 +355,261 @@ pub fn conv2d_grad_weight(
             rhs: weight_dims.to_vec(),
         });
     }
-    let g = grad_out.data();
+    let g = geom(input.dims(), weight_dims, spec)?;
+    if g.oh != grad_out.dims()[2] || g.ow != grad_out.dims()[3] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_grad_weight",
+            lhs: grad_out.dims().to_vec(),
+            rhs: weight_dims.to_vec(),
+        });
+    }
+    if backend() == Backend::Reference {
+        return reference::conv2d_grad_weight(grad_out, input, weight_dims, spec);
+    }
+    conv2d_grad_weight_with_pool(ThreadPool::global(), grad_out, input, weight_dims, spec)
+}
+
+/// Blocked-path [`conv2d_grad_weight`] on an explicit pool. Shapes must
+/// already be consistent; exposed for the determinism tests.
+#[doc(hidden)]
+pub fn conv2d_grad_weight_with_pool(
+    pool_ref: &ThreadPool,
+    grad_out: &Tensor,
+    input: &Tensor,
+    weight_dims: &[usize],
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let (n, c_out, _, _) = dims4(grad_out);
+    let c_in = input.dims()[1];
+    let g = geom(input.dims(), weight_dims, spec)?;
+    let go = grad_out.data();
     let x = input.data();
-    let mut gw = vec![0.0f32; c_out * c_in * kh * kw];
-    let (stride, pad) = (spec.stride, spec.padding);
+    let (rows, cols) = (g.rows(), g.cols());
+    let img_in = c_in * g.h * g.w;
+    let img_out = c_out * cols;
+    let w_numel = c_out * rows;
+    // Per-image partials computed in parallel, then folded in ascending
+    // image order so the reduction is bit-identical for any thread count.
+    let mut partials = vec![0.0f32; n * w_numel];
+    pool::for_each_batch_mut(pool_ref, &mut partials, w_numel, |ni, part| {
+        let mut col = vec![0.0f32; rows * cols];
+        im2col(&x[ni * img_in..(ni + 1) * img_in], g, &mut col);
+        // GW_i = G_i (c_out × P) · COL_iᵀ (P × K); COL_i's storage is the
+        // transpose of the logical right operand.
+        gemm(
+            pool_ref,
+            &go[ni * img_out..(ni + 1) * img_out],
+            Layout::RowMajor,
+            &col,
+            Layout::Transposed,
+            c_out,
+            rows,
+            cols,
+            part,
+        );
+    });
+    let mut gw = vec![0.0f32; w_numel];
     for ni in 0..n {
-        for co in 0..c_out {
-            let g_base = (ni * c_out + co) * oh * ow;
-            for ci in 0..c_in {
-                let x_base = (ni * c_in + ci) * h * w;
-                let w_base = (co * c_in + ci) * kh * kw;
-                for ki in 0..kh {
-                    let (oi_lo, oi_hi) = valid_out_range(oh, h, ki, stride, pad);
-                    for kj in 0..kw {
-                        let (oj_lo, oj_hi) = valid_out_range(ow, w, kj, stride, pad);
-                        if oj_lo >= oj_hi {
-                            continue;
-                        }
-                        let mut acc = 0.0f32;
-                        let len = oj_hi - oj_lo;
-                        for oi in oi_lo..oi_hi {
-                            let ii = oi * stride + ki - pad;
-                            let start = x_base + ii * w + oj_lo * stride + kj - pad;
-                            let grow = g_base + oi * ow;
-                            if stride == 1 {
-                                let gs = &g[grow + oj_lo..grow + oj_hi];
-                                let xs = &x[start..start + len];
-                                for (&gv, &xv) in gs.iter().zip(xs.iter()) {
-                                    acc += gv * xv;
-                                }
-                            } else {
-                                for d in 0..len {
-                                    acc += g[grow + oj_lo + d] * x[start + d * stride];
-                                }
-                            }
-                        }
-                        gw[w_base + ki * kw + kj] += acc;
-                    }
-                }
-            }
+        let part = &partials[ni * w_numel..(ni + 1) * w_numel];
+        for (dst, &src) in gw.iter_mut().zip(part.iter()) {
+            *dst += src;
         }
     }
     Tensor::from_vec(gw, weight_dims)
 }
 
+/// The seed repo's serial direct-convolution loops, kept as the numerical
+/// baseline for property tests, the `EGERIA_COMPUTE_BACKEND=reference`
+/// escape hatch, and the perf benches' "seed serial kernel" timings.
+///
+/// The seed's `wv == 0.0` inner-loop skip is gone: it silently collapsed
+/// `0 · NaN` and `0 · ∞` to `0` and cost a branch per iteration on dense
+/// weights.
+pub mod reference {
+    use super::*;
+
+    /// Serial reference [`super::conv2d`].
+    pub fn conv2d(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: Conv2dSpec,
+    ) -> Result<Tensor> {
+        check_conv_shapes(input, weight)?;
+        let (n, c_in, h, w) = dims4(input);
+        let (c_out, _, kh, kw) = dims4(weight);
+        let oh = spec.out_extent(h, kh)?;
+        let ow = spec.out_extent(w, kw)?;
+        if let Some(b) = bias {
+            if b.dims() != [c_out] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "conv2d bias",
+                    lhs: b.dims().to_vec(),
+                    rhs: vec![c_out],
+                });
+            }
+        }
+        let x = input.data();
+        let wd = weight.data();
+        let mut out = vec![0.0f32; n * c_out * oh * ow];
+        let (stride, pad) = (spec.stride, spec.padding);
+        for ni in 0..n {
+            for co in 0..c_out {
+                let out_base = (ni * c_out + co) * oh * ow;
+                for ci in 0..c_in {
+                    let in_base = (ni * c_in + ci) * h * w;
+                    let w_base = (co * c_in + ci) * kh * kw;
+                    for ki in 0..kh {
+                        let (oi_lo, oi_hi) = valid_out_range(oh, h, ki, stride, pad);
+                        for kj in 0..kw {
+                            let wv = wd[w_base + ki * kw + kj];
+                            let (oj_lo, oj_hi) = valid_out_range(ow, w, kj, stride, pad);
+                            if oj_lo >= oj_hi {
+                                continue;
+                            }
+                            for oi in oi_lo..oi_hi {
+                                let ii = oi * stride + ki - pad;
+                                // Non-negative by construction of `oj_lo`.
+                                let start = in_base + ii * w + oj_lo * stride + kj - pad;
+                                let orow = out_base + oi * ow;
+                                let len = oj_hi - oj_lo;
+                                if stride == 1 {
+                                    let xs = &x[start..start + len];
+                                    let os = &mut out[orow + oj_lo..orow + oj_hi];
+                                    for (o, &xv) in os.iter_mut().zip(xs.iter()) {
+                                        *o += wv * xv;
+                                    }
+                                } else {
+                                    for d in 0..len {
+                                        out[orow + oj_lo + d] += wv * x[start + d * stride];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(b) = bias {
+                    let bv = b.data()[co];
+                    for v in &mut out[out_base..out_base + oh * ow] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c_out, oh, ow])
+    }
+
+    /// Serial reference [`super::conv2d_grad_input`].
+    pub fn conv2d_grad_input(
+        grad_out: &Tensor,
+        weight: &Tensor,
+        input_dims: &[usize],
+        spec: Conv2dSpec,
+    ) -> Result<Tensor> {
+        let (n, c_out, oh, ow) = dims4(grad_out);
+        let (_, c_in, kh, kw) = dims4(weight);
+        let (h, w) = (input_dims[2], input_dims[3]);
+        let g = grad_out.data();
+        let wd = weight.data();
+        let mut gx = vec![0.0f32; n * c_in * h * w];
+        let (stride, pad) = (spec.stride, spec.padding);
+        for ni in 0..n {
+            for co in 0..c_out {
+                let g_base = (ni * c_out + co) * oh * ow;
+                for ci in 0..c_in {
+                    let x_base = (ni * c_in + ci) * h * w;
+                    let w_base = (co * c_in + ci) * kh * kw;
+                    for ki in 0..kh {
+                        let (oi_lo, oi_hi) = valid_out_range(oh, h, ki, stride, pad);
+                        for kj in 0..kw {
+                            let wv = wd[w_base + ki * kw + kj];
+                            let (oj_lo, oj_hi) = valid_out_range(ow, w, kj, stride, pad);
+                            if oj_lo >= oj_hi {
+                                continue;
+                            }
+                            for oi in oi_lo..oi_hi {
+                                let ii = oi * stride + ki - pad;
+                                let start = x_base + ii * w + oj_lo * stride + kj - pad;
+                                let grow = g_base + oi * ow;
+                                let len = oj_hi - oj_lo;
+                                if stride == 1 {
+                                    let gs = &g[grow + oj_lo..grow + oj_hi];
+                                    let xs = &mut gx[start..start + len];
+                                    for (xv, &gv) in xs.iter_mut().zip(gs.iter()) {
+                                        *xv += wv * gv;
+                                    }
+                                } else {
+                                    for d in 0..len {
+                                        gx[start + d * stride] += wv * g[grow + oj_lo + d];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gx, input_dims)
+    }
+
+    /// Serial reference [`super::conv2d_grad_weight`].
+    pub fn conv2d_grad_weight(
+        grad_out: &Tensor,
+        input: &Tensor,
+        weight_dims: &[usize],
+        spec: Conv2dSpec,
+    ) -> Result<Tensor> {
+        let (n, c_out, oh, ow) = dims4(grad_out);
+        let (_, c_in, h, w) = dims4(input);
+        let (kh, kw) = (weight_dims[2], weight_dims[3]);
+        let g = grad_out.data();
+        let x = input.data();
+        let mut gw = vec![0.0f32; c_out * c_in * kh * kw];
+        let (stride, pad) = (spec.stride, spec.padding);
+        for ni in 0..n {
+            for co in 0..c_out {
+                let g_base = (ni * c_out + co) * oh * ow;
+                for ci in 0..c_in {
+                    let x_base = (ni * c_in + ci) * h * w;
+                    let w_base = (co * c_in + ci) * kh * kw;
+                    for ki in 0..kh {
+                        let (oi_lo, oi_hi) = valid_out_range(oh, h, ki, stride, pad);
+                        for kj in 0..kw {
+                            let (oj_lo, oj_hi) = valid_out_range(ow, w, kj, stride, pad);
+                            if oj_lo >= oj_hi {
+                                continue;
+                            }
+                            let mut acc = 0.0f32;
+                            let len = oj_hi - oj_lo;
+                            for oi in oi_lo..oi_hi {
+                                let ii = oi * stride + ki - pad;
+                                let start = x_base + ii * w + oj_lo * stride + kj - pad;
+                                let grow = g_base + oi * ow;
+                                if stride == 1 {
+                                    let gs = &g[grow + oj_lo..grow + oj_hi];
+                                    let xs = &x[start..start + len];
+                                    for (&gv, &xv) in gs.iter().zip(xs.iter()) {
+                                        acc += gv * xv;
+                                    }
+                                } else {
+                                    for d in 0..len {
+                                        acc += g[grow + oj_lo + d] * x[start + d * stride];
+                                    }
+                                }
+                            }
+                            gw[w_base + ki * kw + kj] += acc;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gw, weight_dims)
+    }
+}
+
 /// Depthwise 2-D convolution: input `(n, c, h, w)`, weight `(c, 1, kh, kw)`,
-/// one filter per channel (MobileNetV2's spatial convolution).
+/// one filter per channel (MobileNetV2's spatial convolution). Parallel over
+/// the `n·c` channel planes (disjoint outputs → deterministic).
 pub fn depthwise_conv2d(
     input: &Tensor,
     weight: &Tensor,
@@ -307,34 +635,32 @@ pub fn depthwise_conv2d(
     let wd = weight.data();
     let mut out = vec![0.0f32; n * c * oh * ow];
     let pad = spec.padding as isize;
-    for ni in 0..n {
-        for ci in 0..c {
-            let in_base = (ni * c + ci) * h * w;
-            let out_base = (ni * c + ci) * oh * ow;
-            let w_base = ci * kh * kw;
-            let bv = bias.map(|b| b.data()[ci]).unwrap_or(0.0);
-            for oi in 0..oh {
-                for oj in 0..ow {
-                    let mut acc = bv;
-                    for ki in 0..kh {
-                        let ii = (oi * spec.stride) as isize + ki as isize - pad;
-                        if ii < 0 || ii >= h as isize {
+    pool::for_each_batch_mut(ThreadPool::global(), &mut out, oh * ow, |nc, o_plane| {
+        let ci = nc % c;
+        let in_base = nc * h * w;
+        let w_base = ci * kh * kw;
+        let bv = bias.map(|b| b.data()[ci]).unwrap_or(0.0);
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut acc = bv;
+                for ki in 0..kh {
+                    let ii = (oi * spec.stride) as isize + ki as isize - pad;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for kj in 0..kw {
+                        let jj = (oj * spec.stride) as isize + kj as isize - pad;
+                        if jj < 0 || jj >= w as isize {
                             continue;
                         }
-                        for kj in 0..kw {
-                            let jj = (oj * spec.stride) as isize + kj as isize - pad;
-                            if jj < 0 || jj >= w as isize {
-                                continue;
-                            }
-                            acc += wd[w_base + ki * kw + kj]
-                                * x[in_base + ii as usize * w + jj as usize];
-                        }
+                        acc += wd[w_base + ki * kw + kj]
+                            * x[in_base + ii as usize * w + jj as usize];
                     }
-                    out[out_base + oi * ow + oj] = acc;
                 }
+                o_plane[oi * ow + oj] = acc;
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, c, oh, ow])
 }
 
@@ -352,39 +678,37 @@ pub fn depthwise_grad_input(
     let wd = weight.data();
     let mut gx = vec![0.0f32; input_dims.iter().product()];
     let pad = spec.padding as isize;
-    for ni in 0..n {
-        for ci in 0..c {
-            let x_base = (ni * c + ci) * h * w;
-            let g_base = (ni * c + ci) * oh * ow;
-            let w_base = ci * kh * kw;
-            for oi in 0..oh {
-                for oj in 0..ow {
-                    let gv = g[g_base + oi * ow + oj];
-                    if gv == 0.0 {
+    let _ = n;
+    pool::for_each_batch_mut(ThreadPool::global(), &mut gx, h * w, |nc, gx_plane| {
+        let ci = nc % c;
+        let g_base = nc * oh * ow;
+        let w_base = ci * kh * kw;
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let gv = g[g_base + oi * ow + oj];
+                for ki in 0..kh {
+                    let ii = (oi * spec.stride) as isize + ki as isize - pad;
+                    if ii < 0 || ii >= h as isize {
                         continue;
                     }
-                    for ki in 0..kh {
-                        let ii = (oi * spec.stride) as isize + ki as isize - pad;
-                        if ii < 0 || ii >= h as isize {
+                    for kj in 0..kw {
+                        let jj = (oj * spec.stride) as isize + kj as isize - pad;
+                        if jj < 0 || jj >= w as isize {
                             continue;
                         }
-                        for kj in 0..kw {
-                            let jj = (oj * spec.stride) as isize + kj as isize - pad;
-                            if jj < 0 || jj >= w as isize {
-                                continue;
-                            }
-                            gx[x_base + ii as usize * w + jj as usize] +=
-                                gv * wd[w_base + ki * kw + kj];
-                        }
+                        gx_plane[ii as usize * w + jj as usize] +=
+                            gv * wd[w_base + ki * kw + kj];
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(gx, input_dims)
 }
 
-/// Gradient of [`depthwise_conv2d`] w.r.t. its weight.
+/// Gradient of [`depthwise_conv2d`] w.r.t. its weight. Parallel over
+/// channels; each channel folds its image contributions in ascending image
+/// order (deterministic).
 pub fn depthwise_grad_weight(
     grad_out: &Tensor,
     input: &Tensor,
@@ -398,11 +722,11 @@ pub fn depthwise_grad_weight(
     let x = input.data();
     let mut gw = vec![0.0f32; weight_dims.iter().product()];
     let pad = spec.padding as isize;
-    for ni in 0..n {
-        for ci in 0..c {
-            let x_base = (ni * c + ci) * h * w;
-            let g_base = (ni * c + ci) * oh * ow;
-            let w_base = ci * kh * kw;
+    pool::for_each_batch_mut(ThreadPool::global(), &mut gw, kh * kw, |ci, gw_chan| {
+        for ni in 0..n {
+            let nc = ni * c + ci;
+            let x_base = nc * h * w;
+            let g_base = nc * oh * ow;
             for ki in 0..kh {
                 for kj in 0..kw {
                     let mut acc = 0.0f32;
@@ -420,11 +744,11 @@ pub fn depthwise_grad_weight(
                                 * x[x_base + ii as usize * w + jj as usize];
                         }
                     }
-                    gw[w_base + ki * kw + kj] += acc;
+                    gw_chan[ki * kw + kj] += acc;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(gw, weight_dims)
 }
 
@@ -665,6 +989,53 @@ mod tests {
         // Centre sees all 9 ones; corners see 4.
         assert_eq!(y.at(&[0, 0, 1, 1]).unwrap(), 9.0);
         assert_eq!(y.at(&[0, 0, 0, 0]).unwrap(), 4.0);
+    }
+
+    /// The blocked GEMM path must agree with the seed's direct loops on
+    /// every geometry variation (odd extents, stride, padding).
+    #[test]
+    fn conv2d_matches_reference_kernels() {
+        let mut rng = Rng::new(40);
+        for &(n, c_in, c_out, h, w, kh, kw, stride, pad) in &[
+            (1usize, 1usize, 1usize, 5usize, 5usize, 3usize, 3usize, 1usize, 0usize),
+            (2, 3, 4, 7, 9, 3, 3, 1, 1),
+            (3, 2, 5, 8, 6, 3, 2, 2, 1),
+            (1, 4, 3, 11, 7, 5, 3, 3, 2),
+        ] {
+            let spec = Conv2dSpec::new(stride, pad).unwrap();
+            let x = Tensor::randn(&[n, c_in, h, w], &mut rng);
+            let wt = Tensor::randn(&[c_out, c_in, kh, kw], &mut rng);
+            let b = Tensor::randn(&[c_out], &mut rng);
+            let y = conv2d(&x, &wt, Some(&b), spec).unwrap();
+            let y_ref = reference::conv2d(&x, &wt, Some(&b), spec).unwrap();
+            assert!(
+                y.allclose(&y_ref, 1e-4),
+                "forward mismatch at ({n},{c_in},{c_out},{h},{w},{kh},{kw},s{stride},p{pad})"
+            );
+            let g = Tensor::randn(y.dims(), &mut rng);
+            let gx = conv2d_grad_input(&g, &wt, x.dims(), spec).unwrap();
+            let gx_ref = reference::conv2d_grad_input(&g, &wt, x.dims(), spec).unwrap();
+            assert!(gx.allclose(&gx_ref, 1e-4), "grad_input mismatch");
+            let gw = conv2d_grad_weight(&g, &x, wt.dims(), spec).unwrap();
+            let gw_ref = reference::conv2d_grad_weight(&g, &x, wt.dims(), spec).unwrap();
+            assert!(gw.allclose(&gw_ref, 1e-3), "grad_weight mismatch");
+        }
+    }
+
+    /// Regression for the seed's `wv == 0.0` skip: a zero weight times a
+    /// NaN input must produce NaN, not silently drop the term.
+    #[test]
+    fn conv2d_propagates_nan_through_zero_weight() {
+        let mut x = Tensor::zeros(&[1, 1, 3, 3]);
+        x.set(&[0, 0, 1, 1], f32::NAN).unwrap();
+        let w = Tensor::zeros(&[1, 1, 3, 3]);
+        let spec = Conv2dSpec::new(1, 1).unwrap();
+        let y = conv2d(&x, &w, None, spec).unwrap();
+        assert!(y.at(&[0, 0, 1, 1]).unwrap().is_nan(), "blocked path");
+        let y_ref = reference::conv2d(&x, &w, None, spec).unwrap();
+        assert!(y_ref.at(&[0, 0, 1, 1]).unwrap().is_nan(), "reference path");
+        let gi = conv2d_grad_input(&y_ref.map(|_| f32::NAN), &w, x.dims(), spec).unwrap();
+        assert!(gi.data().iter().any(|v| v.is_nan()), "grad_input path");
     }
 
     /// Numerically checks `conv2d_grad_input` and `conv2d_grad_weight`

@@ -1,0 +1,366 @@
+//! Cache-blocked, register-tiled f32 GEMM with operand packing.
+//!
+//! This is the single compute primitive under `matmul`, `bmm`, the linear
+//! and attention layers, and (via im2col) all convolution kernels. The
+//! layering follows the classic Goto/BLIS scheme:
+//!
+//! - **B packing**: the right-hand matrix is repacked once per call into
+//!   column panels of [`NR`] interleaved columns so the microkernel streams
+//!   it contiguously.
+//! - **Cache blocking**: the k dimension is processed in [`KC`]-sized blocks
+//!   and the rows of A in [`MC`]-sized blocks, keeping the packed A block
+//!   and the active B panel resident in cache.
+//! - **Register tiling**: an [`MR`]`×`[`NR`] microkernel accumulates into a
+//!   local tile the compiler keeps in vector registers.
+//!
+//! Parallelism: row blocks of A are dispatched as pool tasks; each task owns
+//! a disjoint stripe of C. Determinism: every C element accumulates its k
+//! products in the same order (k blocks ascending, then k ascending within
+//! the microkernel) regardless of thread count or stripe assignment, so the
+//! output is bit-identical for any pool size.
+
+use crate::pool::ThreadPool;
+
+/// Microkernel tile rows.
+pub const MR: usize = 4;
+/// Microkernel tile columns (kept contiguous in packed B).
+pub const NR: usize = 16;
+/// Rows of A per cache block (multiple of [`MR`]).
+const MC: usize = 64;
+/// Depth of one k block: `KC × NR` floats of packed B plus `MC × KC` of
+/// packed A stay well inside L2.
+const KC: usize = 256;
+
+/// How one operand matrix is laid out relative to the logical GEMM operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// The slice stores the logical operand row-major.
+    RowMajor,
+    /// The slice stores the *transpose* of the logical operand row-major
+    /// (i.e. the logical operand column-major).
+    Transposed,
+}
+
+#[inline(always)]
+fn read(m: &[f32], layout: Layout, rows_ld: usize, cols_ld: usize, r: usize, c: usize) -> f32 {
+    match layout {
+        Layout::RowMajor => m[r * cols_ld + c],
+        Layout::Transposed => {
+            let _ = rows_ld;
+            m[c * rows_ld + r]
+        }
+    }
+}
+
+/// Packs columns `[0, n)` of logical B (`k × n`) into NR-wide panels for the
+/// k range `[kb, kb+kc)`. Output layout: panel-major, then k-major, then the
+/// NR interleaved columns; short trailing panels are zero-padded.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_block(
+    packed: &mut [f32],
+    b: &[f32],
+    layout: Layout,
+    k_total: usize,
+    n: usize,
+    kb: usize,
+    kc: usize,
+    panel: usize,
+) {
+    let j0 = panel * NR;
+    let width = NR.min(n - j0);
+    let dst = &mut packed[..kc * NR];
+    match layout {
+        Layout::RowMajor if width == NR => {
+            // Hot case: copy NR contiguous values per k row.
+            for p in 0..kc {
+                let src = &b[(kb + p) * n + j0..(kb + p) * n + j0 + NR];
+                dst[p * NR..(p + 1) * NR].copy_from_slice(src);
+            }
+        }
+        _ => {
+            for p in 0..kc {
+                for c in 0..NR {
+                    dst[p * NR + c] = if c < width {
+                        read(b, layout, k_total, n, kb + p, j0 + c)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Packs rows `[i0, i0+rows)` of logical A (`m × k`) for the k range
+/// `[kb, kb+kc)` into MR-row strips; short trailing strips are zero-padded.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_block(
+    packed: &mut [f32],
+    a: &[f32],
+    layout: Layout,
+    m: usize,
+    k_total: usize,
+    i0: usize,
+    rows: usize,
+    kb: usize,
+    kc: usize,
+) {
+    let strips = rows.div_ceil(MR);
+    for s in 0..strips {
+        let r0 = i0 + s * MR;
+        let live = MR.min(i0 + rows - r0);
+        let dst = &mut packed[s * MR * kc..(s + 1) * MR * kc];
+        for p in 0..kc {
+            for r in 0..MR {
+                dst[p * MR + r] = if r < live {
+                    read(a, layout, m, k_total, r0 + r, kb + p)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// The register-tiled inner kernel: `acc += a_strip · b_panel` over `kc`
+/// rank-1 updates. `a_strip` is `kc × MR` interleaved, `b_panel` is
+/// `kc × NR` interleaved.
+#[inline(always)]
+fn microkernel(kc: usize, a_strip: &[f32], b_panel: &[f32], acc: &mut [f32; MR * NR]) {
+    for p in 0..kc {
+        let av: &[f32; MR] = a_strip[p * MR..(p + 1) * MR].try_into().expect("MR strip");
+        let bv: &[f32; NR] = b_panel[p * NR..(p + 1) * NR].try_into().expect("NR panel");
+        for r in 0..MR {
+            let ar = av[r];
+            for c in 0..NR {
+                acc[r * NR + c] += ar * bv[c];
+            }
+        }
+    }
+}
+
+/// `c += a · b` where logical A is `m × k`, logical B is `k × n` and `c` is
+/// `m × n` row-major. `Layout::Transposed` operands are read through their
+/// transpose without materializing it.
+///
+/// `c` is accumulated into (callers start from a zeroed buffer); element
+/// accumulation order is fixed, so results are bit-identical for every pool
+/// size.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    pool: &ThreadPool,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    m: usize,
+    n: usize,
+    k: usize,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm: A length");
+    assert_eq!(b.len(), k * n, "gemm: B length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        return;
+    }
+
+    // Phase 1: pack all of B once, panels in parallel (disjoint writes).
+    let panels = n.div_ceil(NR);
+    let mut packed_b = vec![0.0f32; panels * k * NR];
+    {
+        let pb = SendSlice(packed_b.as_mut_ptr());
+        pool.run(panels, &|j| {
+            let dst =
+                unsafe { std::slice::from_raw_parts_mut(pb.get().add(j * k * NR), k * NR) };
+            let mut kb = 0;
+            while kb < k {
+                let kc = KC.min(k - kb);
+                pack_b_block(
+                    &mut dst[kb * NR..(kb + kc) * NR],
+                    b,
+                    b_layout,
+                    k,
+                    n,
+                    kb,
+                    kc,
+                    j,
+                );
+                kb += kc;
+            }
+        });
+    }
+
+    // Phase 2: row stripes of C in parallel; each task packs its own A
+    // block per k-block and runs the microkernel grid.
+    let row_blocks = m.div_ceil(MC);
+    let cp = SendSlice(c.as_mut_ptr());
+    pool.run(row_blocks, &|blk| {
+        let i0 = blk * MC;
+        let rows = MC.min(m - i0);
+        let strips = rows.div_ceil(MR);
+        let mut packed_a = vec![0.0f32; strips.max(1) * MR * KC];
+        let mut kb = 0;
+        while kb < k {
+            let kc = KC.min(k - kb);
+            pack_a_block(&mut packed_a, a, a_layout, m, k, i0, rows, kb, kc);
+            for j in 0..panels {
+                let b_panel = &packed_b[j * k * NR + kb * NR..j * k * NR + (kb + kc) * NR];
+                let j0 = j * NR;
+                let width = NR.min(n - j0);
+                for s in 0..strips {
+                    let a_strip = &packed_a[s * MR * kc..(s + 1) * MR * kc];
+                    let mut acc = [0.0f32; MR * NR];
+                    microkernel(kc, a_strip, b_panel, &mut acc);
+                    let r0 = i0 + s * MR;
+                    let live = MR.min(i0 + rows - r0);
+                    for r in 0..live {
+                        let row = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                cp.get().add((r0 + r) * n + j0),
+                                width,
+                            )
+                        };
+                        for (dst, &v) in row.iter_mut().zip(acc[r * NR..r * NR + width].iter())
+                        {
+                            *dst += v;
+                        }
+                    }
+                }
+            }
+            kb += kc;
+        }
+    });
+}
+
+/// Reference GEMM: the seed repo's serial i-k-j triple loop (minus its
+/// `0.0`-skip, which broke `0 · NaN` propagation). Kept as the numerical
+/// baseline for property tests and as the "seed serial kernel" timed by the
+/// perf benches.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_reference(
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    m: usize,
+    n: usize,
+    k: usize,
+    c: &mut [f32],
+) {
+    assert_eq!(c.len(), m * n, "gemm_reference: C length");
+    for i in 0..m {
+        for p in 0..k {
+            let av = read(a, a_layout, m, k, i, p);
+            for j in 0..n {
+                c[i * n + j] += av * read(b, b_layout, k, n, p, j);
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendSlice(*mut f32);
+unsafe impl Send for SendSlice {}
+unsafe impl Sync for SendSlice {}
+impl SendSlice {
+    /// Method (not field) access so closures capture the whole wrapper,
+    /// keeping it `Sync` under edition-2021 disjoint capture.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn random(len: usize, rng: &mut Rng) -> Vec<f32> {
+        (0..len).map(|_| rng.normal()).collect()
+    }
+
+    fn run_both(
+        m: usize,
+        n: usize,
+        k: usize,
+        a_layout: Layout,
+        b_layout: Layout,
+        threads: usize,
+        seed: u64,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = Rng::new(seed);
+        let a = random(m * k, &mut rng);
+        let b = random(k * n, &mut rng);
+        let pool = ThreadPool::new(threads);
+        let mut c = vec![0.0f32; m * n];
+        gemm(&pool, &a, a_layout, &b, b_layout, m, n, k, &mut c);
+        let mut c_ref = vec![0.0f32; m * n];
+        gemm_reference(&a, a_layout, &b, b_layout, m, n, k, &mut c_ref);
+        (c, c_ref)
+    }
+
+    #[test]
+    fn matches_reference_on_odd_shapes() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (MR, NR, KC),
+            (MC + 3, NR * 2 + 5, KC + 9),
+            (130, 70, 33),
+        ] {
+            for &(la, lb) in &[
+                (Layout::RowMajor, Layout::RowMajor),
+                (Layout::Transposed, Layout::RowMajor),
+                (Layout::RowMajor, Layout::Transposed),
+                (Layout::Transposed, Layout::Transposed),
+            ] {
+                let (c, c_ref) = run_both(m, n, k, la, lb, 3, 42);
+                for (i, (&x, &y)) in c.iter().zip(c_ref.iter()).enumerate() {
+                    assert!(
+                        (x - y).abs() <= 1e-3 * (1.0 + y.abs()),
+                        "({m},{n},{k}) {la:?}/{lb:?} elem {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let (m, n, k) = (77, 53, 129);
+        let base = run_both(m, n, k, Layout::RowMajor, Layout::RowMajor, 1, 7).0;
+        for threads in [2usize, 7, 8] {
+            let c = run_both(m, n, k, Layout::RowMajor, Layout::RowMajor, threads, 7).0;
+            for (a, b) in base.iter().zip(c.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let pool = ThreadPool::new(1);
+        let a = vec![1.0f32, 2.0];
+        let b = vec![3.0f32, 4.0];
+        let mut c = vec![10.0f32];
+        gemm(&pool, &a, Layout::RowMajor, &b, Layout::RowMajor, 1, 1, 2, &mut c);
+        assert_eq!(c[0], 10.0 + 3.0 + 8.0);
+    }
+
+    #[test]
+    fn nan_propagates_through_gemm() {
+        let pool = ThreadPool::new(2);
+        let mut a = vec![0.0f32; 4];
+        a[0] = f32::NAN;
+        let b = vec![0.0f32; 4];
+        let mut c = vec![0.0f32; 4];
+        gemm(&pool, &a, Layout::RowMajor, &b, Layout::RowMajor, 2, 2, 2, &mut c);
+        assert!(c[0].is_nan(), "0 · NaN must stay NaN");
+        assert!(c[1].is_nan());
+        assert!(!c[2].is_nan());
+    }
+}

@@ -18,15 +18,19 @@
 //! Everything is `f32`: the paper trains in fp32 and emulates reduced
 //! precision (int8/f16) in `egeria-quant` on top of this crate.
 
+pub mod backend;
 pub mod conv;
 pub mod error;
+pub mod gemm;
 pub mod linalg;
+pub mod pool;
 pub mod rng;
 pub mod serialize;
 pub mod shape;
 pub mod tensor;
 
 pub use error::{Result, TensorError};
+pub use pool::ThreadPool;
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,0 +1,410 @@
+//! Shared persistent worker pool for the compute kernels.
+//!
+//! All parallel tensor kernels dispatch through a [`ThreadPool`]: a fixed set
+//! of `std::thread` workers fed by a `crossbeam` MPMC channel. The pool is
+//! designed around a *determinism contract*:
+//!
+//! - Work is partitioned into tasks by **fixed geometry** (chunk sizes and
+//!   block extents are compile-time constants), never by thread count.
+//! - Each task writes a disjoint region of the output, so scheduling order
+//!   cannot affect results.
+//! - Cross-task reductions accumulate per-task partials **in task-index
+//!   order** on the calling thread.
+//!
+//! Under this contract every kernel produces bit-identical output for any
+//! worker count, including 1 — which is what lets the PR-1 resume-exactness
+//! guarantees survive parallel execution.
+//!
+//! The global pool is sized from `EGERIA_THREADS` if set (clamped to
+//! `[1, 256]`), otherwise [`std::thread::available_parallelism`]. The calling
+//! thread always participates in task execution, so a pool of size `n` holds
+//! `n - 1` worker threads and a size-1 pool runs everything inline with zero
+//! dispatch overhead.
+
+use crossbeam::channel;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// Fixed chunk length (in elements) for parallel elementwise and reduction
+/// kernels. Part of the determinism contract: chunk geometry never depends
+/// on thread count, so partial-sum association is stable.
+pub const CHUNK: usize = 32 * 1024;
+
+/// A borrowed task closure smuggled across the `'static` channel boundary.
+///
+/// Safety: `ThreadPool::run` blocks until every claimed task has finished
+/// before returning, so the pointee outlives all dereferences.
+struct TaskFn(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for TaskFn {}
+unsafe impl Sync for TaskFn {}
+
+struct JobShared {
+    f: TaskFn,
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Count of finished tasks.
+    done: AtomicUsize,
+    tasks: usize,
+    panicked: AtomicBool,
+    done_tx: channel::Sender<()>,
+}
+
+impl JobShared {
+    /// Claims and runs tasks until none remain; returns whether this call
+    /// finished the last task.
+    fn drain(&self) {
+        let f = unsafe { &*self.f.0 };
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.tasks {
+                return;
+            }
+            if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.tasks {
+                // Wake the caller; ignore a disconnected receiver (cannot
+                // happen while the caller is blocked in `run`).
+                let _ = self.done_tx.send(());
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Set while a thread is executing pool tasks; nested `run` calls from
+    /// inside a task execute inline so kernels can freely compose (e.g. a
+    /// per-image conv task calling the blocked GEMM) without flooding the
+    /// queue or inverting the fixed work partition.
+    static IN_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A persistent worker pool. See the module docs for the determinism
+/// contract all dispatched work must follow.
+pub struct ThreadPool {
+    job_tx: Option<channel::Sender<Arc<JobShared>>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool that executes with `threads` total threads (the caller
+    /// plus `threads - 1` spawned workers). `0` is treated as `1`.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return ThreadPool {
+                job_tx: None,
+                workers: Vec::new(),
+                threads: 1,
+            };
+        }
+        // Generous bound: jobs are tiny Arcs and senders never need to block
+        // in practice; `run` enqueues at most `threads - 1` per invocation.
+        let (tx, rx) = channel::bounded::<Arc<JobShared>>(4 * threads);
+        let workers = (0..threads - 1)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("egeria-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            IN_TASK.with(|t| t.set(true));
+                            job.drain();
+                            IN_TASK.with(|t| t.set(false));
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            job_tx: Some(tx),
+            workers,
+            threads,
+        }
+    }
+
+    /// The configured thread count (callers + workers).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0)`, `f(1)`, …, `f(tasks - 1)` across the pool and blocks
+    /// until all tasks have finished.
+    ///
+    /// Tasks may run in any order on any thread; callers must ensure tasks
+    /// write disjoint data (see the module-level determinism contract).
+    /// Panics in a task are re-raised here after all tasks complete.
+    pub fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        let inline = self.threads == 1
+            || tasks == 1
+            || self.job_tx.is_none()
+            || IN_TASK.with(|t| t.get());
+        if inline {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        let (done_tx, done_rx) = channel::bounded::<()>(1);
+        // Safety: we block on `done_rx` below until every claimed task has
+        // completed, so the borrowed closure outlives all worker accesses.
+        let f_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        let shared = Arc::new(JobShared {
+            f: TaskFn(f_static as *const _),
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            tasks,
+            panicked: AtomicBool::new(false),
+            done_tx,
+        });
+        let helpers = (self.threads - 1).min(tasks - 1);
+        if let Some(tx) = &self.job_tx {
+            for _ in 0..helpers {
+                if tx.send(Arc::clone(&shared)).is_err() {
+                    break;
+                }
+            }
+        }
+        IN_TASK.with(|t| t.set(true));
+        shared.drain();
+        IN_TASK.with(|t| t.set(false));
+        // Wait for stragglers claimed by workers.
+        let _ = done_rx.recv();
+        if shared.panicked.load(Ordering::Relaxed) {
+            panic!("egeria-tensor pool task panicked");
+        }
+    }
+
+    /// The process-wide pool used by all tensor kernels, sized from
+    /// `EGERIA_THREADS` or the machine's available parallelism.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Disconnect the channel so workers fall out of their recv loops.
+        self.job_tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Thread count the global pool is created with: `EGERIA_THREADS` if set and
+/// parseable, else available parallelism, else 1.
+pub fn default_threads() -> usize {
+    match std::env::var("EGERIA_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.clamp(1, 256),
+            Err(_) => hardware_threads(),
+        },
+        Err(_) => hardware_threads(),
+    }
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Raw mutable pointer that may cross threads; used to hand disjoint
+/// sub-slices of one buffer to pool tasks.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+impl SendPtr {
+    /// Method (not field) access so closures capture the whole wrapper,
+    /// keeping it `Sync` under edition-2021 disjoint capture.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Applies `f(chunk_index, chunk)` to fixed-size chunks of `data` in
+/// parallel. Chunk geometry is [`CHUNK`], independent of thread count.
+pub fn for_each_chunk_mut(
+    pool: &ThreadPool,
+    data: &mut [f32],
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let tasks = len.div_ceil(CHUNK);
+    let ptr = SendPtr(data.as_mut_ptr());
+    pool.run(tasks, &|i| {
+        let start = i * CHUNK;
+        let end = (start + CHUNK).min(len);
+        // Safety: chunk ranges are disjoint and in-bounds.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(start), end - start) };
+        f(i, chunk);
+    });
+}
+
+/// Applies `f(chunk_of_dst, matching_chunk_of_src)` in parallel over fixed
+/// [`CHUNK`]-sized chunks. `dst` and `src` must have equal length.
+pub fn for_each_chunk_mut_zip(
+    pool: &ThreadPool,
+    dst: &mut [f32],
+    src: &[f32],
+    f: impl Fn(&mut [f32], &[f32]) + Sync,
+) {
+    assert_eq!(dst.len(), src.len(), "zip chunk length mismatch");
+    let len = dst.len();
+    if len == 0 {
+        return;
+    }
+    let tasks = len.div_ceil(CHUNK);
+    let ptr = SendPtr(dst.as_mut_ptr());
+    pool.run(tasks, &|i| {
+        let start = i * CHUNK;
+        let end = (start + CHUNK).min(len);
+        let d = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(start), end - start) };
+        f(d, &src[start..end]);
+    });
+}
+
+/// Splits `data` into consecutive `item`-sized slices and applies
+/// `f(item_index, item_slice)` in parallel — the dispatch used for
+/// batch-parallel kernels (one task per batch element / image).
+pub fn for_each_batch_mut(
+    pool: &ThreadPool,
+    data: &mut [f32],
+    item: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if item == 0 || data.is_empty() {
+        return;
+    }
+    assert_eq!(data.len() % item, 0, "batch dispatch length mismatch");
+    let tasks = data.len() / item;
+    let ptr = SendPtr(data.as_mut_ptr());
+    pool.run(tasks, &|i| {
+        // Safety: item ranges are disjoint and in-bounds.
+        let slice = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(i * item), item) };
+        f(i, slice);
+    });
+}
+
+/// Deterministic parallel reduction: maps each fixed [`CHUNK`]-sized range
+/// of `0..len` to a partial with `f`, then folds the partials **in chunk
+/// order** on the calling thread. Bit-identical for every thread count.
+pub fn reduce_chunks(pool: &ThreadPool, len: usize, f: impl Fn(std::ops::Range<usize>) -> f32 + Sync) -> f32 {
+    if len == 0 {
+        return 0.0;
+    }
+    let tasks = len.div_ceil(CHUNK);
+    if tasks == 1 {
+        return f(0..len);
+    }
+    let mut partials = vec![0.0f32; tasks];
+    {
+        let ptr = SendPtr(partials.as_mut_ptr());
+        pool.run(tasks, &|i| {
+            let start = i * CHUNK;
+            let end = (start + CHUNK).min(len);
+            // Safety: each task writes only its own slot.
+            unsafe { *ptr.get().add(i) = f(start..end) };
+        });
+    }
+    // Fixed left-to-right association, independent of scheduling.
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            // Sum of task indices: double-counted or skipped tasks change it.
+            let sum = AtomicU64::new(0);
+            pool.run(1000, &|i| {
+                sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 500_500, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let pool = ThreadPool::new(4);
+        pool.run(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn chunked_mutation_covers_whole_buffer() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0.0f32; CHUNK * 2 + 17];
+        for_each_chunk_mut(&pool, &mut data, |ci, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * CHUNK + j) as f32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as f32);
+        }
+    }
+
+    #[test]
+    fn reduce_is_bit_identical_across_thread_counts() {
+        let len = CHUNK * 3 + 123;
+        let data: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 7, 8] {
+            let pool = ThreadPool::new(threads);
+            results.push(reduce_chunks(&pool, len, |r| data[r].iter().sum()));
+        }
+        for w in results.windows(2) {
+            assert_eq!(w[0].to_bits(), w[1].to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_run_executes_inline_without_deadlock() {
+        let pool = ThreadPool::new(4);
+        let count = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            ThreadPool::global().run(8, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_completion() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, &|i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool stays usable after a panic.
+        let count = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,6 +1,9 @@
 //! The dense, contiguous, row-major `f32` tensor.
 
+use crate::backend::{backend, Backend};
 use crate::error::{Result, TensorError};
+use crate::gemm::{gemm, gemm_reference, Layout};
+use crate::pool::{self, ThreadPool};
 use crate::rng::Rng;
 use crate::shape::Shape;
 
@@ -369,16 +372,19 @@ impl Tensor {
         &self,
         other: &Tensor,
         op: &'static str,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Result<Tensor> {
         if self.shape == other.shape {
-            // Fast path: identical shapes, no index arithmetic.
-            let data = self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            // Fast path: identical shapes, no index arithmetic; chunked
+            // across the pool (pure per-element map, trivially
+            // deterministic).
+            let mut data = vec![0.0f32; self.data.len()];
+            pool::for_each_chunk_mut(ThreadPool::global(), &mut data, |ci, chunk| {
+                let start = ci * pool::CHUNK;
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(self.data[start + j], other.data[start + j]);
+                }
+            });
             return Ok(Tensor {
                 data,
                 shape: self.shape.clone(),
@@ -450,7 +456,7 @@ impl Tensor {
     }
 
     /// In-place `self += alpha * other` for same-shape tensors (the SGD
-    /// update kernel).
+    /// update kernel). Chunk-parallel; per-element, so deterministic.
     pub fn axpy_inplace(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
@@ -459,24 +465,111 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
+        pool::for_each_chunk_mut_zip(
+            ThreadPool::global(),
+            &mut self.data,
+            &other.data,
+            |d, s| {
+                for (a, &b) in d.iter_mut().zip(s.iter()) {
+                    *a += alpha * b;
+                }
+            },
+        );
+        Ok(())
+    }
+
+    /// In-place `self = decay * self + alpha * other` (the fused momentum /
+    /// first-moment update used by the optimizers).
+    pub fn decay_axpy_inplace(&mut self, decay: f32, alpha: f32, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "decay_axpy",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
         }
+        pool::for_each_chunk_mut_zip(
+            ThreadPool::global(),
+            &mut self.data,
+            &other.data,
+            |d, s| {
+                for (a, &b) in d.iter_mut().zip(s.iter()) {
+                    *a = decay * *a + alpha * b;
+                }
+            },
+        );
+        Ok(())
+    }
+
+    /// In-place `self = decay * self + (1 - decay) * other²` (Adam's second
+    /// moment, fused so the gradient square never materializes).
+    pub fn ema_sq_inplace(&mut self, decay: f32, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "ema_sq",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let w = 1.0 - decay;
+        pool::for_each_chunk_mut_zip(
+            ThreadPool::global(),
+            &mut self.data,
+            &other.data,
+            |d, s| {
+                for (a, &g) in d.iter_mut().zip(s.iter()) {
+                    *a = decay * *a + w * g * g;
+                }
+            },
+        );
+        Ok(())
+    }
+
+    /// In-place Adam parameter update:
+    /// `self -= lr * (m / bc1) / (sqrt(v / bc2) + eps)`.
+    pub fn adam_update_inplace(
+        &mut self,
+        lr: f32,
+        eps: f32,
+        bc1: f32,
+        bc2: f32,
+        m: &Tensor,
+        v: &Tensor,
+    ) -> Result<()> {
+        if self.shape != m.shape || self.shape != v.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "adam_update",
+                lhs: self.dims().to_vec(),
+                rhs: m.dims().to_vec(),
+            });
+        }
+        pool::for_each_chunk_mut(ThreadPool::global(), &mut self.data, |ci, chunk| {
+            let start = ci * pool::CHUNK;
+            for (j, p) in chunk.iter_mut().enumerate() {
+                let m_hat = m.data[start + j] / bc1;
+                let v_hat = v.data[start + j] / bc2;
+                *p -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        });
         Ok(())
     }
 
     /// In-place scaling of every element.
     pub fn scale_inplace(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        pool::for_each_chunk_mut(ThreadPool::global(), &mut self.data, |_, chunk| {
+            for a in chunk {
+                *a *= s;
+            }
+        });
     }
 
     /// Fills the tensor with a constant.
     pub fn fill_inplace(&mut self, v: f32) {
-        for a in &mut self.data {
-            *a = v;
-        }
+        pool::for_each_chunk_mut(ThreadPool::global(), &mut self.data, |_, chunk| {
+            for a in chunk {
+                *a = v;
+            }
+        });
     }
 
     // ------------------------------------------------------------------
@@ -484,8 +577,14 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Sum of all elements.
+    ///
+    /// Parallel with fixed chunk geometry and an ordered partial fold, so
+    /// the result is bit-identical for every thread count (and equal to the
+    /// plain serial fold for tensors up to one chunk).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        pool::reduce_chunks(ThreadPool::global(), self.data.len(), |r| {
+            self.data[r].iter().sum()
+        })
     }
 
     /// Mean of all elements (0 for an empty tensor).
@@ -507,9 +606,12 @@ impl Tensor {
         self.data.iter().copied().fold(f32::INFINITY, f32::min)
     }
 
-    /// Squared Frobenius norm (sum of squares).
+    /// Squared Frobenius norm (sum of squares). Deterministic parallel
+    /// reduction (see [`Tensor::sum`]).
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum()
+        pool::reduce_chunks(ThreadPool::global(), self.data.len(), |r| {
+            self.data[r].iter().map(|&x| x * x).sum()
+        })
     }
 
     /// Frobenius / L2 norm.
@@ -526,12 +628,17 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| a * b)
-            .sum())
+        Ok(pool::reduce_chunks(
+            ThreadPool::global(),
+            self.data.len(),
+            |r| {
+                self.data[r.clone()]
+                    .iter()
+                    .zip(other.data[r].iter())
+                    .map(|(&a, &b)| a * b)
+                    .sum()
+            },
+        ))
     }
 
     /// Sums along `axis`, removing that dimension.
@@ -599,72 +706,146 @@ impl Tensor {
     // Matrix multiplication
     // ------------------------------------------------------------------
 
-    /// 2-D matrix product `self (m×k) · other (k×n) → (m×n)`.
-    ///
-    /// Uses an i-k-j loop order with the inner j-loop over contiguous memory;
-    /// adequate for the reduced-width models this reproduction trains.
-    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 || other.rank() != 2 || self.dims()[1] != other.dims()[0] {
+    /// Shared driver for the four 2-D product variants. `a_rows`/`b_rows`
+    /// are the *storage* shapes; `m`/`n`/`k` the logical GEMM extents.
+    #[allow(clippy::too_many_arguments)]
+    fn matmul_impl(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        a_layout: Layout,
+        b_layout: Layout,
+    ) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
             return Err(TensorError::ShapeMismatch {
-                op: "matmul",
+                op,
                 lhs: self.dims().to_vec(),
                 rhs: other.dims().to_vec(),
             });
         }
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        let n = other.dims()[1];
+        let (m, k) = match a_layout {
+            Layout::RowMajor => (self.dims()[0], self.dims()[1]),
+            Layout::Transposed => (self.dims()[1], self.dims()[0]),
+        };
+        let (bk, n) = match b_layout {
+            Layout::RowMajor => (other.dims()[0], other.dims()[1]),
+            Layout::Transposed => (other.dims()[1], other.dims()[0]),
+        };
+        if k != bk {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
+        match backend() {
+            Backend::Blocked => gemm(
+                ThreadPool::global(),
+                &self.data,
+                a_layout,
+                &other.data,
+                b_layout,
+                m,
+                n,
+                k,
+                &mut out,
+            ),
+            Backend::Reference => {
+                gemm_reference(&self.data, a_layout, &other.data, b_layout, m, n, k, &mut out)
             }
         }
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// Batched 3-D matmul: `(b, m, k) · (b, k, n) → (b, m, n)`.
-    pub fn bmm(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 3
-            || other.rank() != 3
-            || self.dims()[0] != other.dims()[0]
-            || self.dims()[2] != other.dims()[1]
-        {
+    /// 2-D matrix product `self (m×k) · other (k×n) → (m×n)`.
+    ///
+    /// Runs on the parallel blocked GEMM ([`crate::gemm`]); deterministic
+    /// for every thread count.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        self.matmul_impl(other, "matmul", Layout::RowMajor, Layout::RowMajor)
+    }
+
+    /// `self (m×k) · otherᵀ` where `other` is stored `(n×k)` — the linear
+    /// layer forward (`x · Wᵀ`) without materializing the transpose.
+    pub fn matmul_tb(&self, other: &Tensor) -> Result<Tensor> {
+        self.matmul_impl(other, "matmul_tb", Layout::RowMajor, Layout::Transposed)
+    }
+
+    /// `selfᵀ · other` where `self` is stored `(k×m)` — the weight-gradient
+    /// product (`gᵀ · x`) without materializing the transpose.
+    pub fn matmul_ta(&self, other: &Tensor) -> Result<Tensor> {
+        self.matmul_impl(other, "matmul_ta", Layout::Transposed, Layout::RowMajor)
+    }
+
+    /// Shared driver for the batched product variants.
+    fn bmm_impl(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        a_layout: Layout,
+        b_layout: Layout,
+    ) -> Result<Tensor> {
+        if self.rank() != 3 || other.rank() != 3 || self.dims()[0] != other.dims()[0] {
             return Err(TensorError::ShapeMismatch {
-                op: "bmm",
+                op,
                 lhs: self.dims().to_vec(),
                 rhs: other.dims().to_vec(),
             });
         }
-        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
-        let n = other.dims()[2];
-        let mut out = vec![0.0f32; b * m * n];
-        for bi in 0..b {
-            let a_base = bi * m * k;
-            let b_base = bi * k * n;
-            let o_base = bi * m * n;
-            for i in 0..m {
-                let arow = &self.data[a_base + i * k..a_base + (i + 1) * k];
-                let orow = &mut out[o_base + i * n..o_base + (i + 1) * n];
-                for (p, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let brow = &other.data[b_base + p * n..b_base + (p + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                        *o += a * bv;
-                    }
-                }
-            }
+        let (m, k) = match a_layout {
+            Layout::RowMajor => (self.dims()[1], self.dims()[2]),
+            Layout::Transposed => (self.dims()[2], self.dims()[1]),
+        };
+        let (bk, n) = match b_layout {
+            Layout::RowMajor => (other.dims()[1], other.dims()[2]),
+            Layout::Transposed => (other.dims()[2], other.dims()[1]),
+        };
+        if k != bk {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
         }
+        let b = self.dims()[0];
+        let mut out = vec![0.0f32; b * m * n];
+        let reference = backend() == Backend::Reference;
+        // Parallel over the batch; each task owns one output matrix. Inner
+        // GEMMs run inline inside pool tasks (single-batch calls still
+        // parallelize internally).
+        let a_sz = m * k;
+        let b_sz = k * n;
+        let o_sz = m * n;
+        let pool_ref = ThreadPool::global();
+        pool::for_each_batch_mut(pool_ref, &mut out, o_sz, |bi, o_slice| {
+            let a_slice = &self.data[bi * a_sz..(bi + 1) * a_sz];
+            let b_slice = &other.data[bi * b_sz..(bi + 1) * b_sz];
+            if reference {
+                gemm_reference(a_slice, a_layout, b_slice, b_layout, m, n, k, o_slice);
+            } else {
+                gemm(pool_ref, a_slice, a_layout, b_slice, b_layout, m, n, k, o_slice);
+            }
+        });
         Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Batched 3-D matmul: `(b, m, k) · (b, k, n) → (b, m, n)`, parallel
+    /// over the batch dimension.
+    pub fn bmm(&self, other: &Tensor) -> Result<Tensor> {
+        self.bmm_impl(other, "bmm", Layout::RowMajor, Layout::RowMajor)
+    }
+
+    /// Batched `self (b,m,k) · otherᵀ` with `other` stored `(b,n,k)` — the
+    /// attention score product (`Q · Kᵀ`) without permuting K.
+    pub fn bmm_tb(&self, other: &Tensor) -> Result<Tensor> {
+        self.bmm_impl(other, "bmm_tb", Layout::RowMajor, Layout::Transposed)
+    }
+
+    /// Batched `selfᵀ · other` with `self` stored `(b,k,m)` — the attention
+    /// backward products (`Pᵀ · G`) without permuting P.
+    pub fn bmm_ta(&self, other: &Tensor) -> Result<Tensor> {
+        self.bmm_impl(other, "bmm_ta", Layout::Transposed, Layout::RowMajor)
     }
 
     /// Checks approximate equality within an absolute tolerance.
@@ -723,6 +904,20 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         assert!(a.matmul(&b).is_err());
+    }
+
+    /// Regression for the seed's `a == 0.0` inner-loop skip: a zero operand
+    /// times NaN must yield NaN in both compute backends, not a silent 0.
+    #[test]
+    fn matmul_propagates_nan_through_zero_operand() {
+        let a = t(&[0.0, 1.0], &[1, 2]);
+        let b = t(&[f32::NAN, 1.0], &[2, 1]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.data()[0].is_nan(), "0·NaN + 1·1 must be NaN");
+        crate::backend::set_backend(crate::backend::Backend::Reference);
+        let c_ref = a.matmul(&b).unwrap();
+        crate::backend::set_backend(crate::backend::Backend::Blocked);
+        assert!(c_ref.data()[0].is_nan(), "reference backend must agree");
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Determinism contract of the parallel compute backend.
+//!
+//! The pool partitions work by fixed geometry (chunk/block constants), never
+//! by thread count, and every cross-task reduction folds partials in task
+//! order — so any kernel must produce **bit-identical** output on a 1-thread
+//! pool and on pools of 2, 7, and 8 threads (counts chosen to straddle and
+//! misalign with typical block boundaries). These tests pin that contract:
+//! PR-1's checkpoint resume-exactness depends on it.
+
+use egeria_tensor::conv::{
+    conv2d_grad_input_with_pool, conv2d_grad_weight_with_pool, conv2d_with_pool, reference,
+    Conv2dSpec,
+};
+use egeria_tensor::gemm::{gemm, gemm_reference, Layout};
+use egeria_tensor::{Rng, Tensor, ThreadPool};
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 7, 8];
+
+/// Bit-level equality, treating NaN as equal to itself (the kernels must
+/// not manufacture or destroy NaNs depending on thread count either).
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn run_gemm(threads: usize, a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+    let pool = ThreadPool::new(threads);
+    let mut c = vec![0.0f32; m * n];
+    gemm(&pool, a, Layout::RowMajor, b, Layout::RowMajor, m, n, k, &mut c);
+    c
+}
+
+/// Odd shapes: deliberately not multiples of the MR/NR/MC/KC block sizes.
+#[test]
+fn gemm_bit_identical_across_thread_counts_on_odd_shapes() {
+    let mut rng = Rng::new(77);
+    for &(m, n, k) in &[(1usize, 1usize, 1usize), (3, 5, 7), (65, 9, 257), (130, 67, 31)] {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let serial = run_gemm(1, a.data(), b.data(), m, n, k);
+        for &t in &THREADS[1..] {
+            let par = run_gemm(t, a.data(), b.data(), m, n, k);
+            assert!(bits_eq(&serial, &par), "gemm ({m},{n},{k}) differs at {t} threads");
+        }
+        // And the blocked kernel agrees with the naive reference numerically.
+        let mut naive = vec![0.0f32; m * n];
+        gemm_reference(a.data(), Layout::RowMajor, b.data(), Layout::RowMajor, m, n, k, &mut naive);
+        for (s, r) in serial.iter().zip(naive.iter()) {
+            assert!((s - r).abs() <= 1e-3 * r.abs().max(1.0), "blocked vs naive: {s} vs {r}");
+        }
+    }
+}
+
+#[test]
+fn conv2d_bit_identical_across_thread_counts() {
+    let mut rng = Rng::new(78);
+    // (n, c_in, c_out, h, w, kh, kw, stride, pad) — strides > 1 and
+    // padding > 0 included deliberately.
+    for &(n, c_in, c_out, h, w, kh, kw, stride, pad) in &[
+        (2usize, 3usize, 4usize, 9usize, 7usize, 3usize, 3usize, 1usize, 1usize),
+        (3, 2, 5, 11, 8, 3, 2, 2, 1),
+        (1, 4, 3, 13, 9, 5, 3, 3, 2),
+    ] {
+        let spec = Conv2dSpec::new(stride, pad).unwrap();
+        let x = Tensor::randn(&[n, c_in, h, w], &mut rng);
+        let wt = Tensor::randn(&[c_out, c_in, kh, kw], &mut rng);
+        let b = Tensor::randn(&[c_out], &mut rng);
+        let p1 = ThreadPool::new(1);
+        let y1 = conv2d_with_pool(&p1, &x, &wt, Some(&b), spec).unwrap();
+        let g = Tensor::randn(y1.dims(), &mut rng);
+        let gx1 = conv2d_grad_input_with_pool(&p1, &g, &wt, x.dims(), spec).unwrap();
+        let gw1 = conv2d_grad_weight_with_pool(&p1, &g, &x, wt.dims(), spec).unwrap();
+        for &t in &THREADS[1..] {
+            let pt = ThreadPool::new(t);
+            let yt = conv2d_with_pool(&pt, &x, &wt, Some(&b), spec).unwrap();
+            assert!(bits_eq(y1.data(), yt.data()), "forward differs at {t} threads");
+            let gxt = conv2d_grad_input_with_pool(&pt, &g, &wt, x.dims(), spec).unwrap();
+            assert!(bits_eq(gx1.data(), gxt.data()), "grad_input differs at {t} threads");
+            let gwt = conv2d_grad_weight_with_pool(&pt, &g, &x, wt.dims(), spec).unwrap();
+            assert!(bits_eq(gw1.data(), gwt.data()), "grad_weight differs at {t} threads");
+        }
+        // The blocked lowering agrees with the seed's direct loops.
+        let y_ref = reference::conv2d(&x, &wt, Some(&b), spec).unwrap();
+        assert!(y1.allclose(&y_ref, 1e-4));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random shapes (including degenerate 1-extents), random layouts: the
+    /// parallel GEMM must match its own 1-thread execution bit-for-bit.
+    #[test]
+    fn gemm_parallel_equals_serial(
+        seed in any::<u64>(),
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..60,
+        threads_idx in 0usize..4,
+    ) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let serial = run_gemm(1, a.data(), b.data(), m, n, k);
+        let par = run_gemm(THREADS[threads_idx], a.data(), b.data(), m, n, k);
+        prop_assert!(bits_eq(&serial, &par));
+    }
+
+    /// Random conv geometry (stride 1–3, padding 0–2): blocked path at any
+    /// thread count is bit-identical to its 1-thread execution and allclose
+    /// to the serial reference loops.
+    #[test]
+    fn conv_parallel_equals_serial(
+        seed in any::<u64>(),
+        n in 1usize..4,
+        c_in in 1usize..4,
+        c_out in 1usize..5,
+        hw in 5usize..12,
+        kk in 1usize..4,
+        stride in 1usize..4,
+        pad in 0usize..3,
+        threads_idx in 0usize..4,
+    ) {
+        prop_assume!(hw + 2 * pad >= kk);
+        let spec = Conv2dSpec::new(stride, pad).unwrap();
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn(&[n, c_in, hw, hw], &mut rng);
+        let wt = Tensor::randn(&[c_out, c_in, kk, kk], &mut rng);
+        let p1 = ThreadPool::new(1);
+        let pt = ThreadPool::new(THREADS[threads_idx]);
+        let y1 = conv2d_with_pool(&p1, &x, &wt, None, spec).unwrap();
+        let yt = conv2d_with_pool(&pt, &x, &wt, None, spec).unwrap();
+        prop_assert!(bits_eq(y1.data(), yt.data()));
+        let y_ref = reference::conv2d(&x, &wt, None, spec).unwrap();
+        prop_assert!(y1.allclose(&y_ref, 1e-3));
+        let g = Tensor::randn(y1.dims(), &mut rng);
+        let gx1 = conv2d_grad_input_with_pool(&p1, &g, &wt, x.dims(), spec).unwrap();
+        let gxt = conv2d_grad_input_with_pool(&pt, &g, &wt, x.dims(), spec).unwrap();
+        prop_assert!(bits_eq(gx1.data(), gxt.data()));
+        let gw1 = conv2d_grad_weight_with_pool(&p1, &g, &x, wt.dims(), spec).unwrap();
+        let gwt = conv2d_grad_weight_with_pool(&pt, &g, &x, wt.dims(), spec).unwrap();
+        prop_assert!(bits_eq(gw1.data(), gwt.data()));
+    }
+}
