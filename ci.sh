@@ -6,12 +6,16 @@ cd "$(dirname "$0")"
 
 cargo build --release
 
+# Workspace contract lint (unsafe/SAFETY audit, kernel panic ban, float
+# exact-eq, determinism, vendored-deps) — hard gate before any test runs.
+cargo run --release -p egeria-lint -- --workspace
+
 # The parallel compute backend must be bit-identical at every pool size:
 # run the suite pinned to 1 thread and again at the machine default.
 EGERIA_THREADS=1 cargo test -q
 cargo test -q
 
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 # Kernel perf smoke: times the hot paths under both backends and emits a
 # machine-readable report (BENCH_ops.json) with ns/iter and speedups.

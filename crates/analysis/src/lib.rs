@@ -14,6 +14,9 @@
 //! Equation 2 ([`series::moving_average`]) and the windowed least-squares
 //! slope ([`series::window_slope`]).
 
+// No unsafe outside egeria-tensor: enforced here and audited by egeria-lint.
+#![forbid(unsafe_code)]
+
 pub mod cka;
 pub mod pwcca;
 pub mod series;

@@ -2,6 +2,9 @@
 //! emission for every table and figure of the paper (see DESIGN.md §3 for
 //! the experiment index).
 
+// No unsafe outside egeria-tensor: enforced here and audited by egeria-lint.
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod runner;
 pub mod workloads;

@@ -26,6 +26,9 @@
 //! [`api`] provides the `EgeriaModule`/`EgeriaController` facade matching
 //! the paper's minimal-code-change interface.
 
+// No unsafe outside egeria-tensor: enforced here and audited by egeria-lint.
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod baselines;
 pub mod bootstrap;

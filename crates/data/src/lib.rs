@@ -12,6 +12,9 @@
 //!    up front, so the prefetcher can see the incoming sample ids before
 //!    the iteration reaches them ("we actually know the future").
 
+// No unsafe outside egeria-tensor: enforced here and audited by egeria-lint.
+#![forbid(unsafe_code)]
+
 pub mod images;
 pub mod loader;
 pub mod qa;

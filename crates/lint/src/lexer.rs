@@ -1,0 +1,593 @@
+//! A comment/string/raw-string-aware token scanner for Rust source.
+//!
+//! This is deliberately *not* a full Rust lexer: the lint rules only need a
+//! faithful token stream (identifiers, numeric literals, operators) with
+//! `line:col` positions, plus the comments — while never producing a false
+//! match for text that lives inside string literals, char literals, raw
+//! strings, or comments. Everything else (actual parsing) is out of scope;
+//! the rules work on token-sequence patterns.
+
+/// Token classification, just fine-grained enough for the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Integer literal.
+    Int,
+    /// Float literal (has a fractional part, an exponent, or an `f32`/`f64`
+    /// suffix).
+    Float,
+    /// Operator or punctuation, maximal-munch (`==`, `::`, `..=`, `{`, …).
+    Op,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One source token with its 1-based position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One comment (line or block). `text` is the body without the delimiters;
+/// block comments may span `line..=end_line`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+/// The scan of one source file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    /// Inclusive line ranges covered by `#[cfg(test)]`-gated blocks.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl Scan {
+    /// Whether `line` falls inside a `#[cfg(test)]` block.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const OPS: &[&str] = &[
+    "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.i).copied()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Tokenizes `src`, producing the token stream, the comments, and the
+/// `#[cfg(test)]` regions.
+pub fn scan(src: &str) -> Scan {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Scan::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    text.push(cur.bump().unwrap() as char);
+                }
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    end_line: line,
+                });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                let mut text = String::new();
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                            text.push_str("/*");
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                            if depth > 0 {
+                                text.push_str("*/");
+                            }
+                        }
+                        (Some(_), _) => text.push(cur.bump().unwrap() as char),
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    end_line: cur.line,
+                });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                out.toks.push(tok(TokKind::Str, String::new(), line, col));
+            }
+            b'r' | b'b' if raw_string_lookahead(&cur) => {
+                lex_raw_string(&mut cur);
+                out.toks.push(tok(TokKind::Str, String::new(), line, col));
+            }
+            b'b' if cur.peek(1) == Some(b'"') => {
+                cur.bump();
+                lex_string(&mut cur);
+                out.toks.push(tok(TokKind::Str, String::new(), line, col));
+            }
+            b'b' if cur.peek(1) == Some(b'\'') => {
+                cur.bump();
+                lex_char(&mut cur);
+                out.toks.push(tok(TokKind::Char, String::new(), line, col));
+            }
+            b'\'' => {
+                // Disambiguate char literal vs lifetime: `'x'` / `'\n'` are
+                // chars; `'a` followed by a non-quote is a lifetime.
+                let is_char = cur.peek(1) == Some(b'\\')
+                    || (cur.peek(1).is_some_and(|c| c != b'\'') && cur.peek(2) == Some(b'\''))
+                    || !cur.peek(1).is_some_and(is_ident_start);
+                if is_char {
+                    lex_char(&mut cur);
+                    out.toks.push(tok(TokKind::Char, String::new(), line, col));
+                } else {
+                    cur.bump();
+                    let mut text = String::from("'");
+                    while cur.peek(0).is_some_and(is_ident_cont) {
+                        text.push(cur.bump().unwrap() as char);
+                    }
+                    out.toks.push(tok(TokKind::Lifetime, text, line, col));
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                // Raw identifier `r#name`.
+                if c == b'r' && cur.peek(1) == Some(b'#') && cur.peek(2).is_some_and(is_ident_start)
+                {
+                    cur.bump();
+                    cur.bump();
+                }
+                while cur.peek(0).is_some_and(is_ident_cont) {
+                    text.push(cur.bump().unwrap() as char);
+                }
+                out.toks.push(tok(TokKind::Ident, text, line, col));
+            }
+            c if c.is_ascii_digit() => {
+                let kind = lex_number(&mut cur);
+                out.toks.push(tok(kind, String::new(), line, col));
+            }
+            _ => {
+                let mut matched = None;
+                for op in OPS {
+                    let bytes = op.as_bytes();
+                    if cur.src[cur.i..].starts_with(bytes) {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+                match matched {
+                    Some(op) => {
+                        for _ in 0..op.len() {
+                            cur.bump();
+                        }
+                        out.toks.push(tok(TokKind::Op, op.to_string(), line, col));
+                    }
+                    None => {
+                        let c = cur.bump().unwrap();
+                        out.toks
+                            .push(tok(TokKind::Op, (c as char).to_string(), line, col));
+                    }
+                }
+            }
+        }
+    }
+
+    out.test_regions = find_test_regions(&out.toks);
+    out
+}
+
+fn tok(kind: TokKind, text: String, line: u32, col: u32) -> Tok {
+    Tok {
+        kind,
+        text,
+        line,
+        col,
+    }
+}
+
+/// True when the cursor sits on `r"`, `r#`…`#"`, `br"` or `br#`…`#"` (a raw
+/// string start), as opposed to a raw identifier or a plain ident.
+fn raw_string_lookahead(cur: &Cursor) -> bool {
+    let mut j = 1;
+    if cur.peek(0) == Some(b'b') {
+        if cur.peek(1) != Some(b'r') {
+            return false;
+        }
+        j = 2;
+    }
+    while cur.peek(j) == Some(b'#') {
+        j += 1;
+    }
+    cur.peek(j) == Some(b'"') && (j > 1 || cur.peek(0) == Some(b'r'))
+}
+
+/// Consumes a `"…"` string (opening quote under the cursor), honoring
+/// backslash escapes.
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes `r##"…"##`-style raw strings (any number of hashes, including
+/// zero), with the optional `b` prefix already under the cursor.
+fn lex_raw_string(cur: &mut Cursor) {
+    if cur.peek(0) == Some(b'b') {
+        cur.bump();
+    }
+    cur.bump(); // 'r'
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some(b'"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek(0) == Some(b'#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+            None => return,
+        }
+    }
+}
+
+/// Consumes a `'…'` char/byte literal (opening quote under the cursor).
+fn lex_char(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'\'' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a numeric literal and classifies it as [`TokKind::Int`] or
+/// [`TokKind::Float`]. A `.` only joins the number when followed by a digit,
+/// so `0..len` stays two ints and a range operator.
+fn lex_number(cur: &mut Cursor) -> TokKind {
+    let mut float = false;
+    // 0x / 0o / 0b prefixes: integer digits only.
+    if cur.peek(0) == Some(b'0')
+        && matches!(cur.peek(1), Some(b'x') | Some(b'o') | Some(b'b') | Some(b'X'))
+    {
+        cur.bump();
+        cur.bump();
+        while cur.peek(0).is_some_and(|c| c.is_ascii_hexdigit() || c == b'_') {
+            cur.bump();
+        }
+        return TokKind::Int;
+    }
+    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+        cur.bump();
+    }
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+        cur.bump();
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            cur.bump();
+        }
+    }
+    if matches!(cur.peek(0), Some(b'e') | Some(b'E'))
+        && (cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+            || (matches!(cur.peek(1), Some(b'+') | Some(b'-'))
+                && cur.peek(2).is_some_and(|c| c.is_ascii_digit())))
+    {
+        float = true;
+        cur.bump();
+        cur.bump();
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            cur.bump();
+        }
+    }
+    // Suffix (`f32`, `u64`, …): floats keep Float, `1f32` becomes Float.
+    let mut suffix = String::new();
+    while cur.peek(0).is_some_and(is_ident_cont) {
+        suffix.push(cur.bump().unwrap() as char);
+    }
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+/// Finds the inclusive line spans of blocks gated by `#[cfg(test)]` (or any
+/// `cfg(...)` whose argument list mentions `test`): the attribute, any
+/// attributes that follow it, the item header, and the `{ … }` body up to
+/// the matching close brace.
+fn find_test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Op && toks[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // Match `#[cfg( … test … )]`.
+        let Some(close) = match_cfg_test(toks, i) else {
+            i += 1;
+            continue;
+        };
+        let start_line = toks[i].line;
+        // Walk forward to the item's opening brace; bail at `;` (e.g. a
+        // cfg-gated `use`) or end of input.
+        let mut j = close + 1;
+        let mut open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Op && t.text == "{" {
+                open = Some(j);
+                break;
+            }
+            if t.kind == TokKind::Op && (t.text == ";" || t.text == "}") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let mut depth = 1usize;
+        let mut k = open + 1;
+        while k < toks.len() && depth > 0 {
+            let t = &toks[k];
+            if t.kind == TokKind::Op {
+                if t.text == "{" {
+                    depth += 1;
+                } else if t.text == "}" {
+                    depth -= 1;
+                }
+            }
+            k += 1;
+        }
+        let end_line = toks.get(k.saturating_sub(1)).map_or(start_line, |t| t.line);
+        regions.push((start_line, end_line));
+        i = k;
+    }
+    regions
+}
+
+/// If `toks[i]` starts a `#[cfg(...)]` attribute whose parenthesized list
+/// contains the ident `test`, returns the index of the closing `]`.
+fn match_cfg_test(toks: &[Tok], i: usize) -> Option<usize> {
+    let at = |k: usize, kind: TokKind, text: &str| {
+        toks.get(k)
+            .is_some_and(|t| t.kind == kind && t.text == text)
+    };
+    if !(at(i + 1, TokKind::Op, "[") && at(i + 2, TokKind::Ident, "cfg") && at(i + 3, TokKind::Op, "("))
+    {
+        return None;
+    }
+    let mut depth = 1usize;
+    let mut k = i + 4;
+    let mut saw_test = false;
+    while k < toks.len() && depth > 0 {
+        let t = &toks[k];
+        if t.kind == TokKind::Op {
+            if t.text == "(" {
+                depth += 1;
+            } else if t.text == ")" {
+                depth -= 1;
+            }
+        } else if t.kind == TokKind::Ident && t.text == "test" {
+            saw_test = true;
+        }
+        k += 1;
+    }
+    if !saw_test || depth != 0 {
+        return None;
+    }
+    if at(k, TokKind::Op, "]") {
+        Some(k)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "unsafe panic! == 0.0"; // unsafe in a line comment
+            /* unsafe in a block comment */
+            let b = r#"unsafe " quote"#;
+            let c = 'u';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still comment */ unsafe";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["unsafe".to_string()]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let s = scan(src);
+        let lifetimes: Vec<_> = s
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = s.toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn ranges_do_not_become_floats() {
+        let s = scan("for i in 0..len { x[i] = 1.5; }");
+        let floats: Vec<_> = s.toks.iter().filter(|t| t.kind == TokKind::Float).collect();
+        assert_eq!(floats.len(), 1);
+        let ops: Vec<_> = s
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Op && t.text == "..")
+            .collect();
+        assert_eq!(ops.len(), 1);
+    }
+
+    #[test]
+    fn float_forms() {
+        for (src, want) in [
+            ("1.0", TokKind::Float),
+            ("1e3", TokKind::Float),
+            ("2.5e-3", TokKind::Float),
+            ("1f32", TokKind::Float),
+            ("7", TokKind::Int),
+            ("0xfff", TokKind::Int),
+            ("1_000", TokKind::Int),
+        ] {
+            let s = scan(src);
+            assert_eq!(s.toks.len(), 1, "{src}");
+            assert_eq!(s.toks[0].kind, want, "{src}");
+        }
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let s = scan("ab\n  cd");
+        assert_eq!((s.toks[0].line, s.toks[0].col), (1, 1));
+        assert_eq!((s.toks[1].line, s.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_module_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert_eq!(s.test_regions, vec![(2, 5)]);
+        assert!(s.is_test_line(4));
+        assert!(!s.is_test_line(1));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_on_use_statement_is_not_a_region() {
+        let s = scan("#[cfg(test)]\nuse std::fmt;\nfn f() {}\n");
+        assert!(s.test_regions.is_empty());
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let s = scan("a ..= b == c != d :: e");
+        let ops: Vec<_> = s
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Op)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ops, vec!["..=", "==", "!=", "::"]);
+    }
+}

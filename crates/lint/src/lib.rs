@@ -1,0 +1,171 @@
+//! `egeria-lint`: the workspace static-analysis pass.
+//!
+//! The Egeria reproduction rests on invariants the compiler cannot check:
+//! the pool's fixed-geometry determinism contract, bit-exact
+//! checkpoint/resume replay, and the absence of the `== 0.0` multiply-skip
+//! class that silently collapsed `0 · NaN`. This crate walks the workspace
+//! sources with a comment/string/raw-string-aware token scanner (no `syn` —
+//! the build environment is offline) and enforces those contracts as
+//! machine-checked rules with `file:line:col` diagnostics.
+//!
+//! Rules, scoping (`lint.toml`), and the inline
+//! `// egeria-lint: allow(<rule>): <reason>` pragma convention are
+//! documented in DESIGN.md §5c and [`rules`].
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use rules::Finding;
+
+use std::path::{Path, PathBuf};
+
+/// Everything one lint run produces.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints a single source string under its repo-relative label. Used by the
+/// fixture tests and by [`lint_tree`].
+pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let scan = lexer::scan(src);
+    let mut findings = rules::lint_scan(rel, &scan, cfg);
+    findings.extend(rules::unknown_pragma_rules(rel, &scan));
+    findings
+}
+
+/// Walks the tree under `root`, lints every non-excluded `.rs` file, and
+/// checks the root manifest's vendor-patch invariant. Findings are sorted
+/// by path, then position.
+pub fn lint_tree(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, cfg, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel_to_string(&rel);
+        report.findings.extend(lint_source(&rel_str, &src, cfg));
+        report.files_scanned += 1;
+    }
+
+    let manifest = root.join("Cargo.toml");
+    if manifest.is_file() {
+        let src = std::fs::read_to_string(&manifest)?;
+        report.findings.extend(rules::check_manifest("Cargo.toml", &src));
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.col).cmp(&(b.path.as_str(), b.line, b.col)));
+    Ok(report)
+}
+
+/// Loads `lint.toml` from `root`.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    config::parse(&src).map_err(|e| e.to_string())
+}
+
+fn rel_to_string(rel: &Path) -> String {
+    // Forward slashes regardless of platform, so lint.toml scoping entries
+    // are portable.
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') {
+            continue;
+        }
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let rel_str = rel_to_string(&rel);
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            // Directory exclusion entries end in '/'.
+            if cfg.is_excluded(&format!("{rel_str}/")) {
+                continue;
+            }
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if ty.is_file()
+            && rel_str.ends_with(".rs")
+            && !cfg.is_excluded(&rel_str)
+        {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        config::parse(
+            r#"
+[lint]
+exclude = []
+
+[rules.no-panic-in-kernels]
+paths = ["kernels/"]
+
+[rules.determinism]
+kernel_paths = ["kernels/"]
+serialize_paths = ["ser/"]
+spawn_allowed = ["kernels/pool.rs"]
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_over_a_source_string() {
+        let src = "fn f(x: f32) -> bool { x == 0.0 }\n";
+        let findings = lint_source("lib.rs", src, &cfg());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, rules::FLOAT_EXACT_EQ);
+        assert_eq!((findings[0].line, findings[0].col), (1, 26));
+    }
+
+    #[test]
+    fn pragma_suppresses_and_unknown_pragma_is_flagged() {
+        let src = "\
+// egeria-lint: allow(float-exact-eq): sentinel compare, audited
+fn f(x: f32) -> bool { x == 0.0 }
+// egeria-lint: allow(not-a-rule)
+fn g() {}
+";
+        let findings = lint_source("lib.rs", src, &cfg());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "unknown-pragma");
+    }
+
+    #[test]
+    fn scoping_gates_rules_by_path() {
+        let src = "fn f(o: Option<u8>) -> u8 { o.unwrap() }\n";
+        assert_eq!(lint_source("kernels/gemm.rs", src, &cfg()).len(), 1);
+        assert!(lint_source("app/main.rs", src, &cfg()).is_empty());
+    }
+}

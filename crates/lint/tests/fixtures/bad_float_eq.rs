@@ -1,0 +1,20 @@
+// Seeded violations for float-exact-eq.
+
+pub fn f(x: f32, n: i32) -> bool {
+    let a = x == 0.0;
+    let b = 1.5 != x;
+    let c = x == -2.0;
+    let d = n == 0;
+    let e = x <= 0.0;
+    // egeria-lint: allow(float-exact-eq): fixture pragma exercise
+    let g = x == 3.5;
+    a && b && c && d && e && g
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_compare_is_fine_in_tests() {
+        assert!(super::f(0.0, 0) || 1.0 == 1.0);
+    }
+}

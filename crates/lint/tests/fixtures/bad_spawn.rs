@@ -1,0 +1,5 @@
+// Seeded violation for determinism: spawn outside the sanctioned modules.
+
+pub fn helper() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
+}

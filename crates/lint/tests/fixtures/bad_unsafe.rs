@@ -1,0 +1,16 @@
+// Seeded violations for unsafe-needs-safety.
+
+pub fn covered(p: *const u8) -> u8 {
+    // SAFETY: p is valid for reads by the caller's contract (fixture).
+    unsafe { *p }
+}
+
+pub fn naked(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+struct Wrapper(*mut u8);
+unsafe impl Send for Wrapper {}
+
+// egeria-lint: allow(unsafe-needs-safety): fixture pragma exercise
+unsafe impl Sync for Wrapper {}

@@ -1,0 +1,14 @@
+// A clean file: no findings under any rule.
+
+/// Tolerance-based comparison, the sanctioned alternative to `== 0.0`.
+pub fn nearly_zero(x: f32) -> bool {
+    x.abs() < f32::EPSILON
+}
+
+pub fn safe_division(a: f32, b: f32) -> Option<f32> {
+    if b.abs() < f32::EPSILON {
+        None
+    } else {
+        Some(a / b)
+    }
+}

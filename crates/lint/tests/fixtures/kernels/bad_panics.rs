@@ -1,0 +1,28 @@
+// Seeded violations for no-panic-in-kernels (this directory is scoped as a
+// kernel module by the fixture lint.toml).
+
+pub fn f(o: Option<u8>) -> u8 {
+    let a = o.unwrap();
+    let b = o.expect("boom");
+    if a + b == 0 {
+        panic!("kernel bug");
+    }
+    // egeria-lint: allow(no-panic-in-kernels): fixture pragma exercise
+    let c = o.unwrap();
+    a + b + c
+}
+
+pub fn not_a_method_call() {
+    // Plain identifiers named unwrap/expect are not calls: clean.
+    let unwrap = 1;
+    let expect = unwrap + 1;
+    let _ = expect;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1u8).unwrap(), 1);
+    }
+}

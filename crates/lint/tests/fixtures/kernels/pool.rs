@@ -1,0 +1,6 @@
+// Spawn in a sanctioned module (`spawn_allowed` in the fixture lint.toml):
+// clean.
+
+pub fn spawn_worker() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
+}

@@ -1,0 +1,13 @@
+// Seeded violations for determinism in a serialization path.
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+pub fn write_state(m: &HashMap<u64, f32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, v) in m.iter() {
+        out.extend(k.to_le_bytes());
+        out.extend(v.to_le_bytes());
+    }
+    let _stamp = SystemTime::now();
+    out
+}

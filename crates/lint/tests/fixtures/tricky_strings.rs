@@ -1,0 +1,14 @@
+// Scanner-robustness fixture: every rule trigger below is inert text inside
+// a string, raw string, char literal, or comment — zero findings expected.
+// unsafe { panic!("==") }  <- comment text only
+
+pub fn tricky<'a>(s: &'a str) -> String {
+    let a = "unsafe { x == 0.0 } .unwrap() panic!";
+    let b = r#"thread::spawn SystemTime "Instant::now" == 1.5"#;
+    let c = 'u';
+    let d = '\'';
+    let e = b"expect(.unwrap())";
+    /* block comment: x == 0.0 and unsafe and
+       /* nested: panic!("boom") */ still a comment */
+    format!("{a}{b}{c}{d}{e:?}{s}")
+}

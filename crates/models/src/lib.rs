@@ -18,6 +18,9 @@
 //! through, and [`module_parser`] reproduces §6.3's parameter-share-based
 //! grouping of building blocks into freezable layer modules (Figure 12).
 
+// No unsafe outside egeria-tensor: enforced here and audited by egeria-lint.
+#![forbid(unsafe_code)]
+
 pub mod bert;
 pub mod deeplab;
 pub mod input;

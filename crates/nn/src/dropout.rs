@@ -29,6 +29,9 @@ impl Dropout {
 
 impl Layer for Dropout {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        // egeria-lint: allow(float-exact-eq): p is a user-set hyperparameter
+        // clamped at construction; exact 0.0 means "dropout disabled", and
+        // the identity fast path multiplies no data (NaNs pass through).
         if mode == Mode::Eval || self.p == 0.0 {
             self.mask = None;
             return Ok(x.clone());

@@ -24,6 +24,9 @@
 //! - [`net::Network`]: a named sequence of freezable blocks with forward
 //!   hooks — the structure `EgeriaModule` wraps.
 
+// No unsafe outside egeria-tensor: enforced here and audited by egeria-lint.
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod attention;
 pub mod conv_layers;

@@ -116,9 +116,15 @@ impl Sgd {
             }
             let Some(grad) = p.grad.clone() else { continue };
             let mut d = grad;
+            // egeria-lint: allow(float-exact-eq): weight_decay is a user-set
+            // hyperparameter, not data; exact 0.0 means "decay disabled" and
+            // skipping adds no 0·x term that could mask a NaN parameter.
             if self.weight_decay != 0.0 {
                 d.axpy_inplace(self.weight_decay, &p.value)?;
             }
+            // egeria-lint: allow(float-exact-eq): momentum is a user-set
+            // hyperparameter; exact 0.0 selects plain SGD and must not
+            // allocate velocity state.
             if self.momentum != 0.0 {
                 let v = self
                     .velocity
@@ -212,6 +218,9 @@ impl Adam {
             }
             let Some(grad) = p.grad.clone() else { continue };
             let mut g = grad;
+            // egeria-lint: allow(float-exact-eq): weight_decay is a user-set
+            // hyperparameter, not data; exact 0.0 means "decay disabled" and
+            // skipping adds no 0·x term that could mask a NaN parameter.
             if self.weight_decay != 0.0 {
                 g.axpy_inplace(self.weight_decay, &p.value)?;
             }

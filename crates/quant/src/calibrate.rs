@@ -50,6 +50,9 @@ impl MinMaxObserver {
             return 1.0;
         }
         let bound = self.min.abs().max(self.max.abs());
+        // egeria-lint: allow(float-exact-eq): the observed abs-bound is
+        // exactly 0.0 iff every calibration activation was zero; the guard
+        // prevents a degenerate 0-scale, not a data-dependent skip.
         if bound == 0.0 {
             1.0
         } else {
@@ -61,6 +64,9 @@ impl MinMaxObserver {
 /// The per-call symmetric int8 scale of dynamic quantization.
 pub fn dynamic_scale(t: &Tensor) -> f32 {
     let bound = t.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    // egeria-lint: allow(float-exact-eq): an abs-max is exactly 0.0 iff the
+    // tensor is all zeros (NaN never survives f32::max against 0.0); the
+    // guard prevents a degenerate 0-scale.
     if bound == 0.0 {
         1.0
     } else {

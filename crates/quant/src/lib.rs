@@ -18,6 +18,9 @@
 //! - [`model`]: whole-model reference generation at int8 / f16 / f32
 //!   precision (Table 2's sweep).
 
+// No unsafe outside egeria-tensor: enforced here and audited by egeria-lint.
+#![forbid(unsafe_code)]
+
 pub mod calibrate;
 pub mod fake;
 pub mod model;

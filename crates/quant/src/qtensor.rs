@@ -103,6 +103,9 @@ impl QTensor {
 
 fn scale_for(xs: &[f32]) -> f32 {
     let max = xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    // egeria-lint: allow(float-exact-eq): an abs-max is exactly 0.0 iff the
+    // slice is all zeros (NaN never survives f32::max against 0.0); the
+    // guard prevents a 0/0 scale, and 1.0 round-trips the zero tensor.
     if max == 0.0 {
         1.0
     } else {

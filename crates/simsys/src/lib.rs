@@ -18,6 +18,9 @@
 //! - [`tta`]: converts a `TrainReport` into time-to-accuracy series and
 //!   speedups (the Figure 9/17–20 and Table 1 numbers).
 
+// No unsafe outside egeria-tensor: enforced here and audited by egeria-lint.
+#![forbid(unsafe_code)]
+
 pub mod allreduce;
 pub mod arch;
 pub mod device;

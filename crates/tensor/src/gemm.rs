@@ -128,7 +128,11 @@ fn pack_a_block(
 #[inline(always)]
 fn microkernel(kc: usize, a_strip: &[f32], b_panel: &[f32], acc: &mut [f32; MR * NR]) {
     for p in 0..kc {
+        // egeria-lint: allow(no-panic-in-kernels): the range is exactly MR
+        // long, so try_into cannot fail; the fixed-size array is what keeps
+        // the tile in vector registers.
         let av: &[f32; MR] = a_strip[p * MR..(p + 1) * MR].try_into().expect("MR strip");
+        // egeria-lint: allow(no-panic-in-kernels): as above, exactly NR long.
         let bv: &[f32; NR] = b_panel[p * NR..(p + 1) * NR].try_into().expect("NR panel");
         for r in 0..MR {
             let ar = av[r];
@@ -174,6 +178,8 @@ pub fn gemm(
     {
         let pb = SendSlice(packed_b.as_mut_ptr());
         pool.run(panels, &|j| {
+            // SAFETY: each task writes only its own disjoint, in-bounds
+            // `k * NR` panel of packed_b, which outlives the blocking run.
             let dst =
                 unsafe { std::slice::from_raw_parts_mut(pb.get().add(j * k * NR), k * NR) };
             let mut kb = 0;
@@ -218,6 +224,9 @@ pub fn gemm(
                     let r0 = i0 + s * MR;
                     let live = MR.min(i0 + rows - r0);
                     for r in 0..live {
+                        // SAFETY: row stripes of C are disjoint per task and
+                        // the width-bounded segment is in-bounds; C outlives
+                        // the blocking run.
                         let row = unsafe {
                             std::slice::from_raw_parts_mut(
                                 cp.get().add((r0 + r) * n + j0),
@@ -264,7 +273,11 @@ pub fn gemm_reference(
 
 #[derive(Clone, Copy)]
 struct SendSlice(*mut f32);
+// SAFETY: a SendSlice is only handed to pool tasks that write disjoint,
+// in-bounds regions of the buffer it points into, and the dispatching call
+// blocks until every task finishes — no aliasing or dangling access.
 unsafe impl Send for SendSlice {}
+// SAFETY: as for Send — concurrent tasks touch disjoint regions only.
 unsafe impl Sync for SendSlice {}
 impl SendSlice {
     /// Method (not field) access so closures capture the whole wrapper,

@@ -18,6 +18,10 @@
 //! Everything is `f32`: the paper trains in fp32 and emulates reduced
 //! precision (int8/f16) in `egeria-quant` on top of this crate.
 
+// The only crate allowed `unsafe` (pool dispatch and the GEMM hot loops);
+// every site carries a // SAFETY: comment, enforced by egeria-lint.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod backend;
 pub mod conv;
 pub mod error;

@@ -34,11 +34,12 @@ use std::thread::JoinHandle;
 pub const CHUNK: usize = 32 * 1024;
 
 /// A borrowed task closure smuggled across the `'static` channel boundary.
-///
-/// Safety: `ThreadPool::run` blocks until every claimed task has finished
-/// before returning, so the pointee outlives all dereferences.
 struct TaskFn(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` and `ThreadPool::run` blocks until every
+// claimed task has finished before returning, so the pointer never outlives
+// the borrow it was made from and may be dereferenced from any thread.
 unsafe impl Send for TaskFn {}
+// SAFETY: as for Send — shared references to the `Sync` pointee are safe.
 unsafe impl Sync for TaskFn {}
 
 struct JobShared {
@@ -56,6 +57,8 @@ impl JobShared {
     /// Claims and runs tasks until none remain; returns whether this call
     /// finished the last task.
     fn drain(&self) {
+        // SAFETY: `ThreadPool::run` keeps the closure borrow alive until the
+        // job's last task completes, so the pointer is valid for this deref.
         let f = unsafe { &*self.f.0 };
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
@@ -117,6 +120,8 @@ impl ThreadPool {
                             IN_TASK.with(|t| t.set(false));
                         }
                     })
+                    // egeria-lint: allow(no-panic-in-kernels): failing to
+                    // spawn a worker at pool construction is unrecoverable.
                     .expect("spawn pool worker")
             })
             .collect();
@@ -153,7 +158,7 @@ impl ThreadPool {
             return;
         }
         let (done_tx, done_rx) = channel::bounded::<()>(1);
-        // Safety: we block on `done_rx` below until every claimed task has
+        // SAFETY: we block on `done_rx` below until every claimed task has
         // completed, so the borrowed closure outlives all worker accesses.
         let f_static: &'static (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
@@ -179,6 +184,8 @@ impl ThreadPool {
         // Wait for stragglers claimed by workers.
         let _ = done_rx.recv();
         if shared.panicked.load(Ordering::Relaxed) {
+            // egeria-lint: allow(no-panic-in-kernels): deliberate re-raise
+            // of a worker task's panic on the calling thread.
             panic!("egeria-tensor pool task panicked");
         }
     }
@@ -223,7 +230,11 @@ fn hardware_threads() -> usize {
 /// sub-slices of one buffer to pool tasks.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f32);
+// SAFETY: a SendPtr is only handed to pool tasks that write disjoint,
+// in-bounds regions of the buffer it points into, and the dispatching call
+// blocks until every task finishes — no aliasing or dangling access.
 unsafe impl Send for SendPtr {}
+// SAFETY: as for Send — concurrent tasks touch disjoint regions only.
 unsafe impl Sync for SendPtr {}
 impl SendPtr {
     /// Method (not field) access so closures capture the whole wrapper,
@@ -249,7 +260,8 @@ pub fn for_each_chunk_mut(
     pool.run(tasks, &|i| {
         let start = i * CHUNK;
         let end = (start + CHUNK).min(len);
-        // Safety: chunk ranges are disjoint and in-bounds.
+        // SAFETY: chunk ranges are disjoint and in-bounds, and `data`
+        // outlives the blocking `run` call.
         let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(start), end - start) };
         f(i, chunk);
     });
@@ -273,6 +285,8 @@ pub fn for_each_chunk_mut_zip(
     pool.run(tasks, &|i| {
         let start = i * CHUNK;
         let end = (start + CHUNK).min(len);
+        // SAFETY: chunk ranges are disjoint and in-bounds, and `dst`
+        // outlives the blocking `run` call.
         let d = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(start), end - start) };
         f(d, &src[start..end]);
     });
@@ -294,7 +308,8 @@ pub fn for_each_batch_mut(
     let tasks = data.len() / item;
     let ptr = SendPtr(data.as_mut_ptr());
     pool.run(tasks, &|i| {
-        // Safety: item ranges are disjoint and in-bounds.
+        // SAFETY: item ranges are disjoint and in-bounds (length divides
+        // evenly), and `data` outlives the blocking `run` call.
         let slice = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(i * item), item) };
         f(i, slice);
     });
@@ -317,7 +332,8 @@ pub fn reduce_chunks(pool: &ThreadPool, len: usize, f: impl Fn(std::ops::Range<u
         pool.run(tasks, &|i| {
             let start = i * CHUNK;
             let end = (start + CHUNK).min(len);
-            // Safety: each task writes only its own slot.
+            // SAFETY: each task writes only its own in-bounds slot of the
+            // partials buffer, which outlives the blocking `run` call.
             unsafe { *ptr.get().add(i) = f(start..end) };
         });
     }

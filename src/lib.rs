@@ -1,2 +1,5 @@
 //! Workspace façade crate. Re-exports the public crates for examples and integration tests.
+// No unsafe outside egeria-tensor: enforced here and audited by egeria-lint.
+#![forbid(unsafe_code)]
+
 pub use egeria_core as core_sys;

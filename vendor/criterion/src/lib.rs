@@ -83,6 +83,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Overrides the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.warm_up = t;
+        self
+    }
+
     /// Overrides the measurement budget for this group.
     pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
         self.criterion.measurement = t;
