@@ -18,5 +18,19 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Kernel perf smoke: times the hot paths under both backends and emits a
-# machine-readable report (BENCH_ops.json) with ns/iter and speedups.
+# machine-readable report (BENCH_ops.json). Asserts the determinism
+# contract and the <2% disabled-telemetry overhead contract (DESIGN §5d).
 cargo run --release -p egeria-bench --bin bench_ops -- --smoke
+
+# Telemetry smoke: a traced quickstart must emit schema-valid JSONL that
+# trace_report can validate and summarize (trace_report exits non-zero on
+# any schema violation).
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+EGERIA_TRACE="$trace_dir/quickstart" cargo run --release --example quickstart >/dev/null
+test -s "$trace_dir/quickstart.jsonl"
+test -s "$trace_dir/quickstart.chrome.json"
+# (no pipe: grep -q would SIGPIPE trace_report under pipefail)
+cargo run --release -p egeria-bench --bin trace_report -- "$trace_dir/quickstart.jsonl" \
+    > "$trace_dir/report.txt"
+grep -q "freeze timeline" "$trace_dir/report.txt"

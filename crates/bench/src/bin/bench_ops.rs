@@ -17,6 +17,7 @@
 use egeria_bench::write_json;
 use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
 use egeria_models::{Batch, Input, Model, Targets};
+use egeria_obs::Telemetry;
 use egeria_tensor::backend::{set_backend, Backend};
 use egeria_tensor::gemm::{gemm, Layout};
 use egeria_tensor::{pool, Rng, Tensor, ThreadPool};
@@ -32,11 +33,27 @@ struct OpReport {
     iters: u32,
 }
 
+/// Telemetry cost on the train-step hot path: the same step loop run
+/// bare (no instrumentation), with a disabled `Telemetry` handle driving
+/// the trainer's per-iteration probe sequence, and with an enabled one.
+#[derive(Serialize)]
+struct TelemetryOverheadReport {
+    bare_ns_per_iter: u64,
+    disabled_ns_per_iter: u64,
+    enabled_ns_per_iter: u64,
+    /// `(disabled - bare) / bare`, clamped at 0 — the zero-cost-when-off
+    /// contract (DESIGN §5d caps this at 2%).
+    disabled_overhead_pct: f64,
+    /// `(enabled - bare) / bare`, clamped at 0.
+    enabled_overhead_pct: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     threads: usize,
     bit_identical_to_serial: bool,
     ops: Vec<OpReport>,
+    telemetry: TelemetryOverheadReport,
 }
 
 /// Median-of-runs timer: one warmup call, then `iters` timed calls.
@@ -168,14 +185,90 @@ fn main() {
     }
 
     set_backend(Backend::Blocked);
+    let telemetry = bench_telemetry_overhead(if smoke { 5 } else { 9 });
     let report = Report {
         threads,
         bit_identical_to_serial: check_bit_identical(),
         ops,
+        telemetry,
     };
     assert!(
         report.bit_identical_to_serial,
         "determinism contract violated: blocked GEMM differs across thread counts"
     );
+    assert!(
+        report.telemetry.disabled_overhead_pct < 2.0,
+        "disabled telemetry costs {:.3}% on the train step (contract: < 2%)",
+        report.telemetry.disabled_overhead_pct
+    );
     write_json(std::path::Path::new("BENCH_ops.json"), &report).expect("write BENCH_ops.json");
+}
+
+/// Times the ResNet train step bare and under the trainer's per-iteration
+/// telemetry probe sequence with a disabled and an enabled handle.
+fn bench_telemetry_overhead(iters: u32) -> TelemetryOverheadReport {
+    const STEPS_PER_SAMPLE: u64 = 4;
+    let mut model = resnet_cifar(
+        ResNetCifarConfig {
+            n: 2,
+            width: 4,
+            classes: 8,
+            ..Default::default()
+        },
+        5,
+    );
+    let mut rng = Rng::new(6);
+    let batch = Batch {
+        input: Input::Image(Tensor::randn(&[16, 3, 10, 10], &mut rng)),
+        targets: Targets::Classes((0..16).map(|i| i % 8).collect()),
+        sample_ids: (0..16).collect(),
+    };
+    // Mirror EgeriaTrainer's per-iteration instrumentation.
+    fn probed_steps(model: &mut dyn Model, batch: &Batch, tel: &Telemetry, steps: u64) {
+        for i in 0..steps {
+            let step = tel.span("train_step");
+            let r = model.train_step(batch, None).unwrap();
+            {
+                let _opt = tel.span("opt_step").iteration(i);
+                model.zero_grad();
+            }
+            drop(
+                step.iteration(i)
+                    .arg("frozen_prefix", 0u64)
+                    .arg("fp_cached", false),
+            );
+            tel.counter("freezer.evaluations").inc();
+            std::hint::black_box(r.loss);
+        }
+    }
+    let bare = time_ns(iters, || {
+        for i in 0..STEPS_PER_SAMPLE {
+            let r = model.train_step(&batch, None).unwrap();
+            model.zero_grad();
+            std::hint::black_box((i, r.loss));
+        }
+    }) / STEPS_PER_SAMPLE;
+    let off = Telemetry::disabled();
+    let disabled =
+        time_ns(iters, || probed_steps(&mut model, &batch, &off, STEPS_PER_SAMPLE)) / STEPS_PER_SAMPLE;
+    let on = Telemetry::enabled();
+    let enabled =
+        time_ns(iters, || probed_steps(&mut model, &batch, &on, STEPS_PER_SAMPLE)) / STEPS_PER_SAMPLE;
+    let pct = |t: u64| ((t as f64 - bare as f64) / bare.max(1) as f64 * 100.0).max(0.0);
+    let r = TelemetryOverheadReport {
+        bare_ns_per_iter: bare,
+        disabled_ns_per_iter: disabled,
+        enabled_ns_per_iter: enabled,
+        disabled_overhead_pct: pct(disabled),
+        enabled_overhead_pct: pct(enabled),
+    };
+    println!(
+        "telemetry     bare {:>12} ns/step   disabled {:>12} ns/step ({:+.3}%)   enabled {:>12} ns/step ({:+.3}%)",
+        r.bare_ns_per_iter,
+        r.disabled_ns_per_iter,
+        r.disabled_overhead_pct,
+        r.enabled_ns_per_iter,
+        r.enabled_overhead_pct
+    );
+    r
 }

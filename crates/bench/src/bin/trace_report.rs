@@ -1,0 +1,90 @@
+//! Summarizes a recorded telemetry trace (`egeria-obs` JSONL).
+//!
+//! ```text
+//! trace_report <trace.jsonl> [--batch N] [--no-calibrate]
+//! ```
+//!
+//! Validates the file against the schema, prints the event/kind summary,
+//! freeze-decision timeline, per-layer frozen-time breakdown, and observed
+//! iteration split, then (unless `--no-calibrate`) costs the observed
+//! freezing states through the performance simulator and reports how well
+//! the observed split ratios match the model's prediction.
+
+use egeria_obs::report::{render, summarize};
+use egeria_simsys::arch::{ArchSpec, FlopsModel, PaperScale};
+use egeria_simsys::{calibrate, ClusterSpec, CommPolicy, ObservedSplit};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace_report <trace.jsonl> [--batch N] [--no-calibrate]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut batch_size = 32usize;
+    let mut calibrate_enabled = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--batch" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(b) => batch_size = b,
+                    None => return usage(),
+                }
+            }
+            "--no-calibrate" => calibrate_enabled = false,
+            a if path.is_none() && !a.starts_with('-') => path = Some(a.to_string()),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(path) = path else { return usage() };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match summarize(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_report: {path} is not a valid trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", render(&summary));
+
+    if calibrate_enabled && !summary.splits.is_empty() {
+        // The reproduction's traces come from CPU runs of width-reduced
+        // models; only the *ratios* between freezing states are comparable
+        // to the simulated testbed, which is exactly what calibrate()
+        // checks.
+        let arch = ArchSpec::scaled(
+            "resnet50",
+            &[100, 200, 400, 800],
+            Some(&[4, 4, 4, 4]),
+            FlopsModel::PerBlockUniform,
+            PaperScale::resnet50_imagenet(),
+        );
+        let cluster = ClusterSpec::v100_cluster(1);
+        let observed: Vec<ObservedSplit> = summary
+            .splits
+            .iter()
+            .map(|s| ObservedSplit {
+                frozen_prefix: s.frozen_prefix as usize,
+                fp_cached: s.fp_cached,
+                steps: s.count as usize,
+                mean_seconds: s.mean_dur_us / 1e6,
+            })
+            .collect();
+        match calibrate(&arch, &cluster, batch_size, CommPolicy::Vanilla, &observed) {
+            Some(r) => print!("\n{}", r.render()),
+            None => println!("\ncalibration: no usable train_step splits in trace"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -25,6 +25,7 @@ use crate::config::EgeriaConfig;
 use crate::trainer::{EgeriaTrainer, Optimizer, TrainerOptions};
 use egeria_models::{Model, ModuleMeta};
 use egeria_nn::sched::LrSchedule;
+use egeria_obs::Telemetry;
 
 /// A model wrapped for Egeria training — the `nn.Module` replacement.
 ///
@@ -65,12 +66,25 @@ impl EgeriaModule {
 /// The controller handle: configuration plus trainer construction.
 pub struct EgeriaController {
     config: EgeriaConfig,
+    telemetry: Telemetry,
 }
 
 impl EgeriaController {
     /// Creates a controller with the given configuration.
     pub fn new(config: EgeriaConfig) -> Self {
-        EgeriaController { config }
+        EgeriaController {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle; the trainer built by
+    /// [`into_trainer`](Self::into_trainer) records spans, instants, and
+    /// counters into it. Without this call telemetry stays disabled and
+    /// costs one branch per probe.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The active configuration.
@@ -95,6 +109,7 @@ impl EgeriaController {
                 epochs,
                 egeria: Some(self.config),
                 lr_per_iteration,
+                telemetry: self.telemetry,
                 ..Default::default()
             },
         )
@@ -151,6 +166,58 @@ mod tests {
         let report = trainer.train(&data, &loader, None).unwrap();
         assert!(report.egeria);
         assert_eq!(report.epochs.len(), 4);
+    }
+
+    #[test]
+    fn facade_telemetry_records_train_steps() {
+        let telemetry = Telemetry::enabled();
+        let controller = EgeriaController::new(EgeriaConfig {
+            n: 2,
+            w: 3,
+            s: 2,
+            t: 5.0,
+            bootstrap_rate: 0.9,
+            ..Default::default()
+        })
+        .with_telemetry(telemetry.clone());
+        let module = EgeriaModule::wrap(Box::new(resnet_cifar(
+            ResNetCifarConfig {
+                n: 2,
+                width: 4,
+                classes: 4,
+                ..Default::default()
+            },
+            1,
+        )));
+        let mut trainer = controller.into_trainer(
+            module,
+            Optimizer::Sgd(Sgd::new(0.05, 0.9, 0.0)),
+            Box::new(StepDecay::new(0.05, 0.1, 100)),
+            2,
+            false,
+        );
+        let data = SyntheticImages::new(
+            ImageDataConfig {
+                samples: 32,
+                classes: 4,
+                size: 8,
+                noise: 0.3,
+                augment: true,
+            },
+            2,
+        );
+        let loader = DataLoader::new(32, 16, 3, true);
+        trainer.train(&data, &loader, None).unwrap();
+        let (events, dropped) = telemetry.trace_events();
+        assert_eq!(dropped, 0);
+        let steps = events.iter().filter(|e| e.kind == "train_step").count();
+        assert_eq!(steps, 4, "2 epochs x 2 batches of train_step spans");
+        assert!(events.iter().any(|e| e.kind == "opt_step"));
+        let step = events.iter().find(|e| e.kind == "train_step").unwrap();
+        assert!(step.dur_us.is_some());
+        assert!(step.iteration.is_some());
+        assert!(step.args.iter().any(|(k, _)| *k == "frozen_prefix"));
+        assert!(step.args.iter().any(|(k, _)| *k == "fp_cached"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! known-future batch order.
 
 use crate::faults::{FaultAction, FaultInjector, FaultSite};
+use egeria_obs::Telemetry;
 use egeria_tensor::{serialize, Result, Tensor, TensorError};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -60,6 +61,7 @@ pub struct ActivationCache {
     valid_prefix: Option<usize>,
     stats: CacheStats,
     faults: Option<Arc<FaultInjector>>,
+    telemetry: Telemetry,
 }
 
 impl ActivationCache {
@@ -76,7 +78,25 @@ impl ActivationCache {
             valid_prefix: None,
             stats: CacheStats::default(),
             faults: None,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle; cache counters (`cache.hits`,
+    /// `cache.misses`, `cache.corrupt_entries`, `cache.write_errors`,
+    /// `cache.prefetched`) mirror [`CacheStats`] into its registry.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn count_hit(&mut self) {
+        self.stats.hits += 1;
+        self.telemetry.counter("cache.hits").inc();
+    }
+
+    fn count_miss(&mut self) {
+        self.stats.misses += 1;
+        self.telemetry.counter("cache.misses").inc();
     }
 
     /// Attaches a fault injector (testing): [`FaultSite::CacheWrite`] makes
@@ -103,6 +123,7 @@ impl ActivationCache {
     fn quarantine(&mut self, id: u64) {
         let _ = fs::remove_file(self.path_of(id));
         self.stats.corrupt_entries += 1;
+        self.telemetry.counter("cache.corrupt_entries").inc();
         eprintln!(
             "egeria: corrupt cache entry for sample {id}; deleted, will recompute"
         );
@@ -178,6 +199,7 @@ impl ActivationCache {
                         );
                     }
                     self.stats.write_errors += 1;
+                    self.telemetry.counter("cache.write_errors").inc();
                 }
             }
             self.mem.insert(id, sample);
@@ -212,6 +234,7 @@ impl ActivationCache {
                     Ok(t) => {
                         self.mem.insert(id, t);
                         self.stats.disk_reads += 1;
+                        self.telemetry.counter("cache.prefetched").inc();
                         loaded += 1;
                     }
                     Err(_) => self.quarantine(id),
@@ -233,42 +256,96 @@ impl ActivationCache {
     }
 
     /// Fetches a whole batch; `None` (a miss) if any sample is absent from
-    /// both memory and disk, corrupt on disk, or the cache is valid for a
-    /// different prefix. A corrupt entry is quarantined so the subsequent
-    /// recompute refills it — corruption degrades to a miss, never an
-    /// error.
+    /// both memory and disk, corrupt on disk, shape-inconsistent, or the
+    /// cache is valid for a different prefix. A corrupt or mismatched
+    /// entry is quarantined so the subsequent recompute refills it —
+    /// cache trouble degrades to a miss, never an error, and a hit is
+    /// counted only once the batch has actually been assembled (a lookup
+    /// that ends in recompute must read as a miss; DESIGN.md §5a).
     pub fn get_batch(&mut self, ids: &[u64], prefix: usize) -> Result<Option<Tensor>> {
         if self.valid_prefix != Some(prefix) {
-            self.stats.misses += 1;
+            self.count_miss();
             return Ok(None);
         }
         let mut parts: Vec<Tensor> = Vec::with_capacity(ids.len());
+        let mut disk_ids: Vec<u64> = Vec::new();
+        let mut expected_tail: Option<Vec<usize>> = None;
         for &id in ids {
-            if let Some(t) = self.mem.get(&id) {
-                parts.push(t.clone());
-                continue;
-            }
-            match self.read_entry(id) {
-                Some(bytes) => match serialize::from_bytes(&bytes) {
-                    Ok(t) => {
-                        self.stats.disk_reads += 1;
-                        parts.push(t);
-                    }
-                    Err(_) => {
-                        self.quarantine(id);
-                        self.stats.misses += 1;
+            let (part, from_disk) = if let Some(t) = self.mem.get(&id) {
+                (t.clone(), false)
+            } else {
+                match self.read_entry(id) {
+                    Some(bytes) => match serialize::from_bytes(&bytes) {
+                        Ok(t) => {
+                            self.stats.disk_reads += 1;
+                            (t, true)
+                        }
+                        Err(_) => {
+                            self.quarantine(id);
+                            self.count_miss();
+                            return Ok(None);
+                        }
+                    },
+                    None => {
+                        self.count_miss();
                         return Ok(None);
                     }
-                },
-                None => {
-                    self.stats.misses += 1;
-                    return Ok(None);
                 }
+            };
+            if from_disk {
+                disk_ids.push(id);
+            }
+            // Shape audit before assembly: every entry must be one sample
+            // (`[1, ...]`) with the same trailing dims. A stale on-disk
+            // entry from a different geometry deserializes fine but would
+            // fail `concat` — which used to abort training *after* a hit
+            // had already been counted.
+            let dims = part.dims().to_vec();
+            let shape_ok = dims.first() == Some(&1)
+                && expected_tail
+                    .as_deref()
+                    .map(|t| t == &dims[1..])
+                    .unwrap_or(true);
+            if !shape_ok {
+                // Which disk entry carries the stale geometry is not
+                // identifiable from the parts alone (the first one read
+                // sets the expectation), so quarantine every disk-sourced
+                // part of this lookup; the recompute rewrites the whole
+                // batch. Memory-resident parts were written by this
+                // process at this prefix and are dropped only if the
+                // offender is resident itself.
+                if !from_disk {
+                    self.mem.remove(&id);
+                }
+                for did in disk_ids.clone() {
+                    let _ = fs::remove_file(self.path_of(did));
+                    self.mem.remove(&did);
+                }
+                self.stats.corrupt_entries += 1;
+                self.telemetry.counter("cache.corrupt_entries").inc();
+                eprintln!(
+                    "egeria: shape-mismatched cache entry in batch lookup (sample {id}); quarantined, will recompute"
+                );
+                self.count_miss();
+                self.stats.mem_entries = self.mem.len();
+                return Ok(None);
+            }
+            expected_tail.get_or_insert_with(|| dims[1..].to_vec());
+            parts.push(part);
+        }
+        let views: Vec<&Tensor> = parts.iter().collect();
+        match Tensor::concat(&views, 0) {
+            Ok(batch) => {
+                self.count_hit();
+                Ok(Some(batch))
+            }
+            // Unreachable given the shape audit above, but the degradation
+            // matrix still applies: assembly trouble is a miss + recompute.
+            Err(_) => {
+                self.count_miss();
+                Ok(None)
             }
         }
-        self.stats.hits += 1;
-        let views: Vec<&Tensor> = parts.iter().collect();
-        Ok(Some(Tensor::concat(&views, 0)?))
     }
 
     /// Performance counters.
@@ -507,6 +584,71 @@ mod tests {
         c.put_batch(&[2], &act, 0).unwrap();
         c.put_batch(&[3], &act, 0).unwrap();
         assert!(c.get_batch(&[1], 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_shape_mismatched_disk_entry_is_a_miss_not_an_abort() {
+        // The audited bug class: an on-disk entry left behind by a run
+        // with a different activation geometry deserializes fine but
+        // cannot be concatenated with its batch. Before the shape audit
+        // this aborted training via the concat error *after* counting a
+        // hit; the degradation matrix (DESIGN.md §5a) requires a
+        // quarantine + miss + recompute, with counters to match.
+        let tele = Telemetry::enabled();
+        let mut c = ActivationCache::new(tmp_dir("stale"), 1).unwrap();
+        c.set_telemetry(tele.clone());
+        let act = Tensor::ones(&[2, 4]);
+        c.put_batch(&[1, 2], &act, 0).unwrap();
+        c.put_batch(&[9], &Tensor::ones(&[1, 4]), 0).unwrap(); // evict 1, 2
+        // Overwrite sample 1 on disk with a differently-shaped tensor, as
+        // a stale file from another geometry would be.
+        let stale = serialize::to_bytes(&Tensor::ones(&[1, 7]));
+        fs::write(c.path_of(1), &stale).unwrap();
+        let got = c.get_batch(&[1, 2], 0).unwrap();
+        assert!(got.is_none(), "mismatched entry must degrade to a miss");
+        assert_eq!(c.stats().hits, 0, "no hit may be counted for a recompute");
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().corrupt_entries, 1);
+        assert!(!c.path_of(1).exists(), "stale entry must be quarantined");
+        // Telemetry counters mirror the stats exactly.
+        let snap = tele.metrics_snapshot();
+        assert_eq!(snap.counter("cache.hits"), None);
+        assert_eq!(snap.counter("cache.misses"), Some(1));
+        assert_eq!(snap.counter("cache.corrupt_entries"), Some(1));
+        // Recompute refills the slot and the next lookup is a real hit.
+        c.put_batch(&[1, 2], &act, 0).unwrap();
+        assert!(c.get_batch(&[1, 2], 0).unwrap().is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(tele.metrics_snapshot().counter("cache.hits"), Some(1));
+    }
+
+    #[test]
+    fn degradation_matrix_counters_match_stats() {
+        // Pin the §5a matrix end to end: every degraded path counts a
+        // miss (never a hit) and mirrors into telemetry.
+        let tele = Telemetry::enabled();
+        let mut c = ActivationCache::new(tmp_dir("matrix"), 1).unwrap();
+        c.set_telemetry(tele.clone());
+        let act = Tensor::ones(&[1, 4]);
+        // Row 1: absent entry → miss.
+        assert!(c.get_batch(&[404], 0).unwrap().is_none());
+        // Row 2: corrupt on-disk bytes → quarantine + miss.
+        c.put_batch(&[404], &act, 0).unwrap();
+        c.put_batch(&[5], &act, 0).unwrap(); // evict 404 from memory
+        fs::write(c.path_of(404), b"garbage").unwrap();
+        assert!(c.get_batch(&[404], 0).unwrap().is_none());
+        // Row 3: write failure → entry memory-resident, training alive.
+        let faults = FaultInjector::new();
+        faults.arm(FaultSite::CacheWrite, 0, 1, FaultAction::Fail);
+        c.set_faults(Some(faults));
+        c.put_batch(&[6], &act, 0).unwrap();
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.corrupt_entries, s.write_errors), (0, 2, 1, 1));
+        let snap = tele.metrics_snapshot();
+        assert_eq!(snap.counter("cache.misses"), Some(2));
+        assert_eq!(snap.counter("cache.corrupt_entries"), Some(1));
+        assert_eq!(snap.counter("cache.write_errors"), Some(1));
+        assert_eq!(snap.counter("cache.hits"), None);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::faults::{FaultInjector, FaultSite};
 use crate::reference::ReferenceManager;
 use egeria_analysis::sp_loss;
 use egeria_models::{Batch, Model};
+use egeria_obs::Telemetry;
 use egeria_tensor::Tensor;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::Arc;
@@ -90,11 +91,30 @@ impl AsyncController {
     /// (before any result is sent), the way a panic in the reference
     /// forward would.
     pub fn spawn_with_faults(
-        mut reference: ReferenceManager,
+        reference: ReferenceManager,
         gate: f32,
         probe: LoadProbe,
         faults: Option<Arc<FaultInjector>>,
     ) -> Self {
+        Self::spawn_with_telemetry(reference, gate, probe, faults, Telemetry::disabled())
+    }
+
+    /// [`AsyncController::spawn_with_faults`] with an attached telemetry
+    /// handle: the controller thread counts `controller.evals`,
+    /// `controller.gated`, `controller.errors`, and
+    /// `controller.ref_updates` into the shared registry.
+    pub fn spawn_with_telemetry(
+        mut reference: ReferenceManager,
+        gate: f32,
+        probe: LoadProbe,
+        faults: Option<Arc<FaultInjector>>,
+        telemetry: Telemetry,
+    ) -> Self {
+        let c_evals = telemetry.counter("controller.evals");
+        let c_gated = telemetry.counter("controller.gated");
+        let c_errors = telemetry.counter("controller.errors");
+        let c_updates = telemetry.counter("controller.ref_updates");
+        reference.set_telemetry(telemetry);
         let (cmd_tx, cmd_rx) = bounded::<Command>(32);
         let (toq_tx, toq_rx) = bounded::<(u64, Tensor)>(32);
         // ROQ lives entirely on the controller thread but is a real queue
@@ -107,8 +127,10 @@ impl AsyncController {
                     Command::Shutdown => break,
                     Command::UpdateReference(snapshot) => {
                         let _ = reference.generate(snapshot.as_ref());
+                        c_updates.inc();
                     }
                     Command::Eval(req) => {
+                        c_evals.inc();
                         if faults
                             .as_ref()
                             .map(|f| f.should_fail(FaultSite::ControllerEval))
@@ -121,6 +143,7 @@ impl AsyncController {
                         }
                         // (2a) Reference forward, gated on CPU load.
                         if probe() > gate {
+                            c_gated.inc();
                             let _ = result_tx.send(PlasticityResult {
                                 eval_id: req.eval_id,
                                 module: req.module,
@@ -136,6 +159,7 @@ impl AsyncController {
                                 let _ = roq_tx.send((req.eval_id, req.module, act));
                             }
                             Err(_) => {
+                                c_errors.inc();
                                 let _ = result_tx.send(PlasticityResult {
                                     eval_id: req.eval_id,
                                     module: req.module,

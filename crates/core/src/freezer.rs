@@ -6,6 +6,7 @@
 
 use crate::config::{EgeriaConfig, UnfreezePolicy};
 use crate::plasticity::{PlasticityObservation, PlasticityTracker, TrackerSnapshot};
+use egeria_obs::Telemetry;
 use egeria_tensor::{Result, Tensor};
 
 /// The complete persistent state of a [`FreezingEngine`], exposed for
@@ -54,6 +55,9 @@ pub struct FreezingEngine {
     /// History of events with the evaluation index they occurred at.
     events: Vec<(usize, FreezeEvent)>,
     evaluations: usize,
+    /// Telemetry handle; excluded from snapshots (observability is not
+    /// training state).
+    telemetry: Telemetry,
 }
 
 impl FreezingEngine {
@@ -71,7 +75,16 @@ impl FreezingEngine {
             relaxed: false,
             events: Vec::new(),
             evaluations: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every plasticity evaluation bumps
+    /// `freezer.evaluations`, and freeze/unfreeze decisions are recorded
+    /// as `freeze_decision` instants carrying the triggering smoothed
+    /// plasticity value.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The frontmost active module (== current frozen prefix length).
@@ -119,6 +132,7 @@ impl FreezingEngine {
         lr: f32,
     ) -> Result<(Option<PlasticityObservation>, FreezeEvent)> {
         self.evaluations += 1;
+        self.telemetry.counter("freezer.evaluations").inc();
         if let Some(event) = self.check_unfreeze(lr) {
             return Ok((None, event));
         }
@@ -135,6 +149,8 @@ impl FreezingEngine {
             self.front += 1;
             let event = FreezeEvent::Froze(self.front);
             self.events.push((self.evaluations, event));
+            self.telemetry.counter("freezer.freezes").inc();
+            self.telemetry.gauge("freezer.front").set(self.front as f64);
             return Ok((Some(obs), event));
         }
         Ok((Some(obs), FreezeEvent::None))
@@ -164,6 +180,8 @@ impl FreezingEngine {
             t.relax(w, s);
         }
         self.events.push((self.evaluations, FreezeEvent::Unfroze));
+        self.telemetry.counter("freezer.unfreezes").inc();
+        self.telemetry.gauge("freezer.front").set(0.0);
     }
 
     /// Whether refreeze criteria are currently relaxed.

@@ -46,5 +46,6 @@ pub mod trainer;
 pub use api::{EgeriaController, EgeriaModule};
 pub use checkpoint::{CheckpointOptions, CheckpointStore, TrainerCheckpoint};
 pub use config::EgeriaConfig;
+pub use egeria_obs::Telemetry;
 pub use faults::{FaultAction, FaultInjector, FaultSite};
 pub use trainer::{EgeriaTrainer, TrainReport};

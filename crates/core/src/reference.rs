@@ -8,6 +8,7 @@
 
 use crate::config::EgeriaConfig;
 use egeria_models::{Batch, Model};
+use egeria_obs::Telemetry;
 use egeria_quant::{quantize_reference, Precision};
 use egeria_tensor::{Result, Tensor, TensorError};
 use std::time::{Duration, Instant};
@@ -30,6 +31,7 @@ pub struct ReferenceManager {
     reference: Option<Box<dyn Model>>,
     evals_since_update: usize,
     stats: ReferenceStats,
+    telemetry: Telemetry,
 }
 
 impl ReferenceManager {
@@ -41,7 +43,15 @@ impl ReferenceManager {
             reference: None,
             evals_since_update: 0,
             stats: ReferenceStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: refreshes become `reference_refresh`
+    /// spans and `reference.generations` / `reference.forwards` counters
+    /// mirror [`ReferenceStats`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Whether a reference exists.
@@ -51,11 +61,14 @@ impl ReferenceManager {
 
     /// Generates (or regenerates) the reference from a snapshot of `model`.
     pub fn generate(&mut self, model: &dyn Model) -> Result<()> {
+        let span = self.telemetry.span("reference_refresh");
         let start = Instant::now();
         self.reference = Some(quantize_reference(model, self.precision)?);
         self.stats.generations += 1;
         self.stats.total_generation_time += start.elapsed();
         self.evals_since_update = 0;
+        self.telemetry.counter("reference.generations").inc();
+        drop(span);
         Ok(())
     }
 
@@ -77,6 +90,7 @@ impl ReferenceManager {
             TensorError::Numerical("reference model not generated yet".into())
         })?;
         self.stats.forwards += 1;
+        self.telemetry.counter("reference.forwards").inc();
         r.capture_activation(batch, module)
     }
 

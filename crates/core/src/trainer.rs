@@ -21,6 +21,7 @@ use egeria_data::{DataLoader, Dataset};
 use egeria_models::Model;
 use egeria_nn::optim::{Adam, OptimizerState, Sgd};
 use egeria_nn::sched::LrSchedule;
+use egeria_obs::{ArgValue, Telemetry};
 use egeria_tensor::{Result, TensorError};
 use serde::Serialize;
 use std::path::PathBuf;
@@ -89,6 +90,10 @@ pub struct TrainerOptions {
     pub checkpoint: Option<CheckpointOptions>,
     /// Fault injector for robustness tests; `None` in production.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Telemetry handle wired through the freezer, cache, reference
+    /// manager, and controller. The default disabled handle records
+    /// nothing and costs one branch per instrumentation point.
+    pub telemetry: Telemetry,
 }
 
 impl Default for TrainerOptions {
@@ -101,6 +106,7 @@ impl Default for TrainerOptions {
             eval_every: 1,
             checkpoint: None,
             faults: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -239,6 +245,7 @@ impl EgeriaTrainer {
     ) -> Result<TrainReport> {
         let started = Instant::now();
         let egeria_cfg = self.options.egeria;
+        let telemetry = self.options.telemetry.clone();
         let mut report = TrainReport {
             model: self.model.name().to_string(),
             egeria: egeria_cfg.is_some(),
@@ -263,9 +270,16 @@ impl EgeriaTrainer {
             }
             _ => None,
         };
+        if let Some(f) = freezer.as_mut() {
+            f.set_telemetry(telemetry.clone());
+        }
+        if let Some(r) = refmgr.as_mut() {
+            r.set_telemetry(telemetry.clone());
+        }
         let faults = self.options.faults.clone();
         if let Some(c) = cache.as_mut() {
             c.set_faults(faults.clone());
+            c.set_telemetry(telemetry.clone());
         }
 
         let mut global_step = 0usize;
@@ -335,13 +349,15 @@ impl EgeriaTrainer {
                         );
                         let mut rm = ReferenceManager::new(cfg);
                         rm.generate(self.model.as_ref())?;
-                        async_ctrl = Some(AsyncController::spawn_with_faults(
+                        async_ctrl = Some(AsyncController::spawn_with_telemetry(
                             rm,
                             cfg.cpu_load_gate,
                             system_load_probe(),
                             faults.clone(),
+                            telemetry.clone(),
                         ));
                         report.controller_restarts += 1;
+                        telemetry.counter("controller.restarts").inc();
                         evals_since_ref_update = 0;
                     }
                 }
@@ -356,8 +372,15 @@ impl EgeriaTrainer {
                         if let Some(p) = r.value {
                             let (obs, event) = fr.observe_value(p, lr)?;
                             self.apply_event(event, &mut cache)?;
-                            record_plasticity(&mut report, global_step, r.module, p, obs);
-                            record_event(&mut report, global_step, event, self.model.frozen_prefix());
+                            record_plasticity(&mut report, &telemetry, global_step, r.module, p, obs);
+                            record_event(
+                                &mut report,
+                                &telemetry,
+                                global_step,
+                                event,
+                                self.model.frozen_prefix(),
+                                obs.map(|o| o.smoothed),
+                            );
                             evals_since_ref_update += 1;
                         }
                     }
@@ -377,6 +400,7 @@ impl EgeriaTrainer {
                 } else {
                     None
                 };
+                let step_span = telemetry.span("train_step");
                 let step_result = if let Some(front) = eval_front {
                     let r = self.model.train_step(&batch, Some(front))?;
                     let a_train = r.captured.clone().ok_or_else(|| {
@@ -393,10 +417,17 @@ impl EgeriaTrainer {
                             {
                                 let (obs, event) = fr.observe(&a_train, &a_ref, lr)?;
                                 if let Some(o) = &obs {
-                                    record_plasticity(&mut report, global_step, front, o.raw, obs);
+                                    record_plasticity(&mut report, &telemetry, global_step, front, o.raw, obs);
                                 }
                                 self.apply_event(event, &mut cache)?;
-                                record_event(&mut report, global_step, event, self.model.frozen_prefix());
+                                record_event(
+                                    &mut report,
+                                    &telemetry,
+                                    global_step,
+                                    event,
+                                    self.model.frozen_prefix(),
+                                    obs.map(|o| o.smoothed),
+                                );
                                 evals_since_ref_update += 1;
                                 if cfg.reference_update_every > 0
                                     && evals_since_ref_update >= cfg.reference_update_every
@@ -418,9 +449,25 @@ impl EgeriaTrainer {
                     match c.get_batch(&batch.sample_ids, prefix)? {
                         Some(act) => {
                             fp_cached = true;
+                            if telemetry.is_enabled() {
+                                telemetry.instant(
+                                    "cache_lookup",
+                                    Some(global_step as u64),
+                                    None,
+                                    vec![("outcome", ArgValue::Str("hit"))],
+                                );
+                            }
                             self.model.train_step_from(&batch, prefix, &act, None)?
                         }
                         None => {
+                            if telemetry.is_enabled() {
+                                telemetry.instant(
+                                    "cache_lookup",
+                                    Some(global_step as u64),
+                                    None,
+                                    vec![("outcome", ArgValue::Str("miss"))],
+                                );
+                            }
                             // Fill the cache with the frozen boundary's
                             // activation while doing the full forward.
                             let r = self.model.train_step(&batch, Some(prefix - 1))?;
@@ -443,11 +490,12 @@ impl EgeriaTrainer {
                         }
                         if c.controller == ControllerMode::Async {
                             if let Some(rm_owned) = refmgr.take() {
-                                async_ctrl = Some(AsyncController::spawn_with_faults(
+                                async_ctrl = Some(AsyncController::spawn_with_telemetry(
                                     rm_owned,
                                     c.cpu_load_gate,
                                     system_load_probe(),
                                     faults.clone(),
+                                    telemetry.clone(),
                                 ));
                             }
                         }
@@ -463,10 +511,19 @@ impl EgeriaTrainer {
                     }
                 }
 
-                let mut params = self.model.params_mut();
-                self.optimizer.step(&mut params)?;
-                drop(params);
-                self.model.zero_grad();
+                {
+                    let _opt_span = telemetry.span("opt_step").iteration(global_step as u64);
+                    let mut params = self.model.params_mut();
+                    self.optimizer.step(&mut params)?;
+                    drop(params);
+                    self.model.zero_grad();
+                }
+                drop(
+                    step_span
+                        .iteration(global_step as u64)
+                        .arg("frozen_prefix", self.model.frozen_prefix() as u64)
+                        .arg("fp_cached", fp_cached),
+                );
                 epoch_loss += step_result.loss as f64;
                 epoch_batches += 1;
                 report.iterations.push(IterationRecord {
@@ -493,6 +550,22 @@ impl EgeriaTrainer {
                 frozen_prefix: self.model.frozen_prefix(),
                 active_param_fraction: self.model.active_param_fraction(),
             });
+            if telemetry.is_enabled() {
+                let pool = egeria_tensor::ThreadPool::global().stats();
+                telemetry.gauge("pool.jobs").set(pool.jobs as f64);
+                telemetry.gauge("pool.tasks").set(pool.tasks as f64);
+                telemetry.gauge("pool.inline_jobs").set(pool.inline_jobs as f64);
+                telemetry.instant(
+                    "pool_occupancy",
+                    Some(global_step as u64),
+                    None,
+                    vec![
+                        ("jobs", ArgValue::U64(pool.jobs as u64)),
+                        ("tasks", ArgValue::U64(pool.tasks as u64)),
+                        ("inline_jobs", ArgValue::U64(pool.inline_jobs as u64)),
+                    ],
+                );
+            }
 
             // Epoch-boundary checkpoint. A failed save is a logged
             // degradation, never a training failure.
@@ -513,11 +586,18 @@ impl EgeriaTrainer {
                         &refmgr,
                         &report,
                     );
+                    let save_span = telemetry
+                        .span("checkpoint_save")
+                        .iteration(global_step as u64);
                     if let Err(e) = s.save(&ckpt) {
                         eprintln!("egeria: checkpoint save failed at epoch {epoch}: {e}");
                         s.save_errors += 1;
                         report.checkpoint_save_errors += 1;
+                        telemetry.counter("checkpoint.save_errors").inc();
+                    } else {
+                        telemetry.counter("checkpoint.saves").inc();
                     }
+                    drop(save_span);
                 }
             }
         }
@@ -712,11 +792,12 @@ impl EgeriaTrainer {
                     ControllerMode::Async => {
                         if let Some(mut rm) = refmgr.take() {
                             rm.generate(self.model.as_ref())?;
-                            *async_ctrl = Some(AsyncController::spawn_with_faults(
+                            *async_ctrl = Some(AsyncController::spawn_with_telemetry(
                                 rm,
                                 cfg.cpu_load_gate,
                                 system_load_probe(),
                                 self.options.faults.clone(),
+                                self.options.telemetry.clone(),
                             ));
                         }
                     }
@@ -778,20 +859,40 @@ fn batch_input_bytes(batch: &egeria_models::Batch) -> u64 {
 
 fn record_plasticity(
     report: &mut TrainReport,
+    telemetry: &Telemetry,
     iteration: usize,
     module: usize,
     raw: f32,
     obs: Option<crate::plasticity::PlasticityObservation>,
 ) {
+    let smoothed = obs.map(|o| o.smoothed).unwrap_or(raw);
     report.plasticity.push(PlasticityPoint {
         iteration,
         module,
         raw,
-        smoothed: obs.map(|o| o.smoothed).unwrap_or(raw),
+        smoothed,
     });
+    if telemetry.is_enabled() {
+        telemetry.instant(
+            "plasticity_probe",
+            Some(iteration as u64),
+            Some(module as u64),
+            vec![
+                ("raw", ArgValue::F64(raw as f64)),
+                ("smoothed", ArgValue::F64(smoothed as f64)),
+            ],
+        );
+    }
 }
 
-fn record_event(report: &mut TrainReport, iteration: usize, event: FreezeEvent, prefix: usize) {
+fn record_event(
+    report: &mut TrainReport,
+    telemetry: &Telemetry,
+    iteration: usize,
+    event: FreezeEvent,
+    prefix: usize,
+    value: Option<f32>,
+) {
     let kind = match event {
         FreezeEvent::None => return,
         FreezeEvent::Froze(_) => "freeze",
@@ -802,6 +903,22 @@ fn record_event(report: &mut TrainReport, iteration: usize, event: FreezeEvent, 
         kind: kind.to_string(),
         prefix,
     });
+    if telemetry.is_enabled() {
+        let mut args = vec![
+            (
+                "action",
+                ArgValue::Str(match event {
+                    FreezeEvent::Froze(_) => "froze",
+                    _ => "unfroze",
+                }),
+            ),
+            ("frozen_prefix", ArgValue::U64(prefix as u64)),
+        ];
+        if let Some(v) = value {
+            args.push(("value", ArgValue::F64(v as f64)));
+        }
+        telemetry.instant("freeze_decision", Some(iteration as u64), None, args);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,395 @@
+//! Lock-cheap metrics: counters, gauges, and log2-bucketed histograms.
+//!
+//! Handles are `Arc`-shared atomics — after registration (a short mutex
+//! hold, done once per call site) every update is a single relaxed atomic
+//! operation. Snapshots are sorted by metric name so two identical runs
+//! serialize identically regardless of registration order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one per power of two of the recorded
+/// value, so bucket `i` holds values `v` with `floor(log2(v)) == i - 1`
+/// (bucket 0 holds `v == 0`). Fixed at compile time — bucket geometry is
+/// part of the golden-run fingerprint and must never depend on the data.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter. Cloning shares the underlying cell;
+/// a handle from a disabled [`crate::Telemetry`] is empty and every
+/// operation on it is a no-op.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A no-op counter (what disabled telemetry hands out).
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    fn live(cell: Arc<AtomicU64>) -> Self {
+        Counter(Some(cell))
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+}
+
+/// A last-value-wins gauge storing an `f64` as bits.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    fn live(cell: Arc<AtomicU64>) -> Self {
+        Gauge(Some(cell))
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(c) = &self.0 {
+            c.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for a no-op handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+            .unwrap_or(0.0)
+    }
+}
+
+/// Shared histogram cells: fixed log2 buckets plus count and integer sum.
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A histogram over `u64` samples with [`HISTOGRAM_BUCKETS`] fixed log2
+/// buckets: bucket 0 counts zeros, bucket `i ≥ 1` counts samples whose
+/// highest set bit is `i - 1` (i.e. `2^(i-1) ≤ v < 2^i`). The geometry is
+/// data-independent, which keeps snapshots deterministic.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCells>>);
+
+/// The index of the log2 bucket a sample lands in.
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// A no-op histogram.
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    fn live(cells: Arc<HistogramCells>) -> Self {
+        Histogram(Some(cells))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            // bucket_index(u64::MAX) == 64 would overflow the array; clamp
+            // the top bucket instead of branching on the caller.
+            let idx = bucket_index(v).min(HISTOGRAM_BUCKETS - 1);
+            h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map(|h| h.count.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Sum of all samples (wrapping on overflow, as counters do).
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map(|h| h.sum.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Non-empty buckets as `(bucket index, count)` in ascending index
+    /// order.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(h) => h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+enum MetricCell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCells>),
+}
+
+/// The registry: name → metric. Registration scans a vector under a mutex
+/// (metric sets are small and registration is once-per-call-site); updates
+/// never touch the lock.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<Vec<(String, MetricCell)>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Registering a name that already holds a different metric kind
+    /// returns a fresh no-op handle rather than corrupting the registry.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        if let Some((_, cell)) = m.iter().find(|(n, _)| n == name) {
+            return match cell {
+                MetricCell::Counter(c) => Counter::live(Arc::clone(c)),
+                _ => Counter::noop(),
+            };
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        m.push((name.to_string(), MetricCell::Counter(Arc::clone(&cell))));
+        Counter::live(cell)
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        if let Some((_, cell)) = m.iter().find(|(n, _)| n == name) {
+            return match cell {
+                MetricCell::Gauge(c) => Gauge::live(Arc::clone(c)),
+                _ => Gauge::noop(),
+            };
+        }
+        let cell = Arc::new(AtomicU64::new(0.0f64.to_bits()));
+        m.push((name.to_string(), MetricCell::Gauge(Arc::clone(&cell))));
+        Gauge::live(cell)
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        if let Some((_, cell)) = m.iter().find(|(n, _)| n == name) {
+            return match cell {
+                MetricCell::Histogram(c) => Histogram::live(Arc::clone(c)),
+                _ => Histogram::noop(),
+            };
+        }
+        let cells = Arc::new(HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        });
+        m.push((name.to_string(), MetricCell::Histogram(Arc::clone(&cells))));
+        Histogram::live(cells)
+    }
+
+    /// A point-in-time snapshot, sorted by metric name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().expect("metrics registry poisoned");
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, cell) in m.iter() {
+            match cell {
+                MetricCell::Counter(c) => {
+                    counters.push((name.clone(), c.load(Ordering::Relaxed)));
+                }
+                MetricCell::Gauge(c) => {
+                    gauges.push((name.clone(), f64::from_bits(c.load(Ordering::Relaxed))));
+                }
+                MetricCell::Histogram(h) => {
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| {
+                            let n = b.load(Ordering::Relaxed);
+                            (n > 0).then_some((i, n))
+                        })
+                        .collect();
+                    histograms.push(HistogramSnapshot {
+                        name: name.clone(),
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        buckets,
+                    });
+                }
+            }
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One histogram's snapshot: sparse `(bucket, count)` pairs in bucket
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Non-empty `(bucket index, count)` pairs, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// A deterministic point-in-time view of a registry, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter, or `None` if it was never registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The value of a gauge, or `None` if it was never registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_the_cell() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn noop_handles_do_nothing() {
+        let c = Counter::noop();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(4.0);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::noop();
+        h.observe(10);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn log2_buckets_are_fixed_and_exhaustive() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        for v in [0u64, 1, 1, 3, 900, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 2), (2, 1), (10, 1), (HISTOGRAM_BUCKETS - 1, 1)]
+        );
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").inc();
+        r.gauge("mid").set(1.5);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].0, "alpha");
+        assert_eq!(s.counters[1].0, "zeta");
+        assert_eq!(s.gauge("mid"), Some(1.5));
+    }
+
+    #[test]
+    fn kind_mismatch_yields_noop_not_corruption() {
+        let r = MetricsRegistry::new();
+        r.counter("m").inc();
+        let g = r.gauge("m");
+        g.set(9.0);
+        assert_eq!(r.snapshot().counter("m"), Some(1));
+        assert_eq!(r.snapshot().gauge("m"), None);
+    }
+
+    #[test]
+    fn updates_race_free_across_threads() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,382 @@
+//! Trace summarization: JSONL trace → the paper's per-layer frozen-time
+//! breakdown plus the observed iteration split `simsys` calibrates
+//! against. This is the library behind `bin/trace_report`.
+
+use crate::jsonl::{parse, validate_trace_jsonl, Value};
+
+/// Aggregate duration stats for one event kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindStat {
+    /// Event kind name.
+    pub kind: String,
+    /// Number of events of this kind.
+    pub count: u64,
+    /// Total span time in µs (0 for instants).
+    pub total_us: u64,
+}
+
+/// One observed `train_step` span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationStat {
+    /// Iteration index.
+    pub iteration: u64,
+    /// Measured step duration in µs.
+    pub dur_us: u64,
+    /// Frozen prefix in force during the step.
+    pub frozen_prefix: u64,
+    /// Whether the frozen-prefix forward came from the activation cache.
+    pub fp_cached: bool,
+}
+
+/// One freeze/unfreeze decision from the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreezeDecision {
+    /// Iteration the decision fired at.
+    pub iteration: u64,
+    /// Frozen prefix after the decision.
+    pub frozen_prefix: u64,
+    /// `"froze"` or `"unfroze"`.
+    pub action: String,
+    /// The triggering plasticity (SP/CKA) value, when recorded.
+    pub value: Option<f64>,
+}
+
+/// Per-layer share of the run spent frozen — the paper's breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStat {
+    /// Layer/module index.
+    pub module: u64,
+    /// Steps during which this layer was frozen.
+    pub frozen_steps: u64,
+    /// Total observed steps.
+    pub total_steps: u64,
+}
+
+impl LayerStat {
+    /// Fraction of observed steps this layer spent frozen.
+    pub fn frozen_frac(&self) -> f64 {
+        if self.total_steps == 0 {
+            0.0
+        } else {
+            self.frozen_steps as f64 / self.total_steps as f64
+        }
+    }
+}
+
+/// Mean observed step time grouped by `(frozen_prefix, fp_cached)` — the
+/// shape `simsys::calibration` compares predictions against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitStat {
+    /// Frozen prefix.
+    pub frozen_prefix: u64,
+    /// Whether the frozen forward was cache-served.
+    pub fp_cached: bool,
+    /// Steps observed in this configuration.
+    pub count: u64,
+    /// Mean step duration in µs.
+    pub mean_dur_us: f64,
+}
+
+/// Everything `trace_report` prints, extracted from one JSONL trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Span + instant lines in the trace.
+    pub total_events: usize,
+    /// Events the recorder's ring evicted.
+    pub dropped: u64,
+    /// Per-kind counts and total span time, kind-sorted.
+    pub kinds: Vec<KindStat>,
+    /// Every observed `train_step`, iteration-sorted.
+    pub iterations: Vec<IterationStat>,
+    /// The freeze/unfreeze decision timeline in trace order.
+    pub freeze_timeline: Vec<FreezeDecision>,
+    /// Per-layer frozen share over the observed steps.
+    pub layers: Vec<LayerStat>,
+    /// Mean step time per `(frozen_prefix, fp_cached)` configuration.
+    pub splits: Vec<SplitStat>,
+    /// Final counter snapshot, name-sorted.
+    pub counters: Vec<(String, u64)>,
+}
+
+fn arg_u64(obj: &Value, key: &str) -> Option<u64> {
+    obj.get("args").and_then(|a| a.get(key)).and_then(Value::as_u64)
+}
+
+fn arg_f64(obj: &Value, key: &str) -> Option<f64> {
+    obj.get("args").and_then(|a| a.get(key)).and_then(Value::as_f64)
+}
+
+fn arg_bool(obj: &Value, key: &str) -> Option<bool> {
+    match obj.get("args").and_then(|a| a.get(key)) {
+        Some(Value::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+/// Validates and summarizes a JSONL trace. Fails with the validator's
+/// line-addressed error on malformed input.
+pub fn summarize(text: &str) -> Result<TraceSummary, String> {
+    let stats = validate_trace_jsonl(text)?;
+    let mut summary = TraceSummary {
+        dropped: stats.dropped,
+        ..TraceSummary::default()
+    };
+    let mut kinds: Vec<KindStat> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let obj = parse(line)?;
+        let ty = obj.get("type").and_then(Value::as_str).unwrap_or("");
+        match ty {
+            "span" | "instant" => {
+                summary.total_events += 1;
+                let kind = obj.get("kind").and_then(Value::as_str).unwrap_or("");
+                let dur = obj.get("dur_us").and_then(Value::as_u64).unwrap_or(0);
+                match kinds.iter_mut().find(|k| k.kind == kind) {
+                    Some(k) => {
+                        k.count += 1;
+                        k.total_us += dur;
+                    }
+                    None => kinds.push(KindStat {
+                        kind: kind.to_string(),
+                        count: 1,
+                        total_us: dur,
+                    }),
+                }
+                if ty == "span" && kind == "train_step" {
+                    summary.iterations.push(IterationStat {
+                        iteration: obj.get("iteration").and_then(Value::as_u64).unwrap_or(0),
+                        dur_us: dur,
+                        frozen_prefix: arg_u64(&obj, "frozen_prefix").unwrap_or(0),
+                        fp_cached: arg_bool(&obj, "fp_cached").unwrap_or(false),
+                    });
+                } else if ty == "instant" && kind == "freeze_decision" {
+                    summary.freeze_timeline.push(FreezeDecision {
+                        iteration: obj.get("iteration").and_then(Value::as_u64).unwrap_or(0),
+                        frozen_prefix: arg_u64(&obj, "frozen_prefix").unwrap_or(0),
+                        action: obj
+                            .get("args")
+                            .and_then(|a| a.get("action"))
+                            .and_then(Value::as_str)
+                            .unwrap_or("?")
+                            .to_string(),
+                        value: arg_f64(&obj, "value"),
+                    });
+                }
+            }
+            "metrics" => {
+                if let Some(counters) = obj.get("counters").and_then(Value::as_obj) {
+                    summary.counters = counters
+                        .iter()
+                        .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                        .collect();
+                }
+            }
+            _ => {}
+        }
+    }
+    kinds.sort_by(|a, b| a.kind.cmp(&b.kind));
+    summary.kinds = kinds;
+    summary.iterations.sort_by_key(|i| i.iteration);
+
+    // Per-layer frozen share: layer m is frozen during a step iff the
+    // step's frozen_prefix exceeds m. Cover every layer up to the deepest
+    // prefix ever reached so fully-plastic layers still show a row.
+    let total_steps = summary.iterations.len() as u64;
+    let max_prefix = summary
+        .iterations
+        .iter()
+        .map(|i| i.frozen_prefix)
+        .max()
+        .unwrap_or(0);
+    for module in 0..max_prefix {
+        let frozen_steps = summary
+            .iterations
+            .iter()
+            .filter(|i| i.frozen_prefix > module)
+            .count() as u64;
+        summary.layers.push(LayerStat {
+            module,
+            frozen_steps,
+            total_steps,
+        });
+    }
+
+    // Observed iteration split per (frozen_prefix, fp_cached).
+    let mut splits: Vec<(u64, bool, u64, u64)> = Vec::new();
+    for it in &summary.iterations {
+        match splits
+            .iter_mut()
+            .find(|(p, c, _, _)| *p == it.frozen_prefix && *c == it.fp_cached)
+        {
+            Some((_, _, n, sum)) => {
+                *n += 1;
+                *sum += it.dur_us;
+            }
+            None => splits.push((it.frozen_prefix, it.fp_cached, 1, it.dur_us)),
+        }
+    }
+    splits.sort_by_key(|(p, c, _, _)| (*p, *c));
+    summary.splits = splits
+        .into_iter()
+        .map(|(frozen_prefix, fp_cached, count, sum)| SplitStat {
+            frozen_prefix,
+            fp_cached,
+            count,
+            mean_dur_us: sum as f64 / count as f64,
+        })
+        .collect();
+    Ok(summary)
+}
+
+/// Renders the summary as the human-readable report `trace_report`
+/// prints: per-kind totals, the freeze timeline, the per-layer
+/// frozen-time breakdown, and the observed iteration split.
+pub fn render(summary: &TraceSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} events ({} dropped by ring)",
+        summary.total_events, summary.dropped
+    );
+    let _ = writeln!(out, "\n== event kinds ==");
+    let _ = writeln!(out, "{:<24} {:>8} {:>12}", "kind", "count", "total_us");
+    for k in &summary.kinds {
+        let _ = writeln!(out, "{:<24} {:>8} {:>12}", k.kind, k.count, k.total_us);
+    }
+    let _ = writeln!(out, "\n== freeze timeline ==");
+    if summary.freeze_timeline.is_empty() {
+        let _ = writeln!(out, "(no freeze decisions recorded)");
+    }
+    for d in &summary.freeze_timeline {
+        match d.value {
+            Some(v) => {
+                let _ = writeln!(
+                    out,
+                    "iter {:>6}: {} -> prefix {} (plasticity {v:.6})",
+                    d.iteration, d.action, d.frozen_prefix
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "iter {:>6}: {} -> prefix {}",
+                    d.iteration, d.action, d.frozen_prefix
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "\n== per-layer frozen time ==");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>14} {:>12} {:>10}",
+        "layer", "frozen_steps", "total_steps", "frozen_%"
+    );
+    for l in &summary.layers {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>14} {:>12} {:>9.1}%",
+            l.module,
+            l.frozen_steps,
+            l.total_steps,
+            100.0 * l.frozen_frac()
+        );
+    }
+    let _ = writeln!(out, "\n== observed iteration split ==");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>8} {:>14}",
+        "frozen_prefix", "fp_cached", "steps", "mean_us"
+    );
+    for s in &summary.splits {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>8} {:>14.1}",
+            s.frozen_prefix, s.fp_cached, s.count, s.mean_dur_us
+        );
+    }
+    let _ = writeln!(out, "\n== counters ==");
+    for (name, v) in &summary.counters {
+        let _ = writeln!(out, "{name} = {v}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::export_jsonl;
+    use crate::telemetry::Telemetry;
+    use crate::trace::ArgValue;
+
+    fn demo_trace() -> String {
+        let t = Telemetry::enabled();
+        t.counter("cache.hits").add(3);
+        t.counter("cache.misses").add(1);
+        for it in 0..4u64 {
+            let prefix = if it < 2 { 0u64 } else { 2u64 };
+            let _s = t
+                .span("train_step")
+                .iteration(it)
+                .arg("frozen_prefix", prefix)
+                .arg("fp_cached", it == 3);
+        }
+        t.instant(
+            "freeze_decision",
+            Some(2),
+            Some(2),
+            vec![
+                ("action", ArgValue::Str("froze")),
+                ("frozen_prefix", ArgValue::U64(2)),
+                ("value", ArgValue::F64(0.0125)),
+            ],
+        );
+        export_jsonl(&t)
+    }
+
+    #[test]
+    fn summarizes_iterations_layers_and_timeline() {
+        let s = summarize(&demo_trace()).unwrap();
+        assert_eq!(s.iterations.len(), 4);
+        assert_eq!(s.freeze_timeline.len(), 1);
+        assert_eq!(s.freeze_timeline[0].action, "froze");
+        assert_eq!(s.freeze_timeline[0].frozen_prefix, 2);
+        assert_eq!(s.freeze_timeline[0].value, Some(0.0125));
+        // Layers 0 and 1 are frozen for the last 2 of 4 steps.
+        assert_eq!(s.layers.len(), 2);
+        for l in &s.layers {
+            assert_eq!(l.frozen_steps, 2);
+            assert_eq!(l.total_steps, 4);
+            assert!((l.frozen_frac() - 0.5).abs() < 1e-12);
+        }
+        // Splits: (0,false) x2, (2,false) x1, (2,true) x1.
+        assert_eq!(s.splits.len(), 3);
+        assert_eq!(s.splits[0].frozen_prefix, 0);
+        assert_eq!(s.splits[0].count, 2);
+        assert_eq!(s.splits[1].frozen_prefix, 2);
+        assert!(!s.splits[1].fp_cached);
+        assert!(s.splits[2].fp_cached);
+        assert_eq!(s.counters.iter().find(|(n, _)| n == "cache.hits").unwrap().1, 3);
+    }
+
+    #[test]
+    fn render_includes_all_sections() {
+        let s = summarize(&demo_trace()).unwrap();
+        let text = render(&s);
+        for section in [
+            "== event kinds ==",
+            "== freeze timeline ==",
+            "== per-layer frozen time ==",
+            "== observed iteration split ==",
+            "== counters ==",
+        ] {
+            assert!(text.contains(section), "missing {section}:\n{text}");
+        }
+        assert!(text.contains("froze -> prefix 2"));
+        assert!(text.contains("cache.hits = 3"));
+    }
+
+    #[test]
+    fn summarize_rejects_invalid_input() {
+        assert!(summarize("not json").is_err());
+    }
+}

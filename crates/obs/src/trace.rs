@@ -1,0 +1,179 @@
+//! Span/instant trace events and the bounded ring buffer that holds them.
+//!
+//! Events are recorded with microsecond timestamps relative to the run's
+//! telemetry epoch (see [`crate::Telemetry`]); the recorder never reads a
+//! clock itself, so it stays inside the determinism lint's serialize rule.
+
+use std::collections::VecDeque;
+
+/// A typed event argument value. A closed enum instead of free-form JSON
+/// keeps export deterministic and the schema checkable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (iteration numbers, module indices, byte counts).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (plasticity values, loss, ratios).
+    F64(f64),
+    /// Static string (event outcomes like `"hit"` / `"miss"`).
+    Str(&'static str),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<f32> for ArgValue {
+    fn from(v: f32) -> Self {
+        ArgValue::F64(v as f64)
+    }
+}
+impl From<&'static str> for ArgValue {
+    fn from(v: &'static str) -> Self {
+        ArgValue::Str(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+/// One recorded event. `dur_us: Some(_)` makes it a completed span
+/// (Chrome `"X"` phase); `None` makes it an instant (`"i"` phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event kind, e.g. `"train_step"`, `"freeze_decision"`. Static so
+    /// recording never allocates for the name.
+    pub kind: &'static str,
+    /// Start time in microseconds since the telemetry epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds for spans; `None` for instant events.
+    pub dur_us: Option<u64>,
+    /// Training iteration the event belongs to, if any.
+    pub iteration: Option<u64>,
+    /// Model layer/module index the event belongs to, if any.
+    pub module: Option<u64>,
+    /// Extra key/value arguments (triggering SP value, hit/miss outcome…).
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s. When full, the oldest event is
+/// dropped and counted; the tail of a run is always retained, which is the
+/// end the freeze timeline lives at.
+pub struct TraceRecorder {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Default ring capacity. At ~100 events per iteration this holds several
+/// hundred iterations — more than any test or quickstart run emits.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+impl TraceRecorder {
+    /// A recorder bounded at `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceRecorder {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            kind: "t",
+            ts_us: ts,
+            dur_us: None,
+            iteration: None,
+            module: None,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_tail_and_counts_drops() {
+        let mut r = TraceRecorder::with_capacity(3);
+        for t in 0..5 {
+            r.record(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<u64> = r.events().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = TraceRecorder::with_capacity(0);
+        r.record(ev(1));
+        r.record(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.events().next().unwrap().ts_us, 2);
+    }
+}

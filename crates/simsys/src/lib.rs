@@ -23,11 +23,13 @@
 
 pub mod allreduce;
 pub mod arch;
+pub mod calibration;
 pub mod device;
 pub mod iteration;
 pub mod schedule;
 pub mod tta;
 
 pub use arch::ArchSpec;
+pub use calibration::{calibrate, CalibrationReport, ObservedSplit};
 pub use device::ClusterSpec;
 pub use iteration::{iteration_time, CommPolicy, IterationSetting, TimeBreakdown};

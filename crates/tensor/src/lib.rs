@@ -34,7 +34,7 @@ pub mod shape;
 pub mod tensor;
 
 pub use error::{Result, TensorError};
-pub use pool::ThreadPool;
+pub use pool::{PoolStatsSnapshot, ThreadPool};
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

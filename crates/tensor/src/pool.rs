@@ -85,12 +85,36 @@ thread_local! {
     static IN_TASK: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Occupancy counters a pool accumulates over its lifetime. Updated with
+/// relaxed atomics on the dispatch path (not per task), so the cost is a
+/// couple of uncontended increments per `run` call; read by the telemetry
+/// layer to report pool task occupancy.
+#[derive(Default)]
+pub struct PoolStats {
+    jobs: AtomicUsize,
+    tasks: AtomicUsize,
+    inline_jobs: AtomicUsize,
+}
+
+/// A point-in-time copy of a pool's [`PoolStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStatsSnapshot {
+    /// `run` invocations dispatched to the worker queue.
+    pub jobs: usize,
+    /// Total tasks executed across all jobs (dispatched and inline).
+    pub tasks: usize,
+    /// `run` invocations that executed inline on the calling thread
+    /// (single-thread pool, single task, or nested dispatch).
+    pub inline_jobs: usize,
+}
+
 /// A persistent worker pool. See the module docs for the determinism
 /// contract all dispatched work must follow.
 pub struct ThreadPool {
     job_tx: Option<channel::Sender<Arc<JobShared>>>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    stats: PoolStats,
 }
 
 impl ThreadPool {
@@ -103,6 +127,7 @@ impl ThreadPool {
                 job_tx: None,
                 workers: Vec::new(),
                 threads: 1,
+                stats: PoolStats::default(),
             };
         }
         // Generous bound: jobs are tiny Arcs and senders never need to block
@@ -129,6 +154,16 @@ impl ThreadPool {
             job_tx: Some(tx),
             workers,
             threads,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// A snapshot of this pool's lifetime occupancy counters.
+    pub fn stats(&self) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            jobs: self.stats.jobs.load(Ordering::Relaxed),
+            tasks: self.stats.tasks.load(Ordering::Relaxed),
+            inline_jobs: self.stats.inline_jobs.load(Ordering::Relaxed),
         }
     }
 
@@ -152,11 +187,15 @@ impl ThreadPool {
             || self.job_tx.is_none()
             || IN_TASK.with(|t| t.get());
         if inline {
+            self.stats.inline_jobs.fetch_add(1, Ordering::Relaxed);
+            self.stats.tasks.fetch_add(tasks, Ordering::Relaxed);
             for i in 0..tasks {
                 f(i);
             }
             return;
         }
+        self.stats.jobs.fetch_add(1, Ordering::Relaxed);
+        self.stats.tasks.fetch_add(tasks, Ordering::Relaxed);
         let (done_tx, done_rx) = channel::bounded::<()>(1);
         // SAFETY: we block on `done_rx` below until every claimed task has
         // completed, so the borrowed closure outlives all worker accesses.
@@ -403,6 +442,24 @@ mod tests {
             });
         });
         assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn stats_count_jobs_and_tasks() {
+        let pool = ThreadPool::new(2);
+        pool.run(8, &|_| {});
+        pool.run(1, &|_| {}); // single task → inline
+        let s = pool.stats();
+        assert_eq!(s.jobs, 1);
+        assert_eq!(s.inline_jobs, 1);
+        assert_eq!(s.tasks, 9);
+
+        let serial = ThreadPool::new(1);
+        serial.run(5, &|_| {});
+        let s = serial.stats();
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.inline_jobs, 1);
+        assert_eq!(s.tasks, 5);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Differential test of the two compute backends.
+//!
+//! `parallel_determinism.rs` pins the *thread-count* contract (blocked
+//! output is bit-identical at any pool size). This suite pins the
+//! *backend* contract: routing an op through
+//! `EGERIA_COMPUTE_BACKEND=reference` (the seed's serial loops) and
+//! through the blocked backend must agree — **bit-identically** while the
+//! reduction fits one `KC = 256` k-block, because both kernels then fold
+//! the same products in the same order, and within float tolerance beyond
+//! that (the blocked kernel re-associates across k-blocks).
+//!
+//! `set_backend` is process-global, so every test serializes behind one
+//! mutex and restores the blocked default before releasing it.
+
+use egeria_tensor::backend::{set_backend, Backend};
+use egeria_tensor::conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, Conv2dSpec};
+use egeria_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// One k-block of the blocked GEMM (crate::gemm::KC). A reduction this
+/// short is accumulated in identical order by both backends.
+const KC: usize = 256;
+
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` under each backend and returns (reference, blocked) results.
+fn differential<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    set_backend(Backend::Reference);
+    let r = f();
+    set_backend(Backend::Blocked);
+    let b = f();
+    (r, b)
+}
+
+fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims()
+        && a.data()
+            .iter()
+            .zip(b.data().iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[test]
+fn matmul_backends_bit_identical_within_one_k_block() {
+    let mut rng = Rng::new(101);
+    for &(m, n, k) in &[(1usize, 1usize, 1usize), (7, 5, 3), (33, 17, 255), (64, 48, KC)] {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let (r, p) = differential(|| a.matmul(&b).unwrap());
+        assert!(bits_eq(&r, &p), "matmul ({m},{n},{k}) differs between backends");
+    }
+}
+
+#[test]
+fn matmul_backends_agree_numerically_across_k_blocks() {
+    // Beyond KC the blocked kernel finishes one k-block before the next, so
+    // the association differs from the reference's single left-to-right
+    // fold; the results stay within tight float tolerance.
+    let mut rng = Rng::new(102);
+    let (m, n, k) = (16, 16, KC * 2 + 7);
+    let a = Tensor::randn(&[m, k], &mut rng);
+    let b = Tensor::randn(&[k, n], &mut rng);
+    let (r, p) = differential(|| a.matmul(&b).unwrap());
+    let d = max_abs_diff(&r, &p);
+    assert!(d <= 1e-3, "matmul across k-blocks drifted {d}");
+}
+
+#[test]
+fn transposed_matmul_variants_bit_identical() {
+    let mut rng = Rng::new(103);
+    let (m, n, k) = (19, 11, 37);
+    let a = Tensor::randn(&[m, k], &mut rng);
+    let bt = Tensor::randn(&[n, k], &mut rng);
+    let (r, p) = differential(|| a.matmul_tb(&bt).unwrap());
+    assert!(bits_eq(&r, &p), "matmul_tb differs between backends");
+    let at = Tensor::randn(&[k, m], &mut rng);
+    let b = Tensor::randn(&[k, n], &mut rng);
+    let (r, p) = differential(|| at.matmul_ta(&b).unwrap());
+    assert!(bits_eq(&r, &p), "matmul_ta differs between backends");
+}
+
+#[test]
+fn bmm_variants_bit_identical() {
+    let mut rng = Rng::new(104);
+    let (bsz, m, n, k) = (3, 9, 7, 31);
+    let a = Tensor::randn(&[bsz, m, k], &mut rng);
+    let b = Tensor::randn(&[bsz, k, n], &mut rng);
+    let (r, p) = differential(|| a.bmm(&b).unwrap());
+    assert!(bits_eq(&r, &p), "bmm differs between backends");
+    let bt = Tensor::randn(&[bsz, n, k], &mut rng);
+    let (r, p) = differential(|| a.bmm_tb(&bt).unwrap());
+    assert!(bits_eq(&r, &p), "bmm_tb differs between backends");
+    let at = Tensor::randn(&[bsz, k, m], &mut rng);
+    let (r, p) = differential(|| at.bmm_ta(&b).unwrap());
+    assert!(bits_eq(&r, &p), "bmm_ta differs between backends");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random shapes with the reduction inside one k-block: the backends
+    /// must agree bit-for-bit on matmul.
+    #[test]
+    fn prop_matmul_bit_identical(
+        seed in any::<u64>(),
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..KC + 1,
+    ) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let (r, p) = differential(|| a.matmul(&b).unwrap());
+        prop_assert!(bits_eq(&r, &p), "matmul ({m},{n},{k}) differs");
+    }
+
+    /// Random batched shapes: bmm and its transposed variants agree
+    /// bit-for-bit within one k-block.
+    #[test]
+    fn prop_bmm_bit_identical(
+        seed in any::<u64>(),
+        bsz in 1usize..4,
+        m in 1usize..16,
+        n in 1usize..16,
+        k in 1usize..64,
+        variant in 0usize..3,
+    ) {
+        let mut rng = Rng::new(seed);
+        let (r, p) = match variant {
+            0 => {
+                let a = Tensor::randn(&[bsz, m, k], &mut rng);
+                let b = Tensor::randn(&[bsz, k, n], &mut rng);
+                differential(|| a.bmm(&b).unwrap())
+            }
+            1 => {
+                let a = Tensor::randn(&[bsz, m, k], &mut rng);
+                let b = Tensor::randn(&[bsz, n, k], &mut rng);
+                differential(|| a.bmm_tb(&b).unwrap())
+            }
+            _ => {
+                let a = Tensor::randn(&[bsz, k, m], &mut rng);
+                let b = Tensor::randn(&[bsz, k, n], &mut rng);
+                differential(|| a.bmm_ta(&b).unwrap())
+            }
+        };
+        prop_assert!(bits_eq(&r, &p), "bmm variant {variant} differs");
+    }
+
+    /// Random conv geometry: forward and both gradients agree between the
+    /// direct reference loops and the im2col+GEMM lowering. The im2col
+    /// reduction order matches the direct loops' (c_in, kh, kw) order, so
+    /// agreement is bit-exact while c_in*kh*kw fits one k-block.
+    #[test]
+    fn prop_conv2d_differential(
+        seed in any::<u64>(),
+        n in 1usize..3,
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        hw in 5usize..10,
+        kk in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        bias in any::<bool>(),
+    ) {
+        prop_assume!(hw + 2 * pad >= kk);
+        let spec = Conv2dSpec::new(stride, pad).unwrap();
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn(&[n, c_in, hw, hw], &mut rng);
+        let w = Tensor::randn(&[c_out, c_in, kk, kk], &mut rng);
+        let b = Tensor::randn(&[c_out], &mut rng);
+        let b_opt = if bias { Some(&b) } else { None };
+        let (yr, yp) = differential(|| conv2d(&x, &w, b_opt, spec).unwrap());
+        let dy = max_abs_diff(&yr, &yp);
+        prop_assert!(dy <= 1e-4, "conv2d forward drifted {dy}");
+        let g = Tensor::randn(yr.dims(), &mut rng);
+        let (gxr, gxp) = differential(|| conv2d_grad_input(&g, &w, x.dims(), spec).unwrap());
+        let dgx = max_abs_diff(&gxr, &gxp);
+        prop_assert!(dgx <= 1e-4, "conv2d grad_input drifted {dgx}");
+        let (gwr, gwp) = differential(|| conv2d_grad_weight(&g, &x, w.dims(), spec).unwrap());
+        let dgw = max_abs_diff(&gwr, &gwp);
+        prop_assert!(dgw <= 1e-3, "conv2d grad_weight drifted {dgw}");
+    }
+}

@@ -8,8 +8,12 @@
 //! Shows the paper's minimal-code-change workflow: wrap the model in
 //! `EgeriaModule`, create an `EgeriaController`, train, and watch the
 //! frozen prefix grow while accuracy holds.
+//!
+//! Set `EGERIA_TRACE=<prefix>` to record the run's telemetry:
+//! `<prefix>.jsonl` (the schema the `trace_report` binary summarizes) and
+//! `<prefix>.chrome.json` (loadable in `chrome://tracing` / Perfetto).
 
-use egeria_core::{EgeriaConfig, EgeriaController, EgeriaModule};
+use egeria_core::{EgeriaConfig, EgeriaController, EgeriaModule, Telemetry};
 use egeria_data::images::{ImageDataConfig, SyntheticImages};
 use egeria_data::DataLoader;
 use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
@@ -36,13 +40,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. A controller with the knowledge-guided training configuration.
+    // EGERIA_TRACE=<prefix> attaches a telemetry recorder to the run.
+    let trace_prefix = std::env::var("EGERIA_TRACE").ok();
+    let telemetry = if trace_prefix.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let controller = EgeriaController::new(EgeriaConfig {
         n: 4,            // plasticity evaluation every 4 iterations
         w: 8,            // smoothing / linear-fit window
         s: 8,            // consecutive flat slopes required to freeze
         t: 2e-4,         // slope tolerance
         ..Default::default()
-    });
+    })
+    .with_telemetry(telemetry.clone());
 
     // 4. Data: a deterministic synthetic image-classification set.
     let data = SyntheticImages::new(
@@ -94,5 +106,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cache: {} hits, {} misses, {} bytes on disk",
         report.cache_stats.hits, report.cache_stats.misses, report.cache_stats.disk_bytes
     );
+
+    if let Some(prefix) = trace_prefix {
+        let jsonl_path = format!("{prefix}.jsonl");
+        let chrome_path = format!("{prefix}.chrome.json");
+        std::fs::write(&jsonl_path, egeria_obs::export::export_jsonl(&telemetry))?;
+        std::fs::write(&chrome_path, egeria_obs::export::export_chrome_trace(&telemetry))?;
+        println!("\ntrace written: {jsonl_path} (+ {chrome_path})");
+        println!("summarize with: cargo run --release --bin trace_report -- {jsonl_path}");
+    }
     Ok(())
 }

@@ -1,0 +1,144 @@
+//! End-to-end telemetry pipeline: a traced training run must export
+//! schema-valid JSONL that the summarizer and the simulator calibration
+//! check both accept.
+
+use egeria_core::trainer::{EgeriaTrainer, Optimizer, TrainerOptions};
+use egeria_core::{EgeriaConfig, Telemetry};
+use egeria_data::images::{ImageDataConfig, SyntheticImages};
+use egeria_data::DataLoader;
+use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+use egeria_nn::optim::Sgd;
+use egeria_nn::sched::MultiStepDecay;
+use egeria_obs::export::{export_chrome_trace, export_jsonl};
+use egeria_obs::jsonl::{parse, validate_trace_jsonl, Value};
+use egeria_obs::report::summarize;
+use egeria_simsys::arch::{ArchSpec, FlopsModel, PaperScale};
+use egeria_simsys::{calibrate, ClusterSpec, CommPolicy, ObservedSplit};
+
+fn traced_run() -> Telemetry {
+    let model = resnet_cifar(
+        ResNetCifarConfig {
+            n: 2,
+            width: 4,
+            classes: 4,
+            ..Default::default()
+        },
+        7,
+    );
+    let telemetry = Telemetry::enabled();
+    let mut trainer = EgeriaTrainer::new(
+        Box::new(model),
+        Optimizer::Sgd(Sgd::new(0.05, 0.9, 0.0)),
+        Box::new(MultiStepDecay::new(0.05, 0.1, vec![20])),
+        TrainerOptions {
+            epochs: 6,
+            egeria: Some(EgeriaConfig {
+                n: 2,
+                w: 3,
+                s: 2,
+                t: 5.0,
+                bootstrap_rate: 0.9,
+                reference_update_every: 4,
+                ..Default::default()
+            }),
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        },
+    );
+    let data = SyntheticImages::new(
+        ImageDataConfig {
+            samples: 64,
+            classes: 4,
+            size: 8,
+            noise: 0.3,
+            augment: true,
+        },
+        2,
+    );
+    let loader = DataLoader::new(64, 16, 3, true);
+    trainer.train(&data, &loader, None).expect("traced run trains");
+    telemetry
+}
+
+#[test]
+fn traced_run_exports_validate_summarize_and_calibrate() {
+    let telemetry = traced_run();
+
+    // 1. JSONL export passes the schema validator.
+    let jsonl = export_jsonl(&telemetry);
+    let stats = validate_trace_jsonl(&jsonl).expect("exported trace is schema-valid");
+    assert!(stats.spans > 0, "trace has no spans");
+    assert!(stats.instants > 0, "trace has no instants");
+    assert_eq!(stats.dropped, 0, "ring dropped events in a small run");
+
+    // 2. The summarizer extracts the timeline the trainer produced:
+    // 6 epochs x 4 batches of train_step spans, a freeze timeline, layers,
+    // and at least two distinct (frozen_prefix, fp_cached) split states.
+    let summary = summarize(&jsonl).expect("summarize");
+    assert_eq!(
+        summary.iterations.len(),
+        24,
+        "expected one train_step per iteration"
+    );
+    assert!(!summary.freeze_timeline.is_empty(), "no freeze decisions recorded");
+    assert!(!summary.layers.is_empty(), "no per-layer breakdown");
+    assert!(
+        summary.splits.len() >= 2,
+        "expected multiple freezing states, got {:?}",
+        summary.splits
+    );
+    assert!(summary.counters.iter().any(|(n, _)| n.starts_with("freezer.")));
+
+    // 3. The observed split feeds the simulator's calibration check.
+    let arch = ArchSpec::scaled(
+        "resnet50",
+        &[100, 200, 400, 800],
+        Some(&[4, 4, 4, 4]),
+        FlopsModel::PerBlockUniform,
+        PaperScale::resnet50_imagenet(),
+    );
+    let observed: Vec<ObservedSplit> = summary
+        .splits
+        .iter()
+        .map(|s| ObservedSplit {
+            frozen_prefix: s.frozen_prefix as usize,
+            fp_cached: s.fp_cached,
+            steps: s.count as usize,
+            mean_seconds: s.mean_dur_us / 1e6,
+        })
+        .collect();
+    let report = calibrate(
+        &arch,
+        &ClusterSpec::v100_cluster(1),
+        16,
+        CommPolicy::Vanilla,
+        &observed,
+    )
+    .expect("calibration report");
+    assert_eq!(report.rows.len(), observed.len());
+    assert!(report.max_rel_error.is_finite());
+    assert!(report.render().contains("max_rel_error"));
+
+    // 4. The Chrome trace export is one well-formed JSON object with the
+    // same spans.
+    let chrome = export_chrome_trace(&telemetry);
+    let doc = parse(&chrome).expect("chrome trace parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    assert!(events.len() >= stats.spans + stats.instants);
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let telemetry = Telemetry::disabled();
+    assert!(!telemetry.is_enabled());
+    telemetry.counter("x").inc();
+    drop(telemetry.span("y").iteration(1));
+    let (events, dropped) = telemetry.trace_events();
+    assert!(events.is_empty());
+    assert_eq!(dropped, 0);
+    let snap = telemetry.metrics_snapshot();
+    assert!(snap.counters.is_empty());
+}
