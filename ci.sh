@@ -34,3 +34,18 @@ test -s "$trace_dir/quickstart.chrome.json"
 cargo run --release -p egeria-bench --bin trace_report -- "$trace_dir/quickstart.jsonl" \
     > "$trace_dir/report.txt"
 grep -q "freeze timeline" "$trace_dir/report.txt"
+
+# Serving smoke (DESIGN §5e): a traced serving run must emit schema-valid
+# JSONL whose trace_report summary includes the serve-batch section, and
+# bench_serve must emit a well-formed BENCH_serve.json with both load
+# shapes. The off switch must leave the golden-run fingerprint unchanged.
+EGERIA_TRACE="$trace_dir/serving" cargo run --release --example reference_serving >/dev/null
+test -s "$trace_dir/serving.jsonl"
+cargo run --release -p egeria-bench --bin trace_report -- "$trace_dir/serving.jsonl" \
+    > "$trace_dir/serving_report.txt"
+grep -q "serve batches" "$trace_dir/serving_report.txt"
+(cd "$trace_dir" && cargo run --release -p egeria-bench \
+    --manifest-path "$OLDPWD/Cargo.toml" --bin bench_serve -- --smoke >/dev/null)
+grep -q '"open_loop"' "$trace_dir/BENCH_serve.json"
+grep -q '"closed_loop"' "$trace_dir/BENCH_serve.json"
+EGERIA_SERVE=off cargo test -q --test golden_run

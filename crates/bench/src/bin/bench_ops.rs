@@ -241,19 +241,42 @@ fn bench_telemetry_overhead(iters: u32) -> TelemetryOverheadReport {
             std::hint::black_box(r.loss);
         }
     }
-    let bare = time_ns(iters, || {
+    // Interleave the three variants round-robin and keep each one's
+    // minimum round: sequential blocks let clock/thermal drift between
+    // sections masquerade as overhead (the disabled path measured
+    // *slower* than the enabled one on a loaded single-core box), while
+    // per-round minima of interleaved samples cancel shared drift.
+    let off = Telemetry::disabled();
+    let on = Telemetry::enabled();
+    let run_bare = |m: &mut dyn Model| {
         for i in 0..STEPS_PER_SAMPLE {
-            let r = model.train_step(&batch, None).unwrap();
-            model.zero_grad();
+            let r = m.train_step(&batch, None).unwrap();
+            m.zero_grad();
             std::hint::black_box((i, r.loss));
         }
-    }) / STEPS_PER_SAMPLE;
-    let off = Telemetry::disabled();
-    let disabled =
-        time_ns(iters, || probed_steps(&mut model, &batch, &off, STEPS_PER_SAMPLE)) / STEPS_PER_SAMPLE;
-    let on = Telemetry::enabled();
-    let enabled =
-        time_ns(iters, || probed_steps(&mut model, &batch, &on, STEPS_PER_SAMPLE)) / STEPS_PER_SAMPLE;
+    };
+    let once = |f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_nanos() as u64
+    };
+    let (mut bare, mut disabled, mut enabled) = (u64::MAX, u64::MAX, u64::MAX);
+    for round in 0..=iters {
+        let b = once(&mut || run_bare(&mut model));
+        let d = once(&mut || probed_steps(&mut model, &batch, &off, STEPS_PER_SAMPLE));
+        let e = once(&mut || probed_steps(&mut model, &batch, &on, STEPS_PER_SAMPLE));
+        if round > 0 {
+            // Round 0 is warmup.
+            bare = bare.min(b);
+            disabled = disabled.min(d);
+            enabled = enabled.min(e);
+        }
+    }
+    let (bare, disabled, enabled) = (
+        bare / STEPS_PER_SAMPLE,
+        disabled / STEPS_PER_SAMPLE,
+        enabled / STEPS_PER_SAMPLE,
+    );
     let pct = |t: u64| ((t as f64 - bare as f64) / bare.max(1) as f64 * 100.0).max(0.0);
     let r = TelemetryOverheadReport {
         bare_ns_per_iter: bare,

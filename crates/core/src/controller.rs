@@ -273,6 +273,12 @@ impl Drop for AsyncController {
         if let Some(h) = self.handle.take() {
             let deadline = Instant::now() + Duration::from_secs(2);
             while !h.is_finished() && Instant::now() < deadline {
+                // Keep draining results: a controller blocked publishing
+                // into a full result queue can only observe the closed
+                // command channel once its pending send completes, so a
+                // wait without a drain here turned every such drop into
+                // the full timeout plus a leaked thread.
+                while self.result_rx.try_recv().is_ok() {}
                 std::thread::sleep(Duration::from_millis(2));
             }
             if h.is_finished() {

@@ -10,7 +10,9 @@ use crate::config::EgeriaConfig;
 use egeria_models::{Batch, Model};
 use egeria_obs::Telemetry;
 use egeria_quant::{quantize_reference, Precision};
+use egeria_serve::{ProbeRequest, RealClock, ServeConfig, ServeEngine};
 use egeria_tensor::{Result, Tensor, TensorError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Statistics about reference-model maintenance.
@@ -25,6 +27,15 @@ pub struct ReferenceStats {
 }
 
 /// Owns and refreshes the reference model.
+///
+/// When serving is enabled (`EGERIA_SERVE`, on by default), probe
+/// captures route through an [`ServeEngine`]: each [`capture`](Self::capture)
+/// becomes a submitted request executed against the latest published
+/// snapshot, and [`generate`](Self::generate) publishes a new snapshot
+/// version. Batched execution is bit-identical to the inline path
+/// (DESIGN.md §5e), and any serve-side failure (overload, shutdown, no
+/// snapshot) degrades gracefully to the inline forward, so training is
+/// unaffected either way.
 pub struct ReferenceManager {
     precision: Precision,
     update_every: usize,
@@ -32,10 +43,16 @@ pub struct ReferenceManager {
     evals_since_update: usize,
     stats: ReferenceStats,
     telemetry: Telemetry,
+    serve_requested: bool,
+    serve: Option<Arc<ServeEngine>>,
 }
 
 impl ReferenceManager {
-    /// Creates a manager from the Egeria config.
+    /// Creates a manager from the Egeria config. The serving path is
+    /// decided by `EGERIA_SERVE` at construction; the engine itself is
+    /// built lazily on first [`generate`](Self::generate) so it picks up
+    /// the telemetry handle attached via
+    /// [`set_telemetry`](Self::set_telemetry).
     pub fn new(cfg: &EgeriaConfig) -> Self {
         ReferenceManager {
             precision: cfg.reference_precision,
@@ -44,6 +61,51 @@ impl ReferenceManager {
             evals_since_update: 0,
             stats: ReferenceStats::default(),
             telemetry: Telemetry::disabled(),
+            serve_requested: egeria_serve::serve_enabled(),
+            serve: None,
+        }
+    }
+
+    /// Replaces the serving engine (tests inject engines with virtual
+    /// clocks or custom configs this way; it also force-enables the
+    /// serving path regardless of `EGERIA_SERVE`). The current reference,
+    /// if any, is published into the new engine.
+    pub fn set_serve_engine(&mut self, engine: Arc<ServeEngine>) {
+        self.serve_requested = true;
+        self.serve = Some(engine);
+        if self.reference.is_some() {
+            self.publish_snapshot();
+        }
+    }
+
+    /// The serving engine, if the serving path is active.
+    pub fn serve_engine(&self) -> Option<&Arc<ServeEngine>> {
+        self.serve.as_ref()
+    }
+
+    fn ensure_serve_engine(&mut self) -> Option<&Arc<ServeEngine>> {
+        if !self.serve_requested {
+            return None;
+        }
+        if self.serve.is_none() {
+            self.serve = Some(Arc::new(ServeEngine::new(
+                ServeConfig::from_env(),
+                RealClock::shared(),
+                self.telemetry.clone(),
+            )));
+        }
+        self.serve.as_ref()
+    }
+
+    /// Publishes the current reference (already fake-quantized to serving
+    /// precision) as the next snapshot version.
+    fn publish_snapshot(&mut self) {
+        let precision = self.precision;
+        let Some(model) = self.reference.as_ref().map(|r| r.clone_boxed()) else {
+            return;
+        };
+        if let Some(engine) = self.ensure_serve_engine() {
+            engine.publish_prequantized(model, precision);
         }
     }
 
@@ -69,6 +131,7 @@ impl ReferenceManager {
         self.evals_since_update = 0;
         self.telemetry.counter("reference.generations").inc();
         drop(span);
+        self.publish_snapshot();
         Ok(())
     }
 
@@ -85,13 +148,73 @@ impl ReferenceManager {
     }
 
     /// Runs the reference forward to capture module `module`'s activation.
+    ///
+    /// With serving active this submits a probe to the engine (which may
+    /// coalesce it with concurrent probes — bit-identical either way) and
+    /// falls back to the inline forward on any serve-side failure.
     pub fn capture(&mut self, batch: &Batch, module: usize) -> Result<Tensor> {
-        let r = self.reference.as_mut().ok_or_else(|| {
-            TensorError::Numerical("reference model not generated yet".into())
-        })?;
+        if self.reference.is_none() {
+            return Err(TensorError::Numerical(
+                "reference model not generated yet".into(),
+            ));
+        }
         self.stats.forwards += 1;
         self.telemetry.counter("reference.forwards").inc();
+        if let Some(engine) = self.serve.as_ref() {
+            match engine.probe_blocking(batch, module) {
+                Ok(resp) => return Ok(resp.activation),
+                Err(_) => self.telemetry.counter("serve.fallbacks").inc(),
+            }
+        }
+        let r = self.reference.as_mut().expect("checked above");
         r.capture_activation(batch, module)
+    }
+
+    /// Captures several modules' activations for one batch, submitting all
+    /// probes before waiting so the engine can pipeline them across its
+    /// worker pool (and coalesce any that share a group). Falls back to
+    /// inline forwards, preserving order, when serving is off or degraded.
+    pub fn capture_many(&mut self, batch: &Batch, modules: &[usize]) -> Result<Vec<Tensor>> {
+        if self.reference.is_none() {
+            return Err(TensorError::Numerical(
+                "reference model not generated yet".into(),
+            ));
+        }
+        self.stats.forwards += modules.len();
+        self.telemetry.counter("reference.forwards").add(modules.len() as u64);
+        let mut out: Vec<Option<Tensor>> = vec![None; modules.len()];
+        if let Some(engine) = self.serve.as_ref() {
+            let tickets: Vec<_> = modules
+                .iter()
+                .map(|&m| {
+                    engine.submit(ProbeRequest {
+                        batch: batch.clone(),
+                        module: m,
+                        deadline: None,
+                    })
+                })
+                .collect();
+            engine.flush();
+            for (slot, ticket) in out.iter_mut().zip(tickets) {
+                if let Ok(t) = ticket {
+                    match t.wait() {
+                        Ok(resp) => *slot = Some(resp.activation),
+                        Err(_) => self.telemetry.counter("serve.fallbacks").inc(),
+                    }
+                } else {
+                    self.telemetry.counter("serve.fallbacks").inc();
+                }
+            }
+        }
+        let r = self.reference.as_mut().expect("checked above");
+        modules
+            .iter()
+            .zip(out)
+            .map(|(&m, slot)| match slot {
+                Some(t) => Ok(t),
+                None => r.capture_activation(batch, m),
+            })
+            .collect()
     }
 
     /// Maintenance statistics.
@@ -183,6 +306,8 @@ impl ReferenceManager {
         }
         r.unfreeze_all();
         self.reference = Some(r);
+        // Serving must answer with the restored bits, not a stale version.
+        self.publish_snapshot();
         Ok(())
     }
 }
@@ -271,6 +396,88 @@ mod tests {
             assert!(!r.after_evaluation(m.as_ref()).unwrap());
         }
         assert_eq!(r.stats().generations, 1);
+    }
+
+    #[test]
+    fn serve_routed_capture_is_bit_identical_to_inline() {
+        let (m, batch) = setup();
+        for precision in [Precision::F32, Precision::Int8] {
+            let cfg = EgeriaConfig { reference_precision: precision, ..Default::default() };
+            // Inline baseline: a manager with no engine attached.
+            let mut inline = ReferenceManager::new(&cfg);
+            inline.serve_requested = false;
+            inline.generate(m.as_ref()).unwrap();
+            // Served: same reference, explicit engine.
+            let mut served = ReferenceManager::new(&cfg);
+            served.serve_requested = false;
+            served.generate(m.as_ref()).unwrap();
+            served.set_serve_engine(Arc::new(ServeEngine::new(
+                ServeConfig::default(),
+                RealClock::shared(),
+                Telemetry::disabled(),
+            )));
+            for module in 0..3 {
+                let a = inline.capture(&batch, module).unwrap();
+                let b = served.capture(&batch, module).unwrap();
+                assert_eq!(a.data(), b.data(), "{precision:?} module {module}");
+            }
+            assert_eq!(served.serve_engine().unwrap().registry().version(), 1);
+        }
+    }
+
+    #[test]
+    fn generate_publishes_a_new_snapshot_version() {
+        let (m, _) = setup();
+        let mut r = ReferenceManager::new(&EgeriaConfig::default());
+        r.serve_requested = false;
+        r.set_serve_engine(Arc::new(ServeEngine::new(
+            ServeConfig::default(),
+            RealClock::shared(),
+            Telemetry::disabled(),
+        )));
+        r.generate(m.as_ref()).unwrap();
+        r.generate(m.as_ref()).unwrap();
+        assert_eq!(r.serve_engine().unwrap().registry().version(), 2);
+    }
+
+    #[test]
+    fn capture_many_matches_sequential_captures() {
+        let (m, batch) = setup();
+        let mut r = ReferenceManager::new(&EgeriaConfig::default());
+        r.serve_requested = false;
+        r.generate(m.as_ref()).unwrap();
+        r.set_serve_engine(Arc::new(ServeEngine::new(
+            ServeConfig { workers: 2, ..ServeConfig::default() },
+            RealClock::shared(),
+            Telemetry::disabled(),
+        )));
+        let many = r.capture_many(&batch, &[0, 1, 2]).unwrap();
+        let mut solo = ReferenceManager::new(&EgeriaConfig::default());
+        solo.serve_requested = false;
+        solo.generate(m.as_ref()).unwrap();
+        for (module, act) in many.iter().enumerate() {
+            let want = solo.capture(&batch, module).unwrap();
+            assert_eq!(act.data(), want.data());
+        }
+        assert_eq!(r.stats().forwards, 3);
+    }
+
+    #[test]
+    fn dead_engine_degrades_to_inline_capture() {
+        let (m, batch) = setup();
+        let mut r = ReferenceManager::new(&EgeriaConfig::default());
+        r.serve_requested = false;
+        r.generate(m.as_ref()).unwrap();
+        // An engine with no snapshot published: every probe fails with
+        // NoSnapshot and capture must fall back inline.
+        let engine = Arc::new(ServeEngine::new(
+            ServeConfig::default(),
+            RealClock::shared(),
+            Telemetry::disabled(),
+        ));
+        r.serve = Some(engine); // bypass set_serve_engine's publish
+        let a = r.capture(&batch, 0).unwrap();
+        assert!(a.numel() > 0);
     }
 
     #[test]

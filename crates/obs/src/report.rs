@@ -77,6 +77,36 @@ pub struct SplitStat {
     pub mean_dur_us: f64,
 }
 
+/// Aggregates over the serving engine's `serve_batch` spans: how probe
+/// requests coalesced and where their latency went (queue wait vs
+/// execution).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeBatchStat {
+    /// Executed serve batches (one span each).
+    pub batches: u64,
+    /// Probe requests across all batches.
+    pub requests: u64,
+    /// Coalesced sample rows across all batches.
+    pub rows: u64,
+    /// `(batch_size, count)` distribution, size-sorted.
+    pub batch_size_hist: Vec<(u64, u64)>,
+    /// Total leader queue-wait across batches in µs.
+    pub total_queue_wait_us: u64,
+    /// Total execution (span) time across batches in µs.
+    pub total_exec_us: u64,
+}
+
+impl ServeBatchStat {
+    /// Mean requests coalesced per executed batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
 /// Everything `trace_report` prints, extracted from one JSONL trace.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
@@ -94,6 +124,8 @@ pub struct TraceSummary {
     pub layers: Vec<LayerStat>,
     /// Mean step time per `(frozen_prefix, fp_cached)` configuration.
     pub splits: Vec<SplitStat>,
+    /// Serving-engine batch aggregates from `serve_batch` spans.
+    pub serve: ServeBatchStat,
     /// Final counter snapshot, name-sorted.
     pub counters: Vec<(String, u64)>,
 }
@@ -148,6 +180,23 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                         frozen_prefix: arg_u64(&obj, "frozen_prefix").unwrap_or(0),
                         fp_cached: arg_bool(&obj, "fp_cached").unwrap_or(false),
                     });
+                } else if ty == "span" && kind == "serve_batch" {
+                    let requests = arg_u64(&obj, "requests").unwrap_or(1);
+                    summary.serve.batches += 1;
+                    summary.serve.requests += requests;
+                    summary.serve.rows += arg_u64(&obj, "rows").unwrap_or(0);
+                    summary.serve.total_queue_wait_us +=
+                        arg_u64(&obj, "queue_wait_us").unwrap_or(0);
+                    summary.serve.total_exec_us += dur;
+                    match summary
+                        .serve
+                        .batch_size_hist
+                        .iter_mut()
+                        .find(|(size, _)| *size == requests)
+                    {
+                        Some((_, n)) => *n += 1,
+                        None => summary.serve.batch_size_hist.push((requests, 1)),
+                    }
                 } else if ty == "instant" && kind == "freeze_decision" {
                     summary.freeze_timeline.push(FreezeDecision {
                         iteration: obj.get("iteration").and_then(Value::as_u64).unwrap_or(0),
@@ -175,6 +224,7 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
     }
     kinds.sort_by(|a, b| a.kind.cmp(&b.kind));
     summary.kinds = kinds;
+    summary.serve.batch_size_hist.sort_by_key(|(size, _)| *size);
     summary.iterations.sort_by_key(|i| i.iteration);
 
     // Per-layer frozen share: layer m is frozen during a step iff the
@@ -294,6 +344,33 @@ pub fn render(summary: &TraceSummary) -> String {
             s.frozen_prefix, s.fp_cached, s.count, s.mean_dur_us
         );
     }
+    let _ = writeln!(out, "\n== serve batches ==");
+    if summary.serve.batches == 0 {
+        let _ = writeln!(out, "(no serve_batch spans recorded)");
+    } else {
+        let s = &summary.serve;
+        let _ = writeln!(
+            out,
+            "{} batches, {} requests ({} rows), mean batch size {:.2}",
+            s.batches,
+            s.requests,
+            s.rows,
+            s.mean_batch_size()
+        );
+        let _ = writeln!(out, "{:<12} {:>8}", "batch_size", "count");
+        for (size, count) in &s.batch_size_hist {
+            let _ = writeln!(out, "{size:<12} {count:>8}");
+        }
+        let total = (s.total_queue_wait_us + s.total_exec_us).max(1);
+        let _ = writeln!(
+            out,
+            "latency split: queue wait {} us ({:.1}%), execute {} us ({:.1}%)",
+            s.total_queue_wait_us,
+            100.0 * s.total_queue_wait_us as f64 / total as f64,
+            s.total_exec_us,
+            100.0 * s.total_exec_us as f64 / total as f64
+        );
+    }
     let _ = writeln!(out, "\n== counters ==");
     for (name, v) in &summary.counters {
         let _ = writeln!(out, "{name} = {v}");
@@ -330,6 +407,14 @@ mod tests {
                 ("value", ArgValue::F64(0.0125)),
             ],
         );
+        for requests in [1u64, 3, 3] {
+            let _s = t
+                .span("serve_batch")
+                .module(1)
+                .arg("requests", requests)
+                .arg("rows", requests * 2)
+                .arg("queue_wait_us", 10u64);
+        }
         export_jsonl(&t)
     }
 
@@ -356,6 +441,13 @@ mod tests {
         assert!(!s.splits[1].fp_cached);
         assert!(s.splits[2].fp_cached);
         assert_eq!(s.counters.iter().find(|(n, _)| n == "cache.hits").unwrap().1, 3);
+        // Serve batches: sizes 1, 3, 3 -> 3 batches, 7 requests, 14 rows.
+        assert_eq!(s.serve.batches, 3);
+        assert_eq!(s.serve.requests, 7);
+        assert_eq!(s.serve.rows, 14);
+        assert_eq!(s.serve.batch_size_hist, vec![(1, 1), (3, 2)]);
+        assert_eq!(s.serve.total_queue_wait_us, 30);
+        assert!((s.serve.mean_batch_size() - 7.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -367,12 +459,15 @@ mod tests {
             "== freeze timeline ==",
             "== per-layer frozen time ==",
             "== observed iteration split ==",
+            "== serve batches ==",
             "== counters ==",
         ] {
             assert!(text.contains(section), "missing {section}:\n{text}");
         }
         assert!(text.contains("froze -> prefix 2"));
         assert!(text.contains("cache.hits = 3"));
+        assert!(text.contains("3 batches, 7 requests (14 rows), mean batch size 2.33"));
+        assert!(text.contains("latency split: queue wait 30 us"));
     }
 
     #[test]

@@ -1,0 +1,637 @@
+//! The [`ServeEngine`]: admission control, dispatch, and the
+//! forward-execution worker pool.
+//!
+//! Topology (one engine):
+//!
+//! ```text
+//!  submit() ──try_send──▶ bounded submission queue ──▶ dispatcher thread
+//!      │ (Full ⇒ Overloaded shed)                        │ drives BatcherCore
+//!      ▼                                                 ▼
+//!  ProbeTicket ◀──reply channel── worker pool ◀── bounded work queue
+//! ```
+//!
+//! - Admission is non-blocking: a full submission queue sheds the request
+//!   with [`ServeError::Overloaded`] instead of stalling the trainer.
+//! - The dispatcher owns the [`BatcherCore`] and turns its policy
+//!   decisions (flush-on-full / flush-on-deadline / shed-on-overflow)
+//!   into work items. All policy time comes from the engine's [`Clock`].
+//! - Workers clone a private executor per snapshot version (models carry
+//!   scratch state, so the published master is never mutated) and run
+//!   each group through [`exec::execute_group`], which is bit-identical
+//!   to singleton execution by construction.
+//! - Expired deadlines are failed with [`ServeError::DeadlineExceeded`]
+//!   *before* execution, so a late probe never burns a forward.
+//! - Dropping the engine resolves every still-pending ticket with
+//!   [`ServeError::Shutdown`] and joins its threads with a bounded wait.
+//!
+//! Every executed group emits one `serve_batch` span (module, snapshot
+//! version, request count, coalesced rows, queue wait) plus `serve.*`
+//! counters/histograms; `trace_report` renders these in its serving
+//! section.
+
+use crate::batcher::{BatcherCore, Push, ReadyBatch};
+use crate::clock::Clock;
+use crate::error::{ServeError, ServeResult};
+use crate::exec;
+use crate::snapshot::{ModelSnapshot, SnapshotRegistry};
+use crate::ServeConfig;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use egeria_models::model::Model;
+use egeria_models::{Batch, Input};
+use egeria_obs::telemetry::Telemetry;
+use egeria_quant::model::Precision;
+use egeria_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One plasticity-probe inference request.
+pub struct ProbeRequest {
+    /// The input batch to run forward (eval mode).
+    pub batch: Batch,
+    /// Which module boundary's activation to capture.
+    pub module: usize,
+    /// Optional per-request deadline, measured from admission; expired
+    /// requests fail with [`ServeError::DeadlineExceeded`] without
+    /// executing. `None` falls back to the engine's default deadline.
+    pub deadline: Option<Duration>,
+}
+
+/// A completed probe.
+#[derive(Debug)]
+pub struct ProbeResponse {
+    /// The captured activation for this request's rows only.
+    pub activation: Tensor,
+    /// Snapshot version the probe executed against.
+    pub snapshot_version: u64,
+    /// Precision of that snapshot.
+    pub precision: Precision,
+    /// How many requests were coalesced into the executed batch.
+    pub batch_size: usize,
+    /// Time spent between admission and execution start (µs).
+    pub queue_wait_us: u64,
+    /// Execution time of the (possibly coalesced) forward (µs).
+    pub exec_us: u64,
+}
+
+/// A handle to a submitted probe; resolves exactly once.
+pub struct ProbeTicket {
+    rx: Receiver<ServeResult<ProbeResponse>>,
+}
+
+impl ProbeTicket {
+    /// Blocks until the probe resolves. A torn-down engine resolves as
+    /// [`ServeError::Shutdown`].
+    pub fn wait(self) -> ServeResult<ProbeResponse> {
+        match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => Err(ServeError::Shutdown),
+        }
+    }
+}
+
+/// Coalescing key: requests group only when batched execution is exactly
+/// equivalent to singleton execution *and* mergeable (same snapshot
+/// version, same module, same per-sample image geometry, same target
+/// kind). Ragged inputs get a unique key so they never group.
+#[derive(Clone, PartialEq)]
+enum GroupKey {
+    Image {
+        version: u64,
+        module: usize,
+        sample_dims: Vec<usize>,
+        target_kind: u8,
+    },
+    Singleton(u64),
+}
+
+struct PendingProbe {
+    batch: Batch,
+    module: usize,
+    snapshot: Arc<ModelSnapshot>,
+    submitted_us: u64,
+    deadline_us: Option<u64>,
+    reply: Sender<ServeResult<ProbeResponse>>,
+}
+
+enum Msg {
+    // Boxed so the channel slots (and `Flush`) don't carry the full
+    // probe payload inline.
+    Probe(GroupKey, Box<PendingProbe>),
+    Flush,
+}
+
+/// The serving engine. See the module docs for the topology.
+pub struct ServeEngine {
+    registry: Arc<SnapshotRegistry>,
+    clock: Arc<dyn Clock>,
+    telemetry: Telemetry,
+    default_deadline: Option<Duration>,
+    submit_tx: Option<Sender<Msg>>,
+    queued: Arc<AtomicUsize>,
+    singleton_seq: AtomicU64,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Builds an engine with its dispatcher and worker threads running.
+    /// The engine starts with an empty [`SnapshotRegistry`]; probes fail
+    /// with [`ServeError::NoSnapshot`] until a model is published.
+    pub fn new(cfg: ServeConfig, clock: Arc<dyn Clock>, telemetry: Telemetry) -> Self {
+        let registry = Arc::new(SnapshotRegistry::new());
+        let (submit_tx, submit_rx) = bounded::<Msg>(cfg.queue_depth.max(1));
+        let workers_n = cfg.workers.max(1);
+        let (work_tx, work_rx) = bounded::<ReadyBatch<GroupKey, PendingProbe>>(workers_n * 2);
+        let queued = Arc::new(AtomicUsize::new(0));
+
+        let dispatcher = {
+            let clock = Arc::clone(&clock);
+            let telemetry = telemetry.clone();
+            let queued = Arc::clone(&queued);
+            let max_batch = cfg.max_batch.max(1);
+            let max_wait_us = cfg.max_wait.as_micros() as u64;
+            let pending_budget = cfg.queue_depth.max(1) * 2;
+            std::thread::Builder::new()
+                .name("egeria-serve-dispatch".into())
+                .spawn(move || {
+                    dispatcher_loop(
+                        submit_rx,
+                        work_tx,
+                        clock,
+                        telemetry,
+                        queued,
+                        max_batch,
+                        max_wait_us,
+                        pending_budget,
+                    )
+                })
+                .expect("spawn serve dispatcher")
+        };
+
+        let mut workers = Vec::with_capacity(workers_n);
+        for i in 0..workers_n {
+            let work_rx = work_rx.clone();
+            let clock = Arc::clone(&clock);
+            let telemetry = telemetry.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("egeria-serve-worker-{i}"))
+                .spawn(move || worker_loop(work_rx, clock, telemetry))
+                .expect("spawn serve worker");
+            workers.push(h);
+        }
+
+        ServeEngine {
+            registry,
+            clock,
+            telemetry,
+            default_deadline: cfg.default_deadline,
+            submit_tx: Some(submit_tx),
+            queued,
+            singleton_seq: AtomicU64::new(0),
+            dispatcher: Some(dispatcher),
+            workers,
+        }
+    }
+
+    /// The snapshot registry this engine serves from (shared with the
+    /// trainer, which publishes into it).
+    pub fn registry(&self) -> Arc<SnapshotRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Quantizes and publishes `model` as the next snapshot version.
+    pub fn publish(&self, model: &dyn Model, precision: Precision) -> ServeResult<u64> {
+        let v = self.registry.publish(model, precision, self.clock.as_ref())?;
+        self.telemetry.counter("serve.snapshots_published").inc();
+        Ok(v)
+    }
+
+    /// Publishes a model already at serving precision.
+    pub fn publish_prequantized(&self, model: Box<dyn Model>, precision: Precision) -> u64 {
+        let v = self
+            .registry
+            .publish_prequantized(model, precision, self.clock.as_ref());
+        self.telemetry.counter("serve.snapshots_published").inc();
+        v
+    }
+
+    /// Admits a probe. Non-blocking: a full submission queue sheds with
+    /// [`ServeError::Overloaded`]; no published snapshot fails with
+    /// [`ServeError::NoSnapshot`].
+    pub fn submit(&self, req: ProbeRequest) -> ServeResult<ProbeTicket> {
+        let tx = self.submit_tx.as_ref().ok_or(ServeError::Shutdown)?;
+        let snapshot = self.registry.latest().ok_or(ServeError::NoSnapshot)?;
+        let now = self.clock.now_us();
+        let deadline = req.deadline.or(self.default_deadline);
+        let deadline_us = deadline.map(|d| now + d.as_micros() as u64);
+        let key = self.group_key(&req, snapshot.version());
+        let (reply_tx, reply_rx) = bounded(1);
+        let probe = PendingProbe {
+            batch: req.batch,
+            module: req.module,
+            snapshot,
+            submitted_us: now,
+            deadline_us,
+            reply: reply_tx,
+        };
+        self.telemetry.counter("serve.requests").inc();
+        // Count before sending: the dispatcher decrements on receipt, so
+        // incrementing after a successful send could race below zero.
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        match tx.try_send(Msg::Probe(key, Box::new(probe))) {
+            Ok(()) => {
+                self.telemetry.gauge("serve.queue_depth").set(depth as f64);
+                Ok(ProbeTicket { rx: reply_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                self.telemetry.counter("serve.shed").inc();
+                Err(ServeError::Overloaded {
+                    queue_depth: self.queued.load(Ordering::Relaxed),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                Err(ServeError::Shutdown)
+            }
+        }
+    }
+
+    /// Asks the dispatcher to flush every pending group now, regardless
+    /// of batch size or deadline. Blocks for queue space if the
+    /// submission queue is momentarily full: a dropped flush would leave
+    /// already-admitted probes waiting out their full `max_wait`, which
+    /// under a stalled virtual clock (or an hour-scale `max_wait`) is
+    /// forever. The dispatcher always drains, so the wait is bounded.
+    pub fn flush(&self) {
+        if let Some(tx) = &self.submit_tx {
+            let _ = tx.send(Msg::Flush);
+        }
+    }
+
+    /// Submits, flushes, and waits: the synchronous path the reference
+    /// manager uses for its own probes.
+    pub fn probe_blocking(&self, batch: &Batch, module: usize) -> ServeResult<ProbeResponse> {
+        let ticket = self.submit(ProbeRequest {
+            batch: batch.clone(),
+            module,
+            deadline: None,
+        })?;
+        self.flush();
+        ticket.wait()
+    }
+
+    fn group_key(&self, req: &ProbeRequest, version: u64) -> GroupKey {
+        match &req.batch.input {
+            Input::Image(t) if t.rank() >= 1 => GroupKey::Image {
+                version,
+                module: req.module,
+                sample_dims: t.shape().dims()[1..].to_vec(),
+                target_kind: target_kind(&req.batch),
+            },
+            _ => GroupKey::Singleton(self.singleton_seq.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    /// Bounded shutdown: pending tickets resolve with
+    /// [`ServeError::Shutdown`], dispatched work drains, and threads are
+    /// joined with a bounded wait (detach rather than hang the trainer).
+    fn drop(&mut self) {
+        // Disconnect the submission queue; the dispatcher drains it, fails
+        // still-pending probes with Shutdown, and closes the work queue.
+        self.submit_tx = None;
+        let mut handles: Vec<JoinHandle<()>> = self.dispatcher.take().into_iter().collect();
+        handles.append(&mut self.workers);
+        for h in handles {
+            // ~1.5 s bound per thread without reading the wall clock.
+            let mut spins = 0u32;
+            while !h.is_finished() && spins < 300 {
+                std::thread::sleep(Duration::from_millis(5));
+                spins += 1;
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                eprintln!("egeria-serve: thread unresponsive at shutdown; detaching");
+            }
+        }
+    }
+}
+
+fn target_kind(batch: &Batch) -> u8 {
+    match &batch.targets {
+        egeria_models::Targets::Classes(_) => 0,
+        egeria_models::Targets::Pixels(_) => 1,
+        egeria_models::Targets::TokenTargets(_) => 2,
+        egeria_models::Targets::Spans(_) => 3,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatcher_loop(
+    submit_rx: Receiver<Msg>,
+    work_tx: Sender<ReadyBatch<GroupKey, PendingProbe>>,
+    clock: Arc<dyn Clock>,
+    telemetry: Telemetry,
+    queued: Arc<AtomicUsize>,
+    max_batch: usize,
+    max_wait_us: u64,
+    pending_budget: usize,
+) {
+    let mut batcher: BatcherCore<GroupKey, PendingProbe> =
+        BatcherCore::new(max_batch, max_wait_us, pending_budget);
+    let shed = telemetry.counter("serve.shed");
+    let depth_gauge = telemetry.gauge("serve.queue_depth");
+    let dispatch = |rb: ReadyBatch<GroupKey, PendingProbe>| {
+        // Blocking send: backpressure onto the batcher, never unbounded.
+        if let Err(e) = work_tx.send(rb) {
+            for p in e.0.requests {
+                let _ = p.reply.send(Err(ServeError::Shutdown));
+            }
+        }
+    };
+    loop {
+        let msg = match batcher.next_flush_us() {
+            None => match submit_rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break,
+            },
+            Some(due) => {
+                let now = clock.now_us();
+                if now >= due {
+                    None
+                } else {
+                    // The timeout is a wakeup hint; the flush decision
+                    // below is made on the engine clock, so a virtual
+                    // clock stays authoritative. Capped so a stalled
+                    // virtual clock re-checks promptly.
+                    let wait = (due - now).min(5_000);
+                    match submit_rx.recv_timeout(Duration::from_micros(wait)) {
+                        Ok(m) => Some(m),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            }
+        };
+        match msg {
+            Some(Msg::Probe(key, probe)) => {
+                queued.fetch_sub(1, Ordering::Relaxed);
+                match batcher.push(key, *probe, clock.now_us()) {
+                    Push::Queued => {}
+                    Push::Ready(rb) => dispatch(rb),
+                    Push::Shed(probe, pending) => {
+                        shed.inc();
+                        let _ = probe
+                            .reply
+                            .send(Err(ServeError::Overloaded { queue_depth: pending }));
+                    }
+                }
+            }
+            Some(Msg::Flush) => {
+                for rb in batcher.flush_all() {
+                    dispatch(rb);
+                }
+            }
+            None => {}
+        }
+        for rb in batcher.poll(clock.now_us()) {
+            dispatch(rb);
+        }
+        depth_gauge.set((queued.load(Ordering::Relaxed) + batcher.pending()) as f64);
+    }
+    // Shutdown: whatever is still pending never executes.
+    for rb in batcher.flush_all() {
+        for p in rb.requests {
+            let _ = p.reply.send(Err(ServeError::Shutdown));
+        }
+    }
+    // Dropping work_tx lets the workers drain and exit.
+}
+
+fn worker_loop(
+    work_rx: Receiver<ReadyBatch<GroupKey, PendingProbe>>,
+    clock: Arc<dyn Clock>,
+    telemetry: Telemetry,
+) {
+    // Executor clones keyed by snapshot version; models carry scratch
+    // state, so the published master is never run directly. Capped so a
+    // publish-heavy trainer can't accumulate stale clones.
+    let mut executors: BTreeMap<u64, Box<dyn Model>> = BTreeMap::new();
+    let batches = telemetry.counter("serve.batches");
+    let coalesced = telemetry.counter("serve.batches_coalesced");
+    let responses = telemetry.counter("serve.responses");
+    let errors = telemetry.counter("serve.errors");
+    let missed = telemetry.counter("serve.deadline_missed");
+    let batch_size_h = telemetry.histogram("serve.batch_size");
+    let queue_wait_h = telemetry.histogram("serve.queue_wait_us");
+    let exec_h = telemetry.histogram("serve.exec_us");
+
+    while let Ok(rb) = work_rx.recv() {
+        let now = clock.now_us();
+        let mut live = Vec::with_capacity(rb.requests.len());
+        for p in rb.requests {
+            match p.deadline_us {
+                Some(d) if now > d => {
+                    missed.inc();
+                    let _ = p.reply.send(Err(ServeError::DeadlineExceeded {
+                        waited_us: now.saturating_sub(p.submitted_us),
+                    }));
+                }
+                _ => live.push(p),
+            }
+        }
+        let Some(first) = live.first() else { continue };
+        let snapshot = Arc::clone(&first.snapshot);
+        let version = snapshot.version();
+        let module = first.module;
+        let executor = executors
+            .entry(version)
+            .or_insert_with(|| snapshot.clone_executor());
+
+        let parts: Vec<&Batch> = live.iter().map(|p| &p.batch).collect();
+        let rows: usize = parts.iter().map(|b| b.sample_ids.len()).sum();
+        let leader_wait = now.saturating_sub(rb.formed_at_us.min(now));
+        let t0 = clock.now_us();
+        let mut merged = false;
+        let result = {
+            let _span = telemetry
+                .span("serve_batch")
+                .module(module as u64)
+                .arg("version", version)
+                .arg("requests", live.len())
+                .arg("rows", rows)
+                .arg("queue_wait_us", leader_wait);
+            exec::execute_group(executor.as_mut(), module, &parts, &mut merged)
+        };
+        let exec_us = clock.now_us().saturating_sub(t0);
+        batches.inc();
+        if merged {
+            coalesced.inc();
+        }
+        batch_size_h.observe(live.len() as u64);
+        exec_h.observe(exec_us);
+
+        let request_count = live.len();
+        match result {
+            Ok(acts) => {
+                for (p, act) in live.into_iter().zip(acts) {
+                    let wait = t0.saturating_sub(p.submitted_us);
+                    queue_wait_h.observe(wait);
+                    responses.inc();
+                    let _ = p.reply.send(Ok(ProbeResponse {
+                        activation: act,
+                        snapshot_version: version,
+                        precision: snapshot.precision(),
+                        batch_size: request_count,
+                        queue_wait_us: wait,
+                        exec_us,
+                    }));
+                }
+            }
+            Err(e) => {
+                // A failed executor clone may be wedged; rebuild next use.
+                executors.remove(&version);
+                for p in live {
+                    errors.inc();
+                    let _ = p.reply.send(Err(e.clone()));
+                }
+            }
+        }
+        // Evict the oldest versions beyond the cache cap.
+        while executors.len() > 2 {
+            let oldest = *executors.keys().next().expect("non-empty");
+            executors.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::RealClock;
+    use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+    use egeria_models::Targets;
+    use egeria_tensor::Rng;
+
+    fn model() -> impl Model {
+        resnet_cifar(
+            ResNetCifarConfig { n: 2, width: 4, classes: 4, ..Default::default() },
+            99,
+        )
+    }
+
+    fn image_batch(seed: u64, n: usize) -> Batch {
+        let mut rng = Rng::new(seed);
+        Batch {
+            input: Input::Image(Tensor::randn(&[n, 3, 8, 8], &mut rng)),
+            targets: Targets::Classes((0..n).map(|i| i % 4).collect()),
+            sample_ids: (0..n as u64).map(|i| seed * 100 + i).collect(),
+        }
+    }
+
+    fn engine(cfg: ServeConfig) -> ServeEngine {
+        ServeEngine::new(cfg, RealClock::shared(), Telemetry::disabled())
+    }
+
+    #[test]
+    fn probe_without_snapshot_fails_typed() {
+        let e = engine(ServeConfig::default());
+        let err = e.probe_blocking(&image_batch(1, 2), 0).unwrap_err();
+        assert_eq!(err, ServeError::NoSnapshot);
+    }
+
+    #[test]
+    fn probe_blocking_matches_inline_capture() {
+        let e = engine(ServeConfig::default());
+        let m = model();
+        e.publish(&m, Precision::Int8).unwrap();
+        let batch = image_batch(5, 3);
+        let resp = e.probe_blocking(&batch, 1).unwrap();
+        assert_eq!(resp.snapshot_version, 1);
+        assert_eq!(resp.precision, Precision::Int8);
+        let mut inline = egeria_quant::model::quantize_reference(&m, Precision::Int8).unwrap();
+        let want = inline.capture_activation(&batch, 1).unwrap();
+        assert_eq!(resp.activation.data(), want.data());
+    }
+
+    #[test]
+    fn probes_execute_against_their_admission_snapshot() {
+        let e = engine(ServeConfig { max_batch: 4, ..ServeConfig::default() });
+        let m = model();
+        e.publish(&m, Precision::F32).unwrap();
+        let t = e
+            .submit(ProbeRequest { batch: image_batch(2, 2), module: 0, deadline: None })
+            .unwrap();
+        // Publish a new version while the first probe is still queued.
+        e.publish(&m, Precision::F32).unwrap();
+        e.flush();
+        assert_eq!(t.wait().unwrap().snapshot_version, 1);
+        assert_eq!(e.probe_blocking(&image_batch(2, 2), 0).unwrap().snapshot_version, 2);
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_executing() {
+        let e = engine(ServeConfig::default());
+        e.publish(&model(), Precision::F32).unwrap();
+        let t = e
+            .submit(ProbeRequest {
+                batch: image_batch(3, 1),
+                module: 0,
+                deadline: Some(Duration::from_micros(0)),
+            })
+            .unwrap();
+        // Let real time pass so the zero deadline is unambiguously gone.
+        std::thread::sleep(Duration::from_millis(2));
+        e.flush();
+        match t.wait().unwrap_err() {
+            ServeError::DeadlineExceeded { .. } => {}
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn flush_on_full_coalesces_a_group() {
+        let e = engine(ServeConfig {
+            max_batch: 3,
+            max_wait: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        e.publish(&model(), Precision::F32).unwrap();
+        let tickets: Vec<ProbeTicket> = (0..3)
+            .map(|i| {
+                e.submit(ProbeRequest {
+                    batch: image_batch(10 + i, 2),
+                    module: 1,
+                    deadline: None,
+                })
+                .unwrap()
+            })
+            .collect();
+        // No flush() call: the third probe fills the group.
+        for t in tickets {
+            let r = t.wait().unwrap();
+            assert_eq!(r.batch_size, 3, "group should have coalesced all three");
+        }
+    }
+
+    #[test]
+    fn drop_resolves_pending_tickets_with_shutdown() {
+        let e = engine(ServeConfig {
+            max_wait: Duration::from_secs(60),
+            max_batch: 64,
+            ..ServeConfig::default()
+        });
+        e.publish(&model(), Precision::F32).unwrap();
+        let t = e
+            .submit(ProbeRequest { batch: image_batch(4, 1), module: 0, deadline: None })
+            .unwrap();
+        drop(e);
+        assert_eq!(t.wait().unwrap_err(), ServeError::Shutdown);
+    }
+}

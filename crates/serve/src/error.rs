@@ -1,0 +1,70 @@
+//! Typed serving errors — every degraded outcome is a value, never a
+//! panic (the degradation matrix is in DESIGN.md §5e).
+
+use egeria_tensor::TensorError;
+use std::fmt;
+
+/// Alias for serving results.
+pub type ServeResult<T> = Result<T, ServeError>;
+
+/// Everything that can go wrong between admission and reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue (or the batcher's pending budget) was
+    /// full; the request was shed at admission without queuing.
+    Overloaded {
+        /// Pending requests observed when the request was shed.
+        queue_depth: usize,
+    },
+    /// The request's deadline passed before execution started.
+    DeadlineExceeded {
+        /// How long the request had waited when it was expired, in µs.
+        waited_us: u64,
+    },
+    /// No model snapshot has been published yet.
+    NoSnapshot,
+    /// The engine is shutting down (or already gone); the request was not
+    /// executed.
+    Shutdown,
+    /// The model forward failed.
+    Model(TensorError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_depth } => {
+                write!(f, "serve queue full ({queue_depth} pending); request shed")
+            }
+            ServeError::DeadlineExceeded { waited_us } => {
+                write!(f, "deadline exceeded after waiting {waited_us} us")
+            }
+            ServeError::NoSnapshot => write!(f, "no model snapshot published"),
+            ServeError::Shutdown => write!(f, "serve engine is shut down"),
+            ServeError::Model(e) => write!(f, "model execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<TensorError> for ServeError {
+    fn from(e: TensorError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        assert!(ServeError::Overloaded { queue_depth: 7 }.to_string().contains('7'));
+        assert!(ServeError::DeadlineExceeded { waited_us: 123 }.to_string().contains("123"));
+        assert!(ServeError::NoSnapshot.to_string().contains("snapshot"));
+        assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        let m: ServeError = TensorError::Numerical("x".into()).into();
+        assert!(m.to_string().contains("model execution"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Request coalescing: merge compatible probe batches into one forward,
+//! split the activation back per request.
+//!
+//! The determinism contract (DESIGN.md §5b/§5e) requires the coalesced
+//! path to be **bit-identical** to executing each request alone. That
+//! holds because `capture_activation` runs the model in eval mode, where
+//! every row of the batch is computed independently (no batch-norm batch
+//! statistics, no cross-sample reductions) and the tensor kernels
+//! partition work by fixed geometry. This module additionally guarantees
+//! the contract *by construction*: any group that cannot be merged or
+//! whose output cannot be split cleanly degrades to per-request singleton
+//! forwards instead of erroring the whole group.
+//!
+//! Only image batches coalesce (one `Tensor::concat` along the batch
+//! axis). Token and seq2seq inputs are ragged; the engine keys them so
+//! they never group, and this module executes them singleton.
+
+use crate::error::ServeResult;
+use egeria_models::model::Model;
+use egeria_models::{Batch, Input, Targets};
+use egeria_tensor::Tensor;
+
+/// Concatenates probe batches along the sample axis. Returns `None` when
+/// the parts are not mergeable (non-image inputs, mixed target kinds, or
+/// tensor-shape mismatch) — the caller then falls back to singleton
+/// execution.
+pub fn merge_batches(parts: &[&Batch]) -> Option<Batch> {
+    if parts.len() < 2 {
+        return None;
+    }
+    let images: Vec<&Tensor> = parts
+        .iter()
+        .map(|b| match &b.input {
+            Input::Image(t) => Some(t),
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let input = Input::Image(Tensor::concat(&images, 0).ok()?);
+
+    let targets = match parts[0].targets {
+        Targets::Classes(_) => {
+            let mut all = Vec::new();
+            for b in parts {
+                match &b.targets {
+                    Targets::Classes(c) => all.extend_from_slice(c),
+                    _ => return None,
+                }
+            }
+            Targets::Classes(all)
+        }
+        Targets::Pixels(_) => {
+            let mut all = Vec::new();
+            for b in parts {
+                match &b.targets {
+                    Targets::Pixels(p) => all.extend_from_slice(p),
+                    _ => return None,
+                }
+            }
+            Targets::Pixels(all)
+        }
+        // Ragged target kinds never merge.
+        Targets::TokenTargets(_) | Targets::Spans(_) => return None,
+    };
+
+    let sample_ids = parts.iter().flat_map(|b| b.sample_ids.iter().copied()).collect();
+    Some(Batch { input, targets, sample_ids })
+}
+
+/// Splits a coalesced activation back into per-request tensors by row
+/// counts. Returns `None` if the activation's leading axis does not match
+/// the requested partition (the caller falls back to singletons).
+pub fn split_activation(activation: &Tensor, sizes: &[usize]) -> Option<Vec<Tensor>> {
+    let total: usize = sizes.iter().sum();
+    if activation.rank() == 0 || activation.shape().dims()[0] != total {
+        return None;
+    }
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut start = 0;
+    for &len in sizes {
+        out.push(activation.narrow(0, start, len).ok()?);
+        start += len;
+    }
+    Some(out)
+}
+
+/// Runs one coalesced group: merge → single forward → split, falling back
+/// to per-request singleton forwards whenever merge or split is not
+/// possible. Returns one activation per input batch, in order.
+///
+/// `merged_out` reports whether the group actually executed as one
+/// forward (for the `serve.batches_coalesced` counter / span arg).
+pub fn execute_group(
+    model: &mut dyn Model,
+    module: usize,
+    parts: &[&Batch],
+    merged_out: &mut bool,
+) -> ServeResult<Vec<Tensor>> {
+    *merged_out = false;
+    if let Some(merged) = merge_batches(parts) {
+        let activation = model.capture_activation(&merged, module)?;
+        let sizes: Vec<usize> = parts.iter().map(|b| b.sample_ids.len()).collect();
+        if let Some(split) = split_activation(&activation, &sizes) {
+            *merged_out = true;
+            return Ok(split);
+        }
+    }
+    // Singleton fallback: bit-identity holds trivially.
+    let mut out = Vec::with_capacity(parts.len());
+    for b in parts {
+        out.push(model.capture_activation(b, module)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
+    use egeria_tensor::Rng;
+
+    fn model() -> impl Model {
+        resnet_cifar(
+            ResNetCifarConfig { n: 2, width: 4, classes: 4, ..Default::default() },
+            99,
+        )
+    }
+
+    fn image_batch(seed: u64, n: usize) -> Batch {
+        let mut rng = Rng::new(seed);
+        Batch {
+            input: Input::Image(Tensor::randn(&[n, 3, 8, 8], &mut rng)),
+            targets: Targets::Classes((0..n).map(|i| i % 4).collect()),
+            sample_ids: (0..n as u64).map(|i| seed * 100 + i).collect(),
+        }
+    }
+
+    fn token_batch(n: usize) -> Batch {
+        Batch {
+            input: Input::Tokens((0..n).map(|i| vec![i, i + 1, i + 2]).collect()),
+            targets: Targets::Spans((0..n).map(|_| (0, 1)).collect()),
+            sample_ids: (0..n as u64).collect(),
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_images_targets_and_ids() {
+        let a = image_batch(1, 2);
+        let b = image_batch(2, 3);
+        let merged = merge_batches(&[&a, &b]).expect("image batches merge");
+        match &merged.input {
+            Input::Image(t) => assert_eq!(t.shape().dims()[0], 5),
+            other => panic!("expected image input, got {other:?}"),
+        }
+        match &merged.targets {
+            Targets::Classes(c) => assert_eq!(c.len(), 5),
+            other => panic!("expected class targets, got {other:?}"),
+        }
+        assert_eq!(merged.sample_ids.len(), 5);
+        assert_eq!(merged.sample_ids[0], 100);
+        assert_eq!(merged.sample_ids[2], 200);
+    }
+
+    #[test]
+    fn ragged_inputs_do_not_merge() {
+        let a = token_batch(2);
+        let b = token_batch(2);
+        assert!(merge_batches(&[&a, &b]).is_none());
+        // Mixed input kinds don't merge either.
+        let img = image_batch(1, 2);
+        assert!(merge_batches(&[&img, &a]).is_none());
+    }
+
+    #[test]
+    fn split_rejects_mismatched_row_counts() {
+        let mut rng = Rng::new(3);
+        let t = Tensor::randn(&[5, 4], &mut rng);
+        assert!(split_activation(&t, &[2, 2]).is_none());
+        let parts = split_activation(&t, &[2, 3]).unwrap();
+        assert_eq!(parts[0].shape().dims(), &[2, 4]);
+        assert_eq!(parts[1].shape().dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn coalesced_execution_is_bit_identical_to_singleton() {
+        let parts = [image_batch(1, 1), image_batch(2, 2), image_batch(3, 2)];
+        let refs: Vec<&Batch> = parts.iter().collect();
+        for module in 0..3 {
+            let mut merged = false;
+            let mut m = model();
+            let grouped = execute_group(&mut m, module, &refs, &mut merged).unwrap();
+            assert!(merged, "image group should coalesce");
+            let mut m2 = model();
+            for (part, got) in refs.iter().zip(&grouped) {
+                let want = m2.capture_activation(part, module).unwrap();
+                assert_eq!(got.shape(), want.shape());
+                assert_eq!(got.data(), want.data(), "module {module} not bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn unmergeable_group_degrades_to_singletons() {
+        // Different spatial dims: concat fails, so the group must fall
+        // back to singleton forwards and still succeed.
+        let mut rng = Rng::new(9);
+        let a = image_batch(1, 2);
+        let b = Batch {
+            input: Input::Image(Tensor::randn(&[1, 3, 16, 16], &mut rng)),
+            targets: Targets::Classes(vec![0]),
+            sample_ids: vec![7],
+        };
+        let refs = [&a, &b];
+        let mut merged = false;
+        let mut m = model();
+        let out = execute_group(&mut m, 0, &refs, &mut merged).unwrap();
+        assert!(!merged);
+        assert_eq!(out.len(), 2);
+    }
+}

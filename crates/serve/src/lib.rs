@@ -1,0 +1,144 @@
+//! `egeria-serve`: batched inference serving for reference-model traffic
+//! (DESIGN.md §5e).
+//!
+//! Egeria's reference model is an always-on, forward-only inference
+//! workload that answers plasticity probes beside training (§4.2–§4.3 of
+//! the paper). This crate turns the inline per-probe execution into an
+//! embeddable serving subsystem:
+//!
+//! - [`snapshot`]: immutable, versioned model snapshots (fp32 / f16 / int8
+//!   via `egeria-quant`) published by the trainer and swapped atomically —
+//!   in-flight requests keep executing against the version they were
+//!   admitted under.
+//! - [`clock`]: the pluggable [`Clock`] every batching-policy decision is
+//!   timed by. Production uses [`clock::RealClock`] (the only module in
+//!   this crate allowed to read the wall clock — enforced by
+//!   `egeria-lint`); tests drive a deterministic [`clock::VirtualClock`].
+//! - [`batcher`]: a pure micro-batching state machine — bounded pending
+//!   budget, flush-on-full (`max_batch`), flush-on-deadline (`max_wait`),
+//!   shed-on-overflow — with no threads inside, so every policy behavior
+//!   is pinned by virtual-clock unit tests.
+//! - [`exec`]: request coalescing. Same-shaped image probes against the
+//!   same snapshot version and module merge along the batch axis into one
+//!   forward; outputs are split back per request. **Batched execution is
+//!   bit-identical to singleton execution** regardless of how requests
+//!   coalesce (the eval-mode forward is per-sample independent and the
+//!   tensor kernels partition work by fixed geometry — DESIGN.md §5b), and
+//!   any group that cannot be merged or split degrades to singleton
+//!   forwards, so the contract holds by construction.
+//! - [`engine`]: the [`ServeEngine`] — a bounded submission queue with
+//!   admission control, a dispatcher thread driving the batcher, and a
+//!   forward-execution worker pool whose tensor math runs on the shared
+//!   `egeria_tensor::ThreadPool`. Overflow sheds with
+//!   [`ServeError::Overloaded`], late requests fail with
+//!   [`ServeError::DeadlineExceeded`], and shutdown resolves every pending
+//!   ticket with [`ServeError::Shutdown`] — typed errors, never panics.
+//!
+//! Everything is instrumented through `egeria-obs`: `serve.*` counters and
+//! histograms (queue depth, batch size, queue-wait/execute latencies) and
+//! one `serve_batch` span per executed group, which `trace_report`
+//! summarizes into its serving section.
+
+// No unsafe outside egeria-tensor: enforced here and audited by egeria-lint.
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+pub mod clock;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod snapshot;
+
+pub use clock::{Clock, RealClock, VirtualClock};
+pub use engine::{ProbeRequest, ProbeResponse, ProbeTicket, ServeEngine};
+pub use error::{ServeError, ServeResult};
+pub use snapshot::{ModelSnapshot, SnapshotRegistry};
+
+use std::time::Duration;
+
+/// Tuning knobs for a [`ServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Forward-execution worker threads.
+    pub workers: usize,
+    /// Maximum requests coalesced into one executed batch; reaching it
+    /// flushes the group immediately (flush-on-full).
+    pub max_batch: usize,
+    /// How long an under-full group may wait for co-batchable requests
+    /// before it is flushed anyway (flush-on-deadline).
+    pub max_wait: Duration,
+    /// Bounded submission-queue depth; admission beyond it sheds the
+    /// request with [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Default per-request deadline applied when a request carries none;
+    /// `None` means requests without a deadline never expire.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_depth: 64,
+            default_deadline: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the `EGERIA_SERVE_*` environment knobs over the defaults:
+    /// `EGERIA_SERVE_WORKERS`, `EGERIA_SERVE_MAX_BATCH`,
+    /// `EGERIA_SERVE_MAX_WAIT_US`, and `EGERIA_SERVE_QUEUE`.
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Some(v) = env_usize("EGERIA_SERVE_WORKERS") {
+            cfg.workers = v.clamp(1, 64);
+        }
+        if let Some(v) = env_usize("EGERIA_SERVE_MAX_BATCH") {
+            cfg.max_batch = v.max(1);
+        }
+        if let Some(v) = env_usize("EGERIA_SERVE_MAX_WAIT_US") {
+            cfg.max_wait = Duration::from_micros(v as u64);
+        }
+        if let Some(v) = env_usize("EGERIA_SERVE_QUEUE") {
+            cfg.queue_depth = v.max(1);
+        }
+        cfg
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// Whether the serving path is enabled for this process: `EGERIA_SERVE`
+/// set to `off`, `0`, or `false` (any case) disables it; anything else —
+/// including unset — leaves it on. The off path preserves the inline
+/// per-probe behavior bit-for-bit (and the on path does too, by the
+/// batched-execution determinism contract; the knob exists so the two can
+/// be compared and the seed behavior pinned).
+pub fn serve_enabled() -> bool {
+    match std::env::var("EGERIA_SERVE") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !(v == "off" || v == "0" || v == "false")
+        }
+        Err(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.max_batch >= 1);
+        assert!(c.queue_depth >= 1);
+        assert!(c.default_deadline.is_none());
+    }
+}
