@@ -49,3 +49,10 @@ grep -q "serve batches" "$trace_dir/serving_report.txt"
 grep -q '"open_loop"' "$trace_dir/BENCH_serve.json"
 grep -q '"closed_loop"' "$trace_dir/BENCH_serve.json"
 EGERIA_SERVE=off cargo test -q --test golden_run
+
+# Chaos-soak smoke (DESIGN §5f): bounded e2e training under a fixed-seed
+# fault schedule. Hard gate: fallback-covered faults must leave the loss
+# curve bit-identical, degradation-only faults must never abort, and
+# teardown must leak no threads. (~30-40s; seeds are pinned so a failure
+# reproduces exactly with the same command.)
+EGERIA_CHAOS_SEED=1337 cargo test -q --test chaos_soak

@@ -8,6 +8,7 @@
 
 use crate::faults::{FaultAction, FaultInjector, FaultSite};
 use egeria_obs::Telemetry;
+use egeria_resil::health::HealthMonitor;
 use egeria_tensor::{serialize, Result, Tensor, TensorError};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -34,6 +35,9 @@ pub struct CacheStats {
     /// Corrupt on-disk entries detected (bad magic/length/checksum); each
     /// is deleted and recomputed on the next full forward.
     pub corrupt_entries: usize,
+    /// Prefetch reads that failed (injected or I/O); the entry is skipped
+    /// and the later direct lookup serves it instead.
+    pub prefetch_errors: usize,
 }
 
 impl CacheStats {
@@ -62,6 +66,7 @@ pub struct ActivationCache {
     stats: CacheStats,
     faults: Option<Arc<FaultInjector>>,
     telemetry: Telemetry,
+    health: Option<Arc<HealthMonitor>>,
 }
 
 impl ActivationCache {
@@ -79,7 +84,14 @@ impl ActivationCache {
             stats: CacheStats::default(),
             faults: None,
             telemetry: Telemetry::disabled(),
+            health: None,
         })
+    }
+
+    /// Attaches a health monitor: a quarantined entry marks the cache
+    /// degraded; the next clean hit resolves it (the slot was refilled).
+    pub fn set_health(&mut self, health: Arc<HealthMonitor>) {
+        self.health = Some(health);
     }
 
     /// Attaches a telemetry handle; cache counters (`cache.hits`,
@@ -92,6 +104,10 @@ impl ActivationCache {
     fn count_hit(&mut self) {
         self.stats.hits += 1;
         self.telemetry.counter("cache.hits").inc();
+        // A clean hit means the quarantined slots (if any) were refilled.
+        if let Some(h) = &self.health {
+            h.resolve("cache-quarantine");
+        }
     }
 
     fn count_miss(&mut self) {
@@ -124,6 +140,9 @@ impl ActivationCache {
         let _ = fs::remove_file(self.path_of(id));
         self.stats.corrupt_entries += 1;
         self.telemetry.counter("cache.corrupt_entries").inc();
+        if let Some(h) = &self.health {
+            h.degrade("cache-quarantine");
+        }
         eprintln!(
             "egeria: corrupt cache entry for sample {id}; deleted, will recompute"
         );
@@ -229,6 +248,18 @@ impl ActivationCache {
             if self.mem.contains_key(&id) {
                 continue;
             }
+            // Injected prefetch-read failure: the entry is skipped (left
+            // on disk, untouched); the later lookup reads it directly.
+            let injected_fail = self
+                .faults
+                .as_ref()
+                .map(|f| f.should_fail(FaultSite::PrefetchRead))
+                .unwrap_or(false);
+            if injected_fail {
+                self.stats.prefetch_errors += 1;
+                self.telemetry.counter("cache.prefetch_errors").inc();
+                continue;
+            }
             if let Some(bytes) = self.read_entry(id) {
                 match serialize::from_bytes(&bytes) {
                     Ok(t) => {
@@ -323,6 +354,9 @@ impl ActivationCache {
                 }
                 self.stats.corrupt_entries += 1;
                 self.telemetry.counter("cache.corrupt_entries").inc();
+                if let Some(h) = &self.health {
+                    h.degrade("cache-quarantine");
+                }
                 eprintln!(
                     "egeria: shape-mismatched cache entry in batch lookup (sample {id}); quarantined, will recompute"
                 );
@@ -649,6 +683,40 @@ mod tests {
         assert_eq!(snap.counter("cache.corrupt_entries"), Some(1));
         assert_eq!(snap.counter("cache.write_errors"), Some(1));
         assert_eq!(snap.counter("cache.hits"), None);
+    }
+
+    #[test]
+    fn injected_prefetch_failure_skips_entry_and_direct_lookup_heals() {
+        let mut c = ActivationCache::new(tmp_dir("prefetchfault"), 1).unwrap();
+        let faults = FaultInjector::new();
+        faults.arm(FaultSite::PrefetchRead, 0, 1, FaultAction::Fail);
+        c.set_faults(Some(faults));
+        let act = Tensor::ones(&[1, 4]);
+        c.put_batch(&[1], &act, 0).unwrap();
+        c.put_batch(&[2], &act, 0).unwrap(); // evict 1 from memory
+        let loaded = c.prefetch(&[1]).unwrap();
+        assert_eq!(loaded, 0, "injected failure skips the entry");
+        assert_eq!(c.stats().prefetch_errors, 1);
+        // The entry was left intact on disk: a direct lookup serves it.
+        assert!(c.get_batch(&[1], 0).unwrap().is_some());
+    }
+
+    #[test]
+    fn quarantine_degrades_health_and_clean_hit_resolves_it() {
+        let t = Telemetry::enabled();
+        let health = HealthMonitor::new(t.clone());
+        let mut c = ActivationCache::new(tmp_dir("healthq"), 1).unwrap();
+        c.set_health(Arc::clone(&health));
+        let act = Tensor::ones(&[1, 4]);
+        c.put_batch(&[1], &act, 0).unwrap();
+        c.put_batch(&[2], &act, 0).unwrap(); // evict 1 from memory
+        fs::write(c.path_of(1), b"garbage").unwrap();
+        assert!(c.get_batch(&[1], 0).unwrap().is_none());
+        assert_eq!(health.level(), 1, "quarantine degrades health");
+        // Recompute refills the slot; the clean hit resolves the tag.
+        c.put_batch(&[1], &act, 0).unwrap();
+        assert!(c.get_batch(&[1], 0).unwrap().is_some());
+        assert_eq!(health.level(), 0);
     }
 
     #[test]

@@ -629,13 +629,19 @@ impl CheckpointStore {
 
     /// Atomically writes a checkpoint for the epoch it covers
     /// (`next_epoch − 1`), then prunes beyond the retention window.
+    ///
+    /// A *failed* save still leaves the directory invariants intact: its
+    /// temp file is removed, stale `.egck.tmp` leftovers (a crashed
+    /// earlier process) are swept, and keep-N retention is re-enforced —
+    /// repeated failures must not grow the directory.
     pub fn save(&mut self, ckpt: &TrainerCheckpoint) -> Result<PathBuf> {
         let epoch = ckpt.next_epoch.saturating_sub(1);
         let mut bytes = to_bytes(ckpt);
+        // The injected failure fires *after* the temp file exists (below),
+        // so tests exercise the cleanup path a real mid-write error takes.
+        let mut injected_fail = false;
         match self.faults.as_ref().and_then(|f| f.check(FaultSite::CheckpointWrite)) {
-            Some(FaultAction::Fail) => {
-                return Err(TensorError::Io("injected checkpoint write failure".into()))
-            }
+            Some(FaultAction::Fail) => injected_fail = true,
             Some(FaultAction::CorruptBytes) if bytes.len() > HEADER_LEN => {
                 // Corrupt the payload region so the CRC check trips on load.
                 let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
@@ -645,20 +651,42 @@ impl CheckpointStore {
         }
         let final_path = self.path_of(epoch);
         let tmp_path = final_path.with_extension("egck.tmp");
-        {
-            let mut f = fs::File::create(&tmp_path)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
+        let written = write_and_rename(&bytes, &tmp_path, &final_path, injected_fail);
+        if written.is_err() {
+            let _ = fs::remove_file(&tmp_path);
         }
-        fs::rename(&tmp_path, &final_path)?;
-        // Retention: drop the oldest files beyond `keep`.
+        self.sweep_stale_tmp();
+        self.prune();
+        written?;
+        Ok(final_path)
+    }
+
+    /// Removes leftover `.egck.tmp` files (a crash between create and
+    /// rename, or an earlier process that died mid-save).
+    fn sweep_stale_tmp(&self) {
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                let path = e.path();
+                let is_tmp = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.ends_with(".egck.tmp"))
+                    .unwrap_or(false);
+                if is_tmp {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+    }
+
+    /// Retention: drop the oldest checkpoint files beyond `keep`.
+    fn prune(&self) {
         let epochs = self.saved_epochs();
         if epochs.len() > self.keep {
             for &old in &epochs[..epochs.len() - self.keep] {
                 let _ = fs::remove_file(self.path_of(old));
             }
         }
-        Ok(final_path)
     }
 
     /// Loads the newest valid checkpoint, skipping (and reporting) corrupt
@@ -692,6 +720,26 @@ impl CheckpointStore {
         }
         from_bytes(&bytes)
     }
+}
+
+/// Create-write-fsync-rename, failing (after the temp file exists) when
+/// the injected fault fired — so error handling covers the same states a
+/// real mid-write failure leaves behind.
+fn write_and_rename(
+    bytes: &[u8],
+    tmp_path: &Path,
+    final_path: &Path,
+    injected_fail: bool,
+) -> Result<()> {
+    let mut f = fs::File::create(tmp_path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    if injected_fail {
+        return Err(TensorError::Io("injected checkpoint write failure".into()));
+    }
+    fs::rename(tmp_path, final_path)?;
+    Ok(())
 }
 
 fn parse_epoch(path: &Path) -> Option<u64> {
@@ -926,6 +974,47 @@ mod tests {
         store.save(&c).unwrap(); // corrupted on the way to disk
         let loaded = store.load_latest().unwrap();
         assert_eq!(loaded.next_epoch, 1, "corrupt save must be skipped");
+    }
+
+    #[test]
+    fn repeated_failed_saves_leak_no_temp_files_and_keep_retention() {
+        let dir = tmp_dir("noleak");
+        let faults = FaultInjector::new();
+        let mut store = CheckpointStore::open(&dir, 2)
+            .unwrap()
+            .with_faults(Some(faults.clone()));
+        let mut c = tiny_checkpoint();
+        // Seed three good saves: keep=2 retains epochs 1 and 2.
+        for epoch in 1..=3u64 {
+            c.next_epoch = epoch;
+            store.save(&c).unwrap();
+        }
+        assert_eq!(store.saved_epochs(), vec![1, 2]);
+        // Four consecutive failed saves must not grow the directory: no
+        // temp files leak and the retention window is unchanged.
+        faults.arm(FaultSite::CheckpointWrite, 0, 4, FaultAction::Fail);
+        for epoch in 4..=7u64 {
+            c.next_epoch = epoch;
+            assert!(store.save(&c).is_err());
+        }
+        let entries: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().into_string().unwrap())
+            .collect();
+        assert!(
+            entries.iter().all(|n| !n.ends_with(".tmp")),
+            "leaked temp files: {entries:?}"
+        );
+        assert_eq!(entries.len(), 2, "directory grew: {entries:?}");
+        assert_eq!(store.saved_epochs(), vec![1, 2]);
+        // A stale tmp from a crashed earlier process is swept by the next
+        // save, which also succeeds (the fault window is exhausted).
+        fs::write(dir.join("ckpt-99999999.egck.tmp"), b"junk").unwrap();
+        c.next_epoch = 8;
+        store.save(&c).unwrap();
+        assert!(!dir.join("ckpt-99999999.egck.tmp").exists());
+        assert_eq!(store.saved_epochs(), vec![2, 7]);
     }
 
     #[test]

@@ -1,197 +1,14 @@
 //! Deterministic fault injection for robustness testing.
 //!
-//! A [`FaultInjector`] is armed with per-site plans ("skip the first `skip`
-//! operations at this site, then fire `fire` times") and shared via `Arc`
-//! with the components under test: the activation cache, the checkpoint
-//! writer, the async controller, and the trainer's step loop. Each
-//! component consults the injector at well-defined points and reacts the
-//! way a real disk error, bit flip, controller stall, or process crash
-//! would — which is what the crash/resume and degradation tests drive.
+//! The fault plane lives in `egeria-resil` (it is shared with the serve
+//! engine, which core depends on — a core-owned injector could not reach
+//! it without a dependency cycle); this module re-exports it so
+//! `egeria_core::faults::{FaultSite, FaultAction, FaultInjector}` and the
+//! crate-root re-exports keep resolving.
 //!
-//! Everything is counter-based and deterministic: the same arming plus the
-//! same operation sequence always injects at the same operations.
+//! See `egeria_resil::fault` for the model: deterministic counter plans
+//! ("skip `skip` operations, then fire `fire` times") plus seeded
+//! xorshift schedules, both pure functions of the arming and the
+//! operation sequence.
 
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::Arc;
-
-/// Where a fault can be injected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum FaultSite {
-    /// A cache entry write (simulates ENOSPC / write failure).
-    CacheWrite,
-    /// A cache entry read (the bytes read back are corrupted).
-    CacheRead,
-    /// A checkpoint file write (simulates disk-full mid-save).
-    CheckpointWrite,
-    /// A checkpoint file read (the bytes read back are corrupted).
-    CheckpointRead,
-    /// One controller-side plasticity evaluation (the controller thread
-    /// dies mid-eval).
-    ControllerEval,
-    /// One training step (the process "crashes" mid-epoch).
-    TrainStep,
-}
-
-/// What the injected fault does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FaultAction {
-    /// The operation fails outright (I/O error / crash / dead thread).
-    Fail,
-    /// The operation's bytes are corrupted (a bit flip in the payload).
-    CorruptBytes,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Plan {
-    skip: usize,
-    fire: usize,
-    action: FaultAction,
-    seen: usize,
-    fired: usize,
-}
-
-/// Deterministic, thread-shared fault injector.
-///
-/// Cloneable via `Arc`; all methods take `&self`.
-#[derive(Debug, Default)]
-pub struct FaultInjector {
-    plans: Mutex<HashMap<FaultSite, Plan>>,
-    injected: Mutex<HashMap<FaultSite, usize>>,
-}
-
-impl FaultInjector {
-    /// Creates an injector with no armed faults.
-    pub fn new() -> Arc<Self> {
-        Arc::new(FaultInjector::default())
-    }
-
-    /// Arms a site: the first `skip` operations pass through, the next
-    /// `fire` operations inject `action`, everything after passes again.
-    /// Re-arming a site replaces its previous plan and counters.
-    pub fn arm(&self, site: FaultSite, skip: usize, fire: usize, action: FaultAction) {
-        self.plans.lock().insert(
-            site,
-            Plan {
-                skip,
-                fire,
-                action,
-                seen: 0,
-                fired: 0,
-            },
-        );
-    }
-
-    /// Disarms a site (pending fires are dropped; injection counts remain).
-    pub fn disarm(&self, site: FaultSite) {
-        self.plans.lock().remove(&site);
-    }
-
-    /// Records one operation at `site` and returns the action to inject,
-    /// if any. Components call this at each injection point.
-    pub fn check(&self, site: FaultSite) -> Option<FaultAction> {
-        let mut plans = self.plans.lock();
-        let plan = plans.get_mut(&site)?;
-        let idx = plan.seen;
-        plan.seen += 1;
-        if idx < plan.skip || plan.fired >= plan.fire {
-            return None;
-        }
-        plan.fired += 1;
-        let action = plan.action;
-        drop(plans);
-        *self.injected.lock().entry(site).or_insert(0) += 1;
-        Some(action)
-    }
-
-    /// Convenience: `check` for sites whose only sensible action is `Fail`.
-    pub fn should_fail(&self, site: FaultSite) -> bool {
-        matches!(self.check(site), Some(FaultAction::Fail))
-    }
-
-    /// How many faults have been injected at `site` so far.
-    pub fn injected(&self, site: FaultSite) -> usize {
-        self.injected.lock().get(&site).copied().unwrap_or(0)
-    }
-
-    /// Total faults injected across all sites.
-    pub fn injected_total(&self) -> usize {
-        self.injected.lock().values().sum()
-    }
-
-    /// Flips one bit in the middle of `bytes` (the canonical
-    /// [`FaultAction::CorruptBytes`] effect). No-op on an empty buffer.
-    pub fn corrupt(bytes: &mut [u8]) {
-        if let Some(mid) = bytes.len().checked_sub(1) {
-            bytes[mid / 2] ^= 0x20;
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn unarmed_sites_never_inject() {
-        let f = FaultInjector::new();
-        for _ in 0..100 {
-            assert!(f.check(FaultSite::CacheWrite).is_none());
-        }
-        assert_eq!(f.injected_total(), 0);
-    }
-
-    #[test]
-    fn skip_then_fire_window() {
-        let f = FaultInjector::new();
-        f.arm(FaultSite::CacheWrite, 3, 2, FaultAction::Fail);
-        let hits: Vec<bool> = (0..8)
-            .map(|_| f.check(FaultSite::CacheWrite).is_some())
-            .collect();
-        assert_eq!(
-            hits,
-            vec![false, false, false, true, true, false, false, false]
-        );
-        assert_eq!(f.injected(FaultSite::CacheWrite), 2);
-    }
-
-    #[test]
-    fn sites_are_independent() {
-        let f = FaultInjector::new();
-        f.arm(FaultSite::CacheRead, 0, 1, FaultAction::CorruptBytes);
-        assert!(f.check(FaultSite::CacheWrite).is_none());
-        assert_eq!(
-            f.check(FaultSite::CacheRead),
-            Some(FaultAction::CorruptBytes)
-        );
-        assert!(f.check(FaultSite::CacheRead).is_none());
-    }
-
-    #[test]
-    fn corrupt_flips_exactly_one_bit() {
-        let clean = vec![0u8; 9];
-        let mut dirty = clean.clone();
-        FaultInjector::corrupt(&mut dirty);
-        let flipped: u32 = clean
-            .iter()
-            .zip(dirty.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum();
-        assert_eq!(flipped, 1);
-        // Empty buffers are left alone.
-        let mut empty: Vec<u8> = Vec::new();
-        FaultInjector::corrupt(&mut empty);
-        assert!(empty.is_empty());
-    }
-
-    #[test]
-    fn rearming_resets_counters() {
-        let f = FaultInjector::new();
-        f.arm(FaultSite::TrainStep, 0, 1, FaultAction::Fail);
-        assert!(f.should_fail(FaultSite::TrainStep));
-        assert!(!f.should_fail(FaultSite::TrainStep));
-        f.arm(FaultSite::TrainStep, 0, 1, FaultAction::Fail);
-        assert!(f.should_fail(FaultSite::TrainStep));
-        assert_eq!(f.injected(FaultSite::TrainStep), 2);
-    }
-}
+pub use egeria_resil::fault::{FaultAction, FaultInjector, FaultSite};

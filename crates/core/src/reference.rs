@@ -10,10 +10,22 @@ use crate::config::EgeriaConfig;
 use egeria_models::{Batch, Model};
 use egeria_obs::Telemetry;
 use egeria_quant::{quantize_reference, Precision};
-use egeria_serve::{ProbeRequest, RealClock, ServeConfig, ServeEngine};
+use egeria_resil::breaker::CircuitBreaker;
+use egeria_resil::fault::{FaultInjector, FaultSite};
+use egeria_resil::health::HealthMonitor;
+use egeria_resil::retry::RetryPolicy;
+use egeria_serve::{Clock, ProbeRequest, RealClock, ServeConfig, ServeEngine};
 use egeria_tensor::{Result, Tensor, TensorError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Consecutive serve failures before the probe breaker trips open.
+const BREAKER_TRIP_AFTER: u32 = 3;
+/// How long a tripped breaker stays open before a recovery probe (µs).
+const BREAKER_COOLDOWN_US: u64 = 200_000;
+/// Snapshot publishes: attempts and first-retry backoff (µs).
+const PUBLISH_ATTEMPTS: u32 = 2;
+const PUBLISH_BACKOFF_US: u64 = 200;
 
 /// Statistics about reference-model maintenance.
 #[derive(Debug, Clone, Copy, Default)]
@@ -45,6 +57,15 @@ pub struct ReferenceManager {
     telemetry: Telemetry,
     serve_requested: bool,
     serve: Option<Arc<ServeEngine>>,
+    clock: Arc<dyn Clock>,
+    faults: Option<Arc<FaultInjector>>,
+    health: Option<Arc<HealthMonitor>>,
+    breaker: Option<Arc<CircuitBreaker>>,
+    // A publish failed and the registry still serves the previous
+    // version. Probing stale weights risks exactly the mistimed freeze
+    // the paper warns about, so serve routing is suspended (inline
+    // fallback, bit-identical) until a publish succeeds.
+    snapshot_stale: bool,
 }
 
 impl ReferenceManager {
@@ -63,7 +84,51 @@ impl ReferenceManager {
             telemetry: Telemetry::disabled(),
             serve_requested: egeria_serve::serve_enabled(),
             serve: None,
+            clock: RealClock::shared(),
+            faults: None,
+            health: None,
+            breaker: None,
+            snapshot_stale: false,
         }
+    }
+
+    /// Attaches a fault injector, consulted at the
+    /// [`FaultSite::SnapshotPublish`] and [`FaultSite::ReferenceCapture`]
+    /// sites and handed to the lazily built serve engine for its own
+    /// sites. Call before the first [`generate`](Self::generate).
+    pub fn set_faults(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = Some(faults);
+    }
+
+    /// Attaches a health monitor: breaker trips and stale snapshots
+    /// degrade it, recoveries resolve it.
+    pub fn set_health(&mut self, health: Arc<HealthMonitor>) {
+        self.health = Some(health);
+    }
+
+    /// Replaces the clock driving the probe breaker and publish retries
+    /// (tests pin breaker behavior on a `VirtualClock` this way). Call
+    /// before the serve path is first exercised.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// The circuit breaker guarding serve-routed probes, building it on
+    /// first use so it picks up the attached clock/telemetry/health.
+    fn breaker(&mut self) -> Arc<CircuitBreaker> {
+        if self.breaker.is_none() {
+            let mut b = CircuitBreaker::new(
+                BREAKER_TRIP_AFTER,
+                BREAKER_COOLDOWN_US,
+                Arc::clone(&self.clock),
+                self.telemetry.clone(),
+            );
+            if let Some(h) = &self.health {
+                b = b.with_health(Arc::clone(h), "serve-breaker-open");
+            }
+            self.breaker = Some(Arc::new(b));
+        }
+        Arc::clone(self.breaker.as_ref().expect("just built"))
     }
 
     /// Replaces the serving engine (tests inject engines with virtual
@@ -88,24 +153,58 @@ impl ReferenceManager {
             return None;
         }
         if self.serve.is_none() {
-            self.serve = Some(Arc::new(ServeEngine::new(
+            self.serve = Some(Arc::new(ServeEngine::with_faults(
                 ServeConfig::from_env(),
-                RealClock::shared(),
+                Arc::clone(&self.clock),
                 self.telemetry.clone(),
+                self.faults.clone(),
+                self.health.clone(),
             )));
         }
         self.serve.as_ref()
     }
 
     /// Publishes the current reference (already fake-quantized to serving
-    /// precision) as the next snapshot version.
+    /// precision) as the next snapshot version. A failed publish (after a
+    /// bounded retry) marks the snapshot stale: the registry would answer
+    /// probes with the *previous* reference's weights, so serve routing is
+    /// suspended until a later publish succeeds.
     fn publish_snapshot(&mut self) {
         let precision = self.precision;
         let Some(model) = self.reference.as_ref().map(|r| r.clone_boxed()) else {
             return;
         };
-        if let Some(engine) = self.ensure_serve_engine() {
-            engine.publish_prequantized(model, precision);
+        let faults = self.faults.clone();
+        let clock = Arc::clone(&self.clock);
+        let Some(engine) = self.ensure_serve_engine().map(Arc::clone) else {
+            return;
+        };
+        let policy = RetryPolicy::new(PUBLISH_ATTEMPTS, PUBLISH_BACKOFF_US);
+        let published: std::result::Result<u64, ()> = policy.run(clock.as_ref(), |_attempt| {
+            if let Some(f) = &faults {
+                if f.should_fail(FaultSite::SnapshotPublish) {
+                    return Err(());
+                }
+            }
+            Ok(engine.publish_prequantized(model.clone_boxed(), precision))
+        });
+        match published {
+            Ok(_) => {
+                if self.snapshot_stale {
+                    self.snapshot_stale = false;
+                    self.telemetry.counter("serve.snapshot_recoveries").inc();
+                    if let Some(h) = &self.health {
+                        h.resolve("serve-snapshot-stale");
+                    }
+                }
+            }
+            Err(()) => {
+                self.snapshot_stale = true;
+                self.telemetry.counter("serve.snapshot_publish_failures").inc();
+                if let Some(h) = &self.health {
+                    h.degrade("serve-snapshot-stale");
+                }
+            }
         }
     }
 
@@ -160,13 +259,48 @@ impl ReferenceManager {
         }
         self.stats.forwards += 1;
         self.telemetry.counter("reference.forwards").inc();
-        if let Some(engine) = self.serve.as_ref() {
-            match engine.probe_blocking(batch, module) {
-                Ok(resp) => return Ok(resp.activation),
-                Err(_) => self.telemetry.counter("serve.fallbacks").inc(),
+        if let Some(engine) = self.serve.clone() {
+            if self.snapshot_stale {
+                // The registry is serving the previous reference's
+                // weights; probing it would risk a mistimed freeze.
+                self.telemetry.counter("serve.stale_skips").inc();
+                self.telemetry.counter("serve.fallbacks").inc();
+            } else {
+                let breaker = self.breaker();
+                if breaker.allow() {
+                    match engine.probe_blocking(batch, module) {
+                        Ok(resp) => {
+                            breaker.record_success();
+                            return Ok(resp.activation);
+                        }
+                        Err(_) => {
+                            breaker.record_failure();
+                            self.telemetry.counter("serve.fallbacks").inc();
+                            // A panicked worker respawns itself; this
+                            // only reaps the finished thread in passing.
+                            engine.supervise();
+                        }
+                    }
+                } else {
+                    self.telemetry.counter("serve.breaker_rejected").inc();
+                    self.telemetry.counter("serve.fallbacks").inc();
+                }
             }
         }
-        let r = self.reference.as_mut().expect("checked above");
+        self.inline_capture(batch, module)
+    }
+
+    /// The inline (non-serve) reference forward, with its injection site.
+    fn inline_capture(&mut self, batch: &Batch, module: usize) -> Result<Tensor> {
+        if let Some(f) = &self.faults {
+            if f.should_fail(FaultSite::ReferenceCapture) {
+                self.telemetry.counter("reference.capture_errors").inc();
+                return Err(TensorError::Io(
+                    "injected reference capture failure".into(),
+                ));
+            }
+        }
+        let r = self.reference.as_mut().expect("caller checked readiness");
         r.capture_activation(batch, module)
     }
 
@@ -183,38 +317,63 @@ impl ReferenceManager {
         self.stats.forwards += modules.len();
         self.telemetry.counter("reference.forwards").add(modules.len() as u64);
         let mut out: Vec<Option<Tensor>> = vec![None; modules.len()];
-        if let Some(engine) = self.serve.as_ref() {
-            let tickets: Vec<_> = modules
-                .iter()
-                .map(|&m| {
-                    engine.submit(ProbeRequest {
-                        batch: batch.clone(),
-                        module: m,
-                        deadline: None,
+        if let Some(engine) = self.serve.clone() {
+            let route = if self.snapshot_stale {
+                self.telemetry.counter("serve.stale_skips").inc();
+                self.telemetry
+                    .counter("serve.fallbacks")
+                    .add(modules.len() as u64);
+                false
+            } else if !self.breaker().allow() {
+                self.telemetry.counter("serve.breaker_rejected").inc();
+                self.telemetry
+                    .counter("serve.fallbacks")
+                    .add(modules.len() as u64);
+                false
+            } else {
+                true
+            };
+            if route {
+                let tickets: Vec<_> = modules
+                    .iter()
+                    .map(|&m| {
+                        engine.submit(ProbeRequest {
+                            batch: batch.clone(),
+                            module: m,
+                            deadline: None,
+                        })
                     })
-                })
-                .collect();
-            engine.flush();
-            for (slot, ticket) in out.iter_mut().zip(tickets) {
-                if let Ok(t) = ticket {
-                    match t.wait() {
-                        Ok(resp) => *slot = Some(resp.activation),
-                        Err(_) => self.telemetry.counter("serve.fallbacks").inc(),
+                    .collect();
+                engine.flush();
+                let mut failures = 0usize;
+                for (slot, ticket) in out.iter_mut().zip(tickets) {
+                    if let Ok(t) = ticket {
+                        match t.wait() {
+                            Ok(resp) => *slot = Some(resp.activation),
+                            Err(_) => failures += 1,
+                        }
+                    } else {
+                        failures += 1;
                     }
+                }
+                let breaker = self.breaker();
+                if failures == 0 {
+                    breaker.record_success();
                 } else {
-                    self.telemetry.counter("serve.fallbacks").inc();
+                    breaker.record_failure();
+                    self.telemetry.counter("serve.fallbacks").add(failures as u64);
+                    engine.supervise();
                 }
             }
         }
-        let r = self.reference.as_mut().expect("checked above");
-        modules
-            .iter()
-            .zip(out)
-            .map(|(&m, slot)| match slot {
-                Some(t) => Ok(t),
-                None => r.capture_activation(batch, m),
-            })
-            .collect()
+        let mut result = Vec::with_capacity(modules.len());
+        for (&m, slot) in modules.iter().zip(out) {
+            match slot {
+                Some(t) => result.push(t),
+                None => result.push(self.inline_capture(batch, m)?),
+            }
+        }
+        Ok(result)
     }
 
     /// Maintenance statistics.
@@ -478,6 +637,117 @@ mod tests {
         r.serve = Some(engine); // bypass set_serve_engine's publish
         let a = r.capture(&batch, 0).unwrap();
         assert!(a.numel() > 0);
+    }
+
+    #[test]
+    fn breaker_trips_on_consecutive_serve_failures_then_recovers() {
+        use egeria_serve::VirtualClock;
+        let (m, batch) = setup();
+        let t = Telemetry::enabled();
+        let clock = VirtualClock::shared();
+        let mut r = ReferenceManager::new(&EgeriaConfig::default());
+        r.serve_requested = false;
+        r.set_telemetry(t.clone());
+        r.set_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        r.generate(m.as_ref()).unwrap();
+        // An engine with no snapshot: every probe fails with NoSnapshot.
+        // Bypass set_serve_engine so nothing gets published.
+        r.serve = Some(Arc::new(ServeEngine::new(
+            ServeConfig::default(),
+            RealClock::shared(),
+            t.clone(),
+        )));
+        // Three consecutive failures trip the breaker; every capture
+        // still succeeds via the inline fallback.
+        for _ in 0..3 {
+            assert!(r.capture(&batch, 0).is_ok());
+        }
+        // Tripped: the next capture skips serve entirely.
+        assert!(r.capture(&batch, 0).is_ok());
+        let snap = t.metrics_snapshot();
+        assert_eq!(snap.counter("resil.breaker.trips"), Some(1));
+        assert_eq!(snap.counter("serve.breaker_rejected"), Some(1));
+        assert_eq!(snap.counter("serve.fallbacks"), Some(4));
+        // Fix the engine (publish the reference), let the cooldown pass:
+        // the half-open recovery probe succeeds and the breaker closes.
+        r.serve_requested = true; // publish_snapshot is gated on the flag
+        r.publish_snapshot();
+        clock.advance_us(BREAKER_COOLDOWN_US);
+        assert!(r.capture(&batch, 0).is_ok());
+        let snap = t.metrics_snapshot();
+        assert_eq!(snap.counter("resil.breaker.recoveries"), Some(1));
+        // Closed again: serve routing resumed (no new fallbacks).
+        assert!(r.capture(&batch, 0).is_ok());
+        let snap = t.metrics_snapshot();
+        assert_eq!(snap.counter("serve.fallbacks"), Some(4));
+    }
+
+    #[test]
+    fn publish_retry_recovers_from_single_injected_failure() {
+        use egeria_resil::FaultAction;
+        let (m, _) = setup();
+        let mut r = ReferenceManager::new(&EgeriaConfig::default());
+        r.serve_requested = false;
+        let faults = FaultInjector::new();
+        r.set_faults(Arc::clone(&faults));
+        r.set_serve_engine(Arc::new(ServeEngine::new(
+            ServeConfig::default(),
+            RealClock::shared(),
+            Telemetry::disabled(),
+        )));
+        faults.arm(FaultSite::SnapshotPublish, 0, 1, FaultAction::Fail);
+        r.generate(m.as_ref()).unwrap();
+        assert!(!r.snapshot_stale, "one failure is absorbed by the retry");
+        assert_eq!(r.serve_engine().unwrap().registry().version(), 1);
+    }
+
+    #[test]
+    fn exhausted_publish_marks_stale_until_next_generate() {
+        use egeria_resil::FaultAction;
+        let (m, batch) = setup();
+        let t = Telemetry::enabled();
+        let mut r = ReferenceManager::new(&EgeriaConfig::default());
+        r.serve_requested = false;
+        r.set_telemetry(t.clone());
+        let faults = FaultInjector::new();
+        r.set_faults(Arc::clone(&faults));
+        r.generate(m.as_ref()).unwrap();
+        r.set_serve_engine(Arc::new(ServeEngine::new(
+            ServeConfig::default(),
+            RealClock::shared(),
+            t.clone(),
+        )));
+        assert_eq!(r.serve_engine().unwrap().registry().version(), 1);
+        // Both attempts of the next publish fail: stale.
+        faults.arm(FaultSite::SnapshotPublish, 0, 2, FaultAction::Fail);
+        r.generate(m.as_ref()).unwrap();
+        assert!(r.snapshot_stale);
+        assert_eq!(r.serve_engine().unwrap().registry().version(), 1);
+        // Stale: captures skip serve (would answer with version-1 bits).
+        assert!(r.capture(&batch, 0).is_ok());
+        let snap = t.metrics_snapshot();
+        assert_eq!(snap.counter("serve.stale_skips"), Some(1));
+        assert_eq!(snap.counter("serve.snapshot_publish_failures"), Some(1));
+        // The next generate publishes cleanly and routing resumes.
+        r.generate(m.as_ref()).unwrap();
+        assert!(!r.snapshot_stale);
+        assert_eq!(r.serve_engine().unwrap().registry().version(), 2);
+        let snap = t.metrics_snapshot();
+        assert_eq!(snap.counter("serve.snapshot_recoveries"), Some(1));
+    }
+
+    #[test]
+    fn injected_capture_fault_surfaces_typed_error_then_clears() {
+        use egeria_resil::FaultAction;
+        let (m, batch) = setup();
+        let mut r = ReferenceManager::new(&EgeriaConfig::default());
+        r.serve_requested = false;
+        let faults = FaultInjector::new();
+        r.set_faults(Arc::clone(&faults));
+        r.generate(m.as_ref()).unwrap();
+        faults.arm(FaultSite::ReferenceCapture, 0, 1, FaultAction::Fail);
+        assert!(r.capture(&batch, 0).is_err());
+        assert!(r.capture(&batch, 0).is_ok(), "plan exhausted: capture heals");
     }
 
     #[test]

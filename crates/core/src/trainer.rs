@@ -17,6 +17,8 @@ use crate::controller::{system_load_probe, AsyncController};
 use crate::faults::{FaultInjector, FaultSite};
 use crate::freezer::{FreezeEvent, FreezingEngine};
 use crate::reference::{ReferenceManager, ReferenceStats};
+use egeria_resil::health::HealthMonitor;
+use egeria_resil::supervise::Watchdog;
 use egeria_data::{DataLoader, Dataset};
 use egeria_models::Model;
 use egeria_nn::optim::{Adam, OptimizerState, Sgd};
@@ -27,6 +29,12 @@ use serde::Serialize;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How many dead async-controller threads the trainer may respawn over
+/// one run before the watchdog budget is exhausted (exhaustion drops the
+/// controller permanently and flips health to Critical; training itself
+/// continues without plasticity evaluations).
+const CONTROLLER_RESPAWN_BUDGET: u32 = 3;
 
 /// The optimizer driving parameter updates.
 pub enum Optimizer {
@@ -90,6 +98,10 @@ pub struct TrainerOptions {
     pub checkpoint: Option<CheckpointOptions>,
     /// Fault injector for robustness tests; `None` in production.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Health monitor aggregating degradation signals from the breaker,
+    /// watchdogs, and cache quarantine. One is created internally when
+    /// omitted, so the report always carries a final health state.
+    pub health: Option<Arc<HealthMonitor>>,
     /// Telemetry handle wired through the freezer, cache, reference
     /// manager, and controller. The default disabled handle records
     /// nothing and costs one branch per instrumentation point.
@@ -106,6 +118,7 @@ impl Default for TrainerOptions {
             eval_every: 1,
             checkpoint: None,
             faults: None,
+            health: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -198,6 +211,14 @@ pub struct TrainReport {
     pub checkpoint_save_errors: usize,
     /// The epoch training resumed from, if a checkpoint was loaded.
     pub resumed_from_epoch: Option<usize>,
+    /// Plasticity evaluations skipped because the reference capture
+    /// failed (degrading to "don't decide yet" instead of aborting).
+    pub eval_skips: usize,
+    /// Final health level: 0 healthy, 1 degraded, 2 critical.
+    pub health_level: u8,
+    /// Outstanding health reasons (critical first, then degraded) at the
+    /// end of the run.
+    pub health_reasons: Vec<String>,
 }
 
 /// The training harness.
@@ -270,17 +291,33 @@ impl EgeriaTrainer {
             }
             _ => None,
         };
+        let health = self
+            .options
+            .health
+            .clone()
+            .unwrap_or_else(|| HealthMonitor::new(telemetry.clone()));
+        let faults = self.options.faults.clone();
         if let Some(f) = freezer.as_mut() {
             f.set_telemetry(telemetry.clone());
         }
         if let Some(r) = refmgr.as_mut() {
             r.set_telemetry(telemetry.clone());
+            if let Some(f) = faults.clone() {
+                r.set_faults(f);
+            }
+            r.set_health(Arc::clone(&health));
         }
-        let faults = self.options.faults.clone();
         if let Some(c) = cache.as_mut() {
             c.set_faults(faults.clone());
             c.set_telemetry(telemetry.clone());
+            c.set_health(Arc::clone(&health));
         }
+        let ctrl_watchdog = Watchdog::new(
+            "async-controller",
+            CONTROLLER_RESPAWN_BUDGET,
+            telemetry.clone(),
+        )
+        .with_health(Arc::clone(&health), "controller-respawn-budget-exhausted");
 
         let mut global_step = 0usize;
         let mut evals_since_ref_update = 0usize;
@@ -342,23 +379,39 @@ impl EgeriaTrainer {
                 // fault) is detected here and respawned with a fresh
                 // reference generated from the current weights. In-flight
                 // evaluations are lost — a skipped eval, not an error.
+                // Respawns are capped: a controller that keeps dying is
+                // dropped permanently (health Critical) and training
+                // continues without plasticity evaluations.
                 if async_ctrl.as_ref().map(|c| !c.is_alive()).unwrap_or(false) {
                     if let Some(cfg) = egeria_cfg.as_ref() {
-                        eprintln!(
-                            "egeria: controller thread died; respawning with a fresh reference"
-                        );
-                        let mut rm = ReferenceManager::new(cfg);
-                        rm.generate(self.model.as_ref())?;
-                        async_ctrl = Some(AsyncController::spawn_with_telemetry(
-                            rm,
-                            cfg.cpu_load_gate,
-                            system_load_probe(),
-                            faults.clone(),
-                            telemetry.clone(),
-                        ));
-                        report.controller_restarts += 1;
-                        telemetry.counter("controller.restarts").inc();
-                        evals_since_ref_update = 0;
+                        if ctrl_watchdog.request_respawn() {
+                            eprintln!(
+                                "egeria: controller thread died; respawning with a fresh reference"
+                            );
+                            let mut rm = ReferenceManager::new(cfg);
+                            rm.set_telemetry(telemetry.clone());
+                            if let Some(f) = faults.clone() {
+                                rm.set_faults(f);
+                            }
+                            rm.set_health(Arc::clone(&health));
+                            rm.generate(self.model.as_ref())?;
+                            async_ctrl = Some(AsyncController::spawn_with_telemetry(
+                                rm,
+                                cfg.cpu_load_gate,
+                                system_load_probe(),
+                                faults.clone(),
+                                telemetry.clone(),
+                            ));
+                            report.controller_restarts += 1;
+                            telemetry.counter("controller.restarts").inc();
+                            evals_since_ref_update = 0;
+                        } else {
+                            eprintln!(
+                                "egeria: controller respawn budget exhausted; \
+                                 continuing without plasticity evaluations"
+                            );
+                            async_ctrl = None;
+                        }
                     }
                 }
 
@@ -411,9 +464,24 @@ impl EgeriaTrainer {
                             let _ = ctrl.submit(batch.clone(), front, a_train);
                         }
                         (None, Some(rm)) => {
-                            let a_ref = rm.capture(&batch, front)?;
-                            if let (Some(fr), Some(cfg)) =
-                                (freezer.as_mut(), egeria_cfg.as_ref())
+                            // A failed reference capture degrades to
+                            // "don't decide yet": the evaluation is
+                            // skipped (freezing on missing knowledge is
+                            // the mistimed-freeze risk §4.2 warns about),
+                            // training itself never aborts.
+                            let a_ref = match rm.capture(&batch, front) {
+                                Ok(a) => Some(a),
+                                Err(e) => {
+                                    eprintln!(
+                                        "egeria: reference capture failed; skipping evaluation: {e}"
+                                    );
+                                    report.eval_skips += 1;
+                                    telemetry.counter("trainer.eval_skips").inc();
+                                    None
+                                }
+                            };
+                            if let (Some(a_ref), Some(fr), Some(cfg)) =
+                                (a_ref, freezer.as_mut(), egeria_cfg.as_ref())
                             {
                                 let (obs, event) = fr.observe(&a_train, &a_ref, lr)?;
                                 if let Some(o) = &obs {
@@ -607,6 +675,15 @@ impl EgeriaTrainer {
         if let Some(rm) = refmgr {
             report.reference_stats = rm.stats();
         }
+        let health_state = health.state();
+        report.health_level = health_state.level();
+        report.health_reasons = match health_state {
+            egeria_resil::HealthState::Healthy => Vec::new(),
+            egeria_resil::HealthState::Degraded { reasons }
+            | egeria_resil::HealthState::Critical { reasons } => {
+                reasons.into_iter().map(str::to_string).collect()
+            }
+        };
         report.wall_seconds = started.elapsed().as_secs_f64();
         Ok(report)
     }

@@ -17,6 +17,10 @@
 //! - `vendored-deps-only` — every external `[workspace.dependencies]` crate
 //!   must have a `[patch.crates-io]` vendor entry (checked against the root
 //!   manifest, not per source file).
+//! - `no-wallclock-sleep-retry` — retry/backoff and supervision code must
+//!   take time through the injected `Clock` trait; `thread::sleep`,
+//!   `Instant::now` and `SystemTime` are banned in the configured modules
+//!   (the `RealClock` implementation is the sanctioned carve-out).
 
 use crate::config::{path_matches, Config};
 use crate::lexer::{Scan, TokKind};
@@ -27,6 +31,7 @@ pub const NO_PANIC_IN_KERNELS: &str = "no-panic-in-kernels";
 pub const FLOAT_EXACT_EQ: &str = "float-exact-eq";
 pub const DETERMINISM: &str = "determinism";
 pub const VENDORED_DEPS_ONLY: &str = "vendored-deps-only";
+pub const NO_WALLCLOCK_SLEEP_RETRY: &str = "no-wallclock-sleep-retry";
 
 /// All rule ids, for pragma validation.
 pub const ALL_RULES: &[&str] = &[
@@ -35,6 +40,7 @@ pub const ALL_RULES: &[&str] = &[
     FLOAT_EXACT_EQ,
     DETERMINISM,
     VENDORED_DEPS_ONLY,
+    NO_WALLCLOCK_SLEEP_RETRY,
 ];
 
 /// One diagnostic.
@@ -126,6 +132,12 @@ pub fn lint_scan(rel: &str, scan: &Scan, cfg: &Config) -> Vec<Finding> {
         float_exact_eq(rel, scan, &mut findings, |l| skip_tests && is_test_line(l));
     }
     determinism(rel, scan, cfg, &mut findings);
+    if cfg.rule_applies(NO_WALLCLOCK_SLEEP_RETRY, rel) {
+        let skip_tests = cfg
+            .rule(NO_WALLCLOCK_SLEEP_RETRY)
+            .bool("skip_test_code", true);
+        no_wallclock_sleep_retry(rel, scan, &mut findings, |l| skip_tests && is_test_line(l));
+    }
 
     let suppressed = pragma_suppressions(scan);
     findings.retain(|f| {
@@ -305,6 +317,46 @@ fn determinism(rel: &str, scan: &Scan, cfg: &Config, findings: &mut Vec<Finding>
                 message: "thread spawn outside the sanctioned modules (see \
                           `[rules.determinism] spawn_allowed` in lint.toml)"
                     .to_string(),
+            });
+        }
+    }
+}
+
+/// `no-wallclock-sleep-retry`: retry/backoff/supervision modules must route
+/// every wait and timestamp through the injected `Clock` trait so breaker
+/// cooldowns and exponential backoff replay identically under
+/// `VirtualClock`. Flags `thread::sleep`, `Instant::now`, and `SystemTime`.
+fn no_wallclock_sleep_retry(
+    rel: &str,
+    scan: &Scan,
+    findings: &mut Vec<Finding>,
+    skip: impl Fn(u32) -> bool,
+) {
+    let toks = &scan.toks;
+    let seq = |i: usize, parts: &[&str]| -> bool {
+        parts.iter().enumerate().all(|(k, p)| {
+            toks.get(i + k)
+                .is_some_and(|t| t.text == *p && matches!(t.kind, TokKind::Ident | TokKind::Op))
+        })
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || skip(t.line) {
+            continue;
+        }
+        let flagged = (t.text == "thread" && seq(i, &["thread", "::", "sleep"]))
+            || (t.text == "Instant" && seq(i, &["Instant", "::", "now"]))
+            || t.text == "SystemTime";
+        if flagged {
+            findings.push(Finding {
+                rule: NO_WALLCLOCK_SLEEP_RETRY,
+                path: rel.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` in retry/backoff code; waits and timestamps must go through \
+                     the injected `Clock` trait so schedules replay under VirtualClock",
+                    t.text
+                ),
             });
         }
     }

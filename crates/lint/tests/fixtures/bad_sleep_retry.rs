@@ -1,0 +1,12 @@
+//! Seeded violations for `no-wallclock-sleep-retry`: wall-clock waits and
+//! timestamps in code scoped as retry/backoff logic.
+fn retry_backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let _deadline = std::time::Instant::now();
+    let _epoch = std::time::SystemTime::now();
+}
+
+fn sanctioned_real_clock() {
+    // egeria-lint: allow(no-wallclock-sleep-retry): RealClock impl needs the OS timer
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -35,6 +35,9 @@ fn fixture_corpus_findings_are_exact() {
         ("bad_float_eq.rs", 4, rules::FLOAT_EXACT_EQ),
         ("bad_float_eq.rs", 5, rules::FLOAT_EXACT_EQ),
         ("bad_float_eq.rs", 6, rules::FLOAT_EXACT_EQ),
+        ("bad_sleep_retry.rs", 4, rules::NO_WALLCLOCK_SLEEP_RETRY),
+        ("bad_sleep_retry.rs", 5, rules::NO_WALLCLOCK_SLEEP_RETRY),
+        ("bad_sleep_retry.rs", 6, rules::NO_WALLCLOCK_SLEEP_RETRY),
         ("bad_spawn.rs", 4, rules::DETERMINISM),
         ("bad_unsafe.rs", 9, rules::UNSAFE_NEEDS_SAFETY),
         ("bad_unsafe.rs", 13, rules::UNSAFE_NEEDS_SAFETY),

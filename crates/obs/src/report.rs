@@ -94,6 +94,13 @@ pub struct ServeBatchStat {
     pub total_queue_wait_us: u64,
     /// Total execution (span) time across batches in µs.
     pub total_exec_us: u64,
+    /// Requests shed at admission (`serve.shed`): the queue was full and
+    /// the caller degraded to the inline path.
+    pub shed: u64,
+    /// Probe captures that fell back to the inline reference forward
+    /// (`serve.fallbacks`): serve failure, tripped breaker, or stale
+    /// snapshot — bit-identical either way.
+    pub fallbacks: u64,
 }
 
 impl ServeBatchStat {
@@ -104,6 +111,59 @@ impl ServeBatchStat {
         } else {
             self.requests as f64 / self.batches as f64
         }
+    }
+}
+
+/// One health-state transition from the trace's `health_transition`
+/// instants, in trace order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthTransition {
+    /// `"degraded"`, `"recovered"`, or `"critical"`.
+    pub edge: String,
+    /// The degradation tag that moved.
+    pub reason: String,
+    /// Aggregate health level after the transition (0/1/2).
+    pub level: u64,
+}
+
+/// Resilience-layer aggregates: circuit-breaker, watchdog, and health
+/// counters plus the health-transition timeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResilienceStat {
+    /// Breaker Closed→Open trips (`resil.breaker.trips`).
+    pub breaker_trips: u64,
+    /// Breaker HalfOpen→Closed recoveries (`resil.breaker.recoveries`).
+    pub breaker_recoveries: u64,
+    /// Probes rejected while the breaker was open
+    /// (`resil.breaker.rejected`).
+    pub breaker_rejected: u64,
+    /// Watchdog-granted respawns (`resil.watchdog.respawns`).
+    pub watchdog_respawns: u64,
+    /// Watchdog budgets exhausted (`resil.watchdog.exhausted`).
+    pub watchdog_exhausted: u64,
+    /// Health degradations raised (`resil.health.degradations`).
+    pub health_degradations: u64,
+    /// Health degradations resolved (`resil.health.recoveries`).
+    pub health_recoveries: u64,
+    /// Critical conditions raised (`resil.health.criticals`).
+    pub health_criticals: u64,
+    /// The health-transition timeline in trace order.
+    pub transitions: Vec<HealthTransition>,
+}
+
+impl ResilienceStat {
+    /// Whether any resilience event occurred at all.
+    pub fn any(&self) -> bool {
+        self.breaker_trips
+            + self.breaker_recoveries
+            + self.breaker_rejected
+            + self.watchdog_respawns
+            + self.watchdog_exhausted
+            + self.health_degradations
+            + self.health_recoveries
+            + self.health_criticals
+            > 0
+            || !self.transitions.is_empty()
     }
 }
 
@@ -126,6 +186,8 @@ pub struct TraceSummary {
     pub splits: Vec<SplitStat>,
     /// Serving-engine batch aggregates from `serve_batch` spans.
     pub serve: ServeBatchStat,
+    /// Resilience-layer aggregates (breaker, watchdogs, health).
+    pub resilience: ResilienceStat,
     /// Final counter snapshot, name-sorted.
     pub counters: Vec<(String, u64)>,
 }
@@ -197,6 +259,19 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                         Some((_, n)) => *n += 1,
                         None => summary.serve.batch_size_hist.push((requests, 1)),
                     }
+                } else if ty == "instant" && kind == "health_transition" {
+                    let arg_str = |key: &str| {
+                        obj.get("args")
+                            .and_then(|a| a.get(key))
+                            .and_then(Value::as_str)
+                            .unwrap_or("?")
+                            .to_string()
+                    };
+                    summary.resilience.transitions.push(HealthTransition {
+                        edge: arg_str("edge"),
+                        reason: arg_str("reason"),
+                        level: arg_u64(&obj, "level").unwrap_or(0),
+                    });
                 } else if ty == "instant" && kind == "freeze_decision" {
                     summary.freeze_timeline.push(FreezeDecision {
                         iteration: obj.get("iteration").and_then(Value::as_u64).unwrap_or(0),
@@ -226,6 +301,38 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
     summary.kinds = kinds;
     summary.serve.batch_size_hist.sort_by_key(|(size, _)| *size);
     summary.iterations.sort_by_key(|i| i.iteration);
+
+    // Degradation and resilience counters from the final metrics snapshot.
+    {
+        let get = |name: &str| {
+            summary
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let shed = get("serve.shed");
+        let fallbacks = get("serve.fallbacks");
+        let resil = ResilienceStat {
+            breaker_trips: get("resil.breaker.trips"),
+            breaker_recoveries: get("resil.breaker.recoveries"),
+            breaker_rejected: get("resil.breaker.rejected"),
+            watchdog_respawns: get("resil.watchdog.respawns"),
+            watchdog_exhausted: get("resil.watchdog.exhausted"),
+            health_degradations: get("resil.health.degradations"),
+            health_recoveries: get("resil.health.recoveries"),
+            health_criticals: get("resil.health.criticals"),
+            transitions: Vec::new(),
+        };
+        summary.serve.shed = shed;
+        summary.serve.fallbacks = fallbacks;
+        let transitions = std::mem::take(&mut summary.resilience.transitions);
+        summary.resilience = ResilienceStat {
+            transitions,
+            ..resil
+        };
+    }
 
     // Per-layer frozen share: layer m is frozen during a step iff the
     // step's frozen_prefix exceeds m. Cover every layer up to the deepest
@@ -371,6 +478,36 @@ pub fn render(summary: &TraceSummary) -> String {
             100.0 * s.total_exec_us as f64 / total as f64
         );
     }
+    let _ = writeln!(out, "shed at admission (overloaded): {}", summary.serve.shed);
+    let _ = writeln!(out, "inline fallbacks: {}", summary.serve.fallbacks);
+    let _ = writeln!(out, "\n== resilience ==");
+    if !summary.resilience.any() {
+        let _ = writeln!(out, "(no resilience events recorded)");
+    } else {
+        let r = &summary.resilience;
+        let _ = writeln!(
+            out,
+            "breaker: {} trips, {} recoveries, {} rejected probes",
+            r.breaker_trips, r.breaker_recoveries, r.breaker_rejected
+        );
+        let _ = writeln!(
+            out,
+            "watchdog: {} respawns, {} budgets exhausted",
+            r.watchdog_respawns, r.watchdog_exhausted
+        );
+        let _ = writeln!(
+            out,
+            "health: {} degradations, {} recoveries, {} criticals",
+            r.health_degradations, r.health_recoveries, r.health_criticals
+        );
+        for tr in &r.transitions {
+            let _ = writeln!(
+                out,
+                "health {}: {} -> level {}",
+                tr.edge, tr.reason, tr.level
+            );
+        }
+    }
     let _ = writeln!(out, "\n== counters ==");
     for (name, v) in &summary.counters {
         let _ = writeln!(out, "{name} = {v}");
@@ -415,6 +552,33 @@ mod tests {
                 .arg("rows", requests * 2)
                 .arg("queue_wait_us", 10u64);
         }
+        t.counter("serve.shed").add(2);
+        t.counter("serve.fallbacks").add(5);
+        t.counter("resil.breaker.trips").add(1);
+        t.counter("resil.breaker.recoveries").add(1);
+        t.counter("resil.watchdog.respawns").add(2);
+        t.counter("resil.health.degradations").add(1);
+        t.counter("resil.health.recoveries").add(1);
+        t.instant(
+            "health_transition",
+            None,
+            None,
+            vec![
+                ("edge", ArgValue::Str("degraded")),
+                ("reason", ArgValue::Str("serve-breaker-open")),
+                ("level", ArgValue::U64(1)),
+            ],
+        );
+        t.instant(
+            "health_transition",
+            None,
+            None,
+            vec![
+                ("edge", ArgValue::Str("recovered")),
+                ("reason", ArgValue::Str("serve-breaker-open")),
+                ("level", ArgValue::U64(0)),
+            ],
+        );
         export_jsonl(&t)
     }
 
@@ -448,6 +612,19 @@ mod tests {
         assert_eq!(s.serve.batch_size_hist, vec![(1, 1), (3, 2)]);
         assert_eq!(s.serve.total_queue_wait_us, 30);
         assert!((s.serve.mean_batch_size() - 7.0 / 3.0).abs() < 1e-12);
+        // Degradation counters flow into the serve section.
+        assert_eq!(s.serve.shed, 2);
+        assert_eq!(s.serve.fallbacks, 5);
+        // Resilience aggregates: counters plus the transition timeline.
+        assert!(s.resilience.any());
+        assert_eq!(s.resilience.breaker_trips, 1);
+        assert_eq!(s.resilience.breaker_recoveries, 1);
+        assert_eq!(s.resilience.watchdog_respawns, 2);
+        assert_eq!(s.resilience.health_degradations, 1);
+        assert_eq!(s.resilience.transitions.len(), 2);
+        assert_eq!(s.resilience.transitions[0].edge, "degraded");
+        assert_eq!(s.resilience.transitions[0].reason, "serve-breaker-open");
+        assert_eq!(s.resilience.transitions[1].level, 0);
     }
 
     #[test]
@@ -460,6 +637,7 @@ mod tests {
             "== per-layer frozen time ==",
             "== observed iteration split ==",
             "== serve batches ==",
+            "== resilience ==",
             "== counters ==",
         ] {
             assert!(text.contains(section), "missing {section}:\n{text}");
@@ -468,6 +646,22 @@ mod tests {
         assert!(text.contains("cache.hits = 3"));
         assert!(text.contains("3 batches, 7 requests (14 rows), mean batch size 2.33"));
         assert!(text.contains("latency split: queue wait 30 us"));
+        assert!(text.contains("shed at admission (overloaded): 2"));
+        assert!(text.contains("inline fallbacks: 5"));
+        assert!(text.contains("breaker: 1 trips, 1 recoveries, 0 rejected probes"));
+        assert!(text.contains("watchdog: 2 respawns, 0 budgets exhausted"));
+        assert!(text.contains("health degraded: serve-breaker-open -> level 1"));
+        assert!(text.contains("health recovered: serve-breaker-open -> level 0"));
+    }
+
+    #[test]
+    fn quiet_trace_renders_empty_resilience_section() {
+        let t = Telemetry::enabled();
+        let _s = t.span("train_step").iteration(0);
+        let s = summarize(&export_jsonl(&t)).unwrap();
+        assert!(!s.resilience.any());
+        let text = render(&s);
+        assert!(text.contains("(no resilience events recorded)"));
     }
 
     #[test]

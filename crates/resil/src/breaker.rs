@@ -1,0 +1,271 @@
+//! Circuit breaker for serve-routed reference probes.
+//!
+//! The reference manager prefers the batched serve engine for probe
+//! forwards but owns a bit-identical inline fallback. When the serve path
+//! fails repeatedly, hammering it on every probe just adds latency — the
+//! breaker converts "N consecutive failures" into a cooldown during which
+//! callers skip straight to the fallback, then lets exactly one recovery
+//! probe through to test the water:
+//!
+//! ```text
+//!   Closed --[trip_after consecutive failures]--> Open
+//!   Open   --[cooldown elapsed, next allow()]---> HalfOpen (one probe)
+//!   HalfOpen --[probe succeeds]--> Closed        (recovery)
+//!   HalfOpen --[probe fails]----> Open           (re-arm cooldown)
+//! ```
+//!
+//! Time comes from the injected [`Clock`] only, so the whole state
+//! machine is driven deterministically on a
+//! [`VirtualClock`](crate::clock::VirtualClock) in tests. Transitions are
+//! exported as `resil.breaker.*` counters and, when wired, as health
+//! degradations under a caller-chosen reason tag.
+
+use crate::clock::Clock;
+use crate::health::HealthMonitor;
+use egeria_obs::Telemetry;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; consecutive failures are being counted.
+    Closed,
+    /// Tripped: all traffic is rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one recovery probe is allowed through.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until_us: u64,
+    half_open_inflight: bool,
+}
+
+/// A consecutive-failure circuit breaker timed via [`Clock`].
+///
+/// Callers gate work on [`allow`](Self::allow) and report the outcome via
+/// [`record_success`](Self::record_success) /
+/// [`record_failure`](Self::record_failure).
+pub struct CircuitBreaker {
+    clock: Arc<dyn Clock>,
+    telemetry: Telemetry,
+    health: Option<(Arc<HealthMonitor>, &'static str)>,
+    trip_after: u32,
+    cooldown_us: u64,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that trips after `trip_after` consecutive
+    /// failures and stays open for `cooldown_us` of `clock` time.
+    pub fn new(
+        trip_after: u32,
+        cooldown_us: u64,
+        clock: Arc<dyn Clock>,
+        telemetry: Telemetry,
+    ) -> Self {
+        CircuitBreaker {
+            clock,
+            telemetry,
+            health: None,
+            trip_after: trip_after.max(1),
+            cooldown_us,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                open_until_us: 0,
+                half_open_inflight: false,
+            }),
+        }
+    }
+
+    /// Wires health reporting: a trip degrades `reason`, a recovery
+    /// resolves it.
+    pub fn with_health(mut self, health: Arc<HealthMonitor>, reason: &'static str) -> Self {
+        self.health = Some((health, reason));
+        self
+    }
+
+    /// Whether the protected operation may run now. An `Open` breaker
+    /// whose cooldown has elapsed moves to `HalfOpen` and admits exactly
+    /// one recovery probe; rejected calls bump `resil.breaker.rejected`.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.inner.lock();
+        let admitted = match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if self.clock.now_us() >= inner.open_until_us {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.half_open_inflight = true;
+                    self.telemetry.counter("resil.breaker.half_opens").inc();
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.half_open_inflight {
+                    false
+                } else {
+                    inner.half_open_inflight = true;
+                    true
+                }
+            }
+        };
+        drop(inner);
+        if !admitted {
+            self.telemetry.counter("resil.breaker.rejected").inc();
+        }
+        admitted
+    }
+
+    /// Reports a successful protected operation. In `HalfOpen` this is
+    /// the recovery signal: the breaker closes and the failure streak
+    /// resets.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Closed;
+                inner.consecutive_failures = 0;
+                inner.half_open_inflight = false;
+                drop(inner);
+                self.telemetry.counter("resil.breaker.recoveries").inc();
+                if let Some((h, reason)) = &self.health {
+                    h.resolve(reason);
+                }
+            }
+            // A success racing in while Open (e.g. a slow in-flight probe
+            // from before the trip) is ignored: recovery goes through the
+            // half-open probe.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Reports a failed protected operation. Trips `Closed → Open` when
+    /// the consecutive-failure streak reaches the threshold; a failed
+    /// half-open recovery probe re-arms the cooldown.
+    pub fn record_failure(&self) {
+        let now = self.clock.now_us();
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.trip_after {
+                    inner.state = BreakerState::Open;
+                    inner.open_until_us = now + self.cooldown_us;
+                    drop(inner);
+                    self.telemetry.counter("resil.breaker.trips").inc();
+                    if let Some((h, reason)) = &self.health {
+                        h.degrade(reason);
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.open_until_us = now + self.cooldown_us;
+                inner.half_open_inflight = false;
+                self.telemetry.counter("resil.breaker.reopens").inc();
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The current state (for tests and the health report).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// The current consecutive-failure streak (Closed state only).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.inner.lock().consecutive_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn breaker(clock: Arc<VirtualClock>) -> CircuitBreaker {
+        CircuitBreaker::new(3, 1_000, clock, Telemetry::disabled())
+    }
+
+    #[test]
+    fn stays_closed_below_threshold_and_success_resets_streak() {
+        let clock = VirtualClock::shared();
+        let b = breaker(Arc::clone(&clock));
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn trips_open_on_consecutive_failures_and_rejects() {
+        let clock = VirtualClock::shared();
+        let b = breaker(Arc::clone(&clock));
+        for _ in 0..3 {
+            assert!(b.allow());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(), "open breaker rejects before cooldown");
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_recovers() {
+        let clock = VirtualClock::shared();
+        let b = breaker(Arc::clone(&clock));
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        clock.advance_us(1_000);
+        assert!(b.allow(), "cooldown elapsed: recovery probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "second probe rejected while one is in flight");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_recovery_probe_reopens_with_fresh_cooldown() {
+        let clock = VirtualClock::shared();
+        let b = breaker(Arc::clone(&clock));
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        clock.advance_us(1_000);
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        clock.advance_us(999);
+        assert!(!b.allow(), "fresh cooldown not yet elapsed");
+        clock.advance_us(1);
+        assert!(b.allow(), "second recovery probe after full cooldown");
+    }
+
+    #[test]
+    fn health_tracks_trip_and_recovery() {
+        let clock = VirtualClock::shared();
+        let health = HealthMonitor::new(Telemetry::disabled());
+        let b = CircuitBreaker::new(2, 500, clock.clone(), Telemetry::disabled())
+            .with_health(Arc::clone(&health), "serve-breaker-open");
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(health.level(), 1);
+        clock.advance_us(500);
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(health.level(), 0);
+    }
+}

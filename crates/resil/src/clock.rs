@@ -1,0 +1,146 @@
+//! The pluggable clock driving every time-based policy decision.
+//!
+//! This is the **only** module in the resilience layer allowed to read the
+//! wall clock (`lint.toml` puts the rest of the workspace's timing code
+//! under the determinism rule's wall-clock ban): the serve batcher and
+//! engine, the retry/backoff policy, and the circuit breaker all time
+//! themselves through [`Clock`], so tests substitute a [`VirtualClock`]
+//! and pin flush/deadline/shed/backoff/trip behavior deterministically.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonic clock in microseconds since an arbitrary epoch.
+pub trait Clock: Send + Sync {
+    /// Microseconds since the clock's epoch.
+    fn now_us(&self) -> u64;
+
+    /// Blocks the calling thread for `us` microseconds of *this clock's*
+    /// time. A virtual clock blocks until someone advances it that far.
+    fn sleep_us(&self, us: u64);
+}
+
+/// The production clock: wall time from [`Instant`].
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// A real clock whose epoch is "now".
+    pub fn new() -> Self {
+        RealClock { epoch: Instant::now() }
+    }
+
+    /// Convenience: an `Arc<dyn Clock>` real clock.
+    pub fn shared() -> Arc<dyn Clock> {
+        Arc::new(RealClock::new())
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn sleep_us(&self, us: u64) {
+        std::thread::sleep(Duration::from_micros(us));
+    }
+}
+
+/// A deterministic manually-advanced clock for tests.
+///
+/// `sleep_us` blocks until another thread [`advance_us`](Self::advance_us)es
+/// the clock past the wake time, so threaded code under test makes progress
+/// only when the test says time passed.
+pub struct VirtualClock {
+    now_us: Mutex<u64>,
+    advanced: Condvar,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at 0 µs.
+    pub fn new() -> Self {
+        VirtualClock {
+            now_us: Mutex::new(0),
+            advanced: Condvar::new(),
+        }
+    }
+
+    /// Convenience: a shared virtual clock (the test keeps one `Arc` to
+    /// advance, the engine gets the other as its `dyn Clock`).
+    pub fn shared() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::new())
+    }
+
+    /// Moves time forward by `us` microseconds and wakes sleepers.
+    pub fn advance_us(&self, us: u64) {
+        let mut now = self.now_us.lock().expect("virtual clock poisoned");
+        *now += us;
+        self.advanced.notify_all();
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_us(&self) -> u64 {
+        *self.now_us.lock().expect("virtual clock poisoned")
+    }
+
+    fn sleep_us(&self, us: u64) {
+        let mut now = self.now_us.lock().expect("virtual clock poisoned");
+        let wake = *now + us;
+        while *now < wake {
+            now = self.advanced.wait(now).expect("virtual clock poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_advanced() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance_us(250);
+        assert_eq!(c.now_us(), 250);
+        c.advance_us(50);
+        assert_eq!(c.now_us(), 300);
+    }
+
+    #[test]
+    fn virtual_sleep_wakes_on_advance() {
+        let c = VirtualClock::shared();
+        let c2 = Arc::clone(&c);
+        // egeria-lint: allow(determinism): test thread exercising the
+        // virtual clock's sleep/advance handshake.
+        let h = std::thread::spawn(move || {
+            c2.sleep_us(100);
+            c2.now_us()
+        });
+        // Advance in two steps; the sleeper must see at least 100 µs.
+        c.advance_us(60);
+        c.advance_us(60);
+        assert!(h.join().unwrap() >= 100);
+    }
+}

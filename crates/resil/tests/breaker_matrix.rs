@@ -1,0 +1,177 @@
+//! Degradation matrix for the circuit breaker: a grid of
+//! (trip_after, cooldown) configurations driven through the full state
+//! machine on a [`VirtualClock`]. Every transition below is timed
+//! exclusively by `advance_us`, so the matrix is bit-identical regardless
+//! of wall-clock scheduling or `EGERIA_THREADS`.
+
+use egeria_obs::Telemetry;
+use egeria_resil::{BreakerState, CircuitBreaker, HealthMonitor, VirtualClock};
+use std::sync::Arc;
+
+/// The configuration grid. Covers the degenerate single-failure trip, the
+/// production serve-probe setting (3 / 200ms), and a long-cooldown point.
+const MATRIX: &[(u32, u64)] = &[(1, 100), (2, 1_000), (3, 200_000), (5, 50)];
+
+fn counter(t: &Telemetry, name: &str) -> u64 {
+    t.metrics_snapshot().counter(name).unwrap_or(0)
+}
+
+/// Trip threshold is exact: `trip_after - 1` consecutive failures leave the
+/// breaker closed and admitting; the `trip_after`-th trips it.
+#[test]
+fn trip_threshold_is_exact_across_matrix() {
+    for &(trip_after, cooldown_us) in MATRIX {
+        let clock = VirtualClock::shared();
+        let t = Telemetry::enabled();
+        let b = CircuitBreaker::new(trip_after, cooldown_us, clock.clone(), t.clone());
+        for i in 0..trip_after.saturating_sub(1) {
+            assert!(b.allow(), "({trip_after},{cooldown_us}) failure {i}: still closed");
+            b.record_failure();
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(
+            b.state(),
+            BreakerState::Open,
+            "({trip_after},{cooldown_us}) must trip on failure #{trip_after}"
+        );
+        assert!(!b.allow(), "open breaker rejects");
+        assert_eq!(counter(&t, "resil.breaker.trips"), 1);
+        assert_eq!(counter(&t, "resil.breaker.rejected"), 1);
+    }
+}
+
+/// A success inside the streak resets the counter: the breaker then takes
+/// the full `trip_after` fresh failures to trip again.
+#[test]
+fn success_resets_streak_across_matrix() {
+    for &(trip_after, cooldown_us) in MATRIX {
+        if trip_after < 2 {
+            continue; // no partial streak exists below threshold 2
+        }
+        let clock = VirtualClock::shared();
+        let b = CircuitBreaker::new(trip_after, cooldown_us, clock, Telemetry::disabled());
+        for _ in 0..trip_after - 1 {
+            b.record_failure();
+        }
+        b.record_success();
+        assert_eq!(b.consecutive_failures(), 0);
+        for _ in 0..trip_after - 1 {
+            b.record_failure();
+        }
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "({trip_after},{cooldown_us}) reset streak must not carry over"
+        );
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}
+
+/// Cooldown boundary: rejected at `cooldown - 1` µs, half-open with exactly
+/// one admitted probe at `cooldown` µs.
+#[test]
+fn half_open_admits_exactly_one_probe_across_matrix() {
+    for &(trip_after, cooldown_us) in MATRIX {
+        let clock = VirtualClock::shared();
+        let t = Telemetry::enabled();
+        let b = CircuitBreaker::new(trip_after, cooldown_us, clock.clone(), t.clone());
+        for _ in 0..trip_after {
+            b.record_failure();
+        }
+        clock.advance_us(cooldown_us - 1);
+        assert!(!b.allow(), "({trip_after},{cooldown_us}) 1µs early: still open");
+        clock.advance_us(1);
+        assert!(b.allow(), "({trip_after},{cooldown_us}) at boundary: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "second concurrent probe rejected");
+        assert!(!b.allow(), "third concurrent probe rejected");
+        assert_eq!(counter(&t, "resil.breaker.half_opens"), 1);
+        assert_eq!(counter(&t, "resil.breaker.rejected"), 3);
+    }
+}
+
+/// Recovery fully resets the machine: after a successful half-open probe
+/// the breaker is closed, the streak is zero, and re-tripping again takes
+/// the full threshold.
+#[test]
+fn recovery_resets_machine_across_matrix() {
+    for &(trip_after, cooldown_us) in MATRIX {
+        let clock = VirtualClock::shared();
+        let t = Telemetry::enabled();
+        let b = CircuitBreaker::new(trip_after, cooldown_us, clock.clone(), t.clone());
+        for _ in 0..trip_after {
+            b.record_failure();
+        }
+        clock.advance_us(cooldown_us);
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+        assert_eq!(counter(&t, "resil.breaker.recoveries"), 1);
+        // The machine is genuinely reset: tripping again takes the full
+        // threshold and a fresh cooldown.
+        for _ in 0..trip_after {
+            assert!(b.allow());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(counter(&t, "resil.breaker.trips"), 2);
+    }
+}
+
+/// A failed recovery probe re-arms a full cooldown (measured from the
+/// failure, not the original trip) and counts as a reopen, not a trip.
+#[test]
+fn failed_probe_rearms_full_cooldown_across_matrix() {
+    for &(trip_after, cooldown_us) in MATRIX {
+        let clock = VirtualClock::shared();
+        let t = Telemetry::enabled();
+        let b = CircuitBreaker::new(trip_after, cooldown_us, clock.clone(), t.clone());
+        for _ in 0..trip_after {
+            b.record_failure();
+        }
+        clock.advance_us(cooldown_us);
+        assert!(b.allow());
+        clock.advance_us(7); // probe takes time before failing
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        clock.advance_us(cooldown_us - 1);
+        assert!(!b.allow(), "({trip_after},{cooldown_us}) rearmed cooldown holds");
+        clock.advance_us(1);
+        assert!(b.allow(), "({trip_after},{cooldown_us}) second probe after rearm");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(counter(&t, "resil.breaker.trips"), 1, "reopen is not a trip");
+        assert_eq!(counter(&t, "resil.breaker.reopens"), 1);
+        assert_eq!(counter(&t, "resil.breaker.recoveries"), 1);
+    }
+}
+
+/// Health wiring across the matrix: a trip degrades, recovery resolves,
+/// and the reason tag is idempotent across repeated trips.
+#[test]
+fn health_degrades_on_trip_and_resolves_on_recovery() {
+    for &(trip_after, cooldown_us) in MATRIX {
+        let clock = VirtualClock::shared();
+        let health = HealthMonitor::new(Telemetry::disabled());
+        let b = CircuitBreaker::new(trip_after, cooldown_us, clock.clone(), Telemetry::disabled())
+            .with_health(Arc::clone(&health), "serve-breaker-open");
+        for _ in 0..trip_after {
+            b.record_failure();
+        }
+        assert_eq!(health.level(), 1, "({trip_after},{cooldown_us}) trip degrades");
+        // Failed probe keeps the degradation active.
+        clock.advance_us(cooldown_us);
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(health.level(), 1);
+        // Successful probe resolves it.
+        clock.advance_us(cooldown_us);
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(health.level(), 0, "({trip_after},{cooldown_us}) recovery resolves");
+    }
+}

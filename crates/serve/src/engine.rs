@@ -40,10 +40,14 @@ use egeria_models::model::Model;
 use egeria_models::{Batch, Input};
 use egeria_obs::telemetry::Telemetry;
 use egeria_quant::model::Precision;
-use egeria_tensor::Tensor;
+use egeria_resil::fault::{FaultInjector, FaultSite};
+use egeria_resil::health::HealthMonitor;
+use egeria_resil::supervise::Watchdog;
+use egeria_tensor::{Tensor, TensorError};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -123,6 +127,110 @@ enum Msg {
     Flush,
 }
 
+/// Shared state a worker needs to replace itself when it dies. Bundled
+/// behind an `Arc` so the panic guard running on the dying thread can
+/// respawn (or declare exhaustion) without a reference to the engine.
+struct WorkerCtx {
+    work_rx: Receiver<ReadyBatch<GroupKey, PendingProbe>>,
+    clock: Arc<dyn Clock>,
+    telemetry: Telemetry,
+    faults: Option<Arc<FaultInjector>>,
+    /// Respawn budget, shared by every worker death however detected.
+    watchdog: Watchdog,
+    /// Workers currently believed alive (spawned minus guard exits).
+    live: AtomicUsize,
+    /// Set once the last worker has died with the respawn budget spent.
+    /// From then on nothing can ever drain the work queue, so the
+    /// dispatcher fails groups instead of enqueueing them and `submit`
+    /// sheds at admission.
+    exhausted: AtomicBool,
+    /// Serializes the dispatcher's queue pushes against the exhaustion
+    /// drain: every enqueue happens gate-held after an `exhausted`
+    /// check, and the drain sets the flag gate-held before draining, so
+    /// no batch can slip into the queue behind the drain and strand its
+    /// tickets.
+    dispatch_gate: Mutex<()>,
+    /// Join handles for every worker spawned so far (initial or
+    /// respawned by a dying sibling). Finished entries are reaped by
+    /// [`ServeEngine::supervise`].
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    seq: AtomicUsize,
+}
+
+/// The panic guard locks these mutexes while its thread is unwinding,
+/// which poisons a std mutex; the guarded state stays consistent (a
+/// flag flip + channel drain, or a handle push), so poison is ignored.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Spawns one worker thread wired to `ctx` and registers its handle.
+/// Increments `live` up front; the worker's guard decrements it on exit.
+fn spawn_worker(ctx: &Arc<WorkerCtx>) -> std::io::Result<()> {
+    let i = ctx.seq.fetch_add(1, Ordering::Relaxed);
+    ctx.live.fetch_add(1, Ordering::SeqCst);
+    let c = Arc::clone(ctx);
+    match std::thread::Builder::new()
+        .name(format!("egeria-serve-worker-{i}"))
+        .spawn(move || {
+            let guard = WorkerGuard { ctx: c };
+            worker_loop(&guard.ctx);
+        }) {
+        Ok(h) => {
+            lock_unpoisoned(&ctx.handles).push(h);
+            Ok(())
+        }
+        Err(e) => {
+            ctx.live.fetch_sub(1, Ordering::SeqCst);
+            Err(e)
+        }
+    }
+}
+
+/// Runs on every worker exit. A normal exit (work queue disconnected at
+/// shutdown) just drops the liveness count. A panic — an injected
+/// [`FaultSite::PoolTaskPanic`] or a real defect outside the execution
+/// catch region — self-heals from the dying thread itself: it respawns
+/// a replacement under the watchdog budget, so batches already queued
+/// behind the fatal one still execute. When the budget is spent and
+/// this was the last worker, it instead fails every queued batch and
+/// flags the engine exhausted. Tickets must always resolve: the
+/// reference manager blocks on them and falls back inline only once
+/// they fail, so a stranded batch would hang training forever.
+struct WorkerGuard {
+    ctx: Arc<WorkerCtx>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let ctx = &self.ctx;
+        if !std::thread::panicking() {
+            ctx.live.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        ctx.telemetry.counter("serve.worker_panics").inc();
+        ctx.telemetry.counter("serve.worker_deaths").inc();
+        // Heal before decrementing `live`, so a granted respawn never
+        // exposes a transient zero to a sibling guard's exhaustion
+        // check.
+        if ctx.watchdog.request_respawn() && spawn_worker(ctx).is_ok() {
+            ctx.telemetry.counter("serve.worker_respawns").inc();
+            ctx.live.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let live = ctx.live.fetch_sub(1, Ordering::SeqCst) - 1;
+        if live == 0 {
+            let _g = lock_unpoisoned(&ctx.dispatch_gate);
+            ctx.exhausted.store(true, Ordering::SeqCst);
+            while let Ok(rb) = ctx.work_rx.try_recv() {
+                for p in rb.requests {
+                    let _ = p.reply.send(Err(ServeError::Shutdown));
+                }
+            }
+        }
+    }
+}
+
 /// The serving engine. See the module docs for the topology.
 pub struct ServeEngine {
     registry: Arc<SnapshotRegistry>,
@@ -133,7 +241,8 @@ pub struct ServeEngine {
     queued: Arc<AtomicUsize>,
     singleton_seq: AtomicU64,
     dispatcher: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    worker_ctx: Arc<WorkerCtx>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl ServeEngine {
@@ -141,16 +250,53 @@ impl ServeEngine {
     /// The engine starts with an empty [`SnapshotRegistry`]; probes fail
     /// with [`ServeError::NoSnapshot`] until a model is published.
     pub fn new(cfg: ServeConfig, clock: Arc<dyn Clock>, telemetry: Telemetry) -> Self {
+        Self::with_faults(cfg, clock, telemetry, None, None)
+    }
+
+    /// [`new`](Self::new) plus resilience wiring: an optional fault
+    /// injector (consulted at the [`FaultSite::ServeAdmission`],
+    /// [`FaultSite::ServeExecute`], and [`FaultSite::PoolTaskPanic`]
+    /// sites) and an optional health monitor fed by the worker watchdog.
+    pub fn with_faults(
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+        telemetry: Telemetry,
+        faults: Option<Arc<FaultInjector>>,
+        health: Option<Arc<HealthMonitor>>,
+    ) -> Self {
         let registry = Arc::new(SnapshotRegistry::new());
         let (submit_tx, submit_rx) = bounded::<Msg>(cfg.queue_depth.max(1));
         let workers_n = cfg.workers.max(1);
         let (work_tx, work_rx) = bounded::<ReadyBatch<GroupKey, PendingProbe>>(workers_n * 2);
         let queued = Arc::new(AtomicUsize::new(0));
 
+        let mut worker_watchdog =
+            Watchdog::new("serve-worker", cfg.worker_respawn_budget, telemetry.clone());
+        if let Some(h) = health {
+            worker_watchdog =
+                worker_watchdog.with_health(h, "serve-worker-respawn-budget-exhausted");
+        }
+        let worker_ctx = Arc::new(WorkerCtx {
+            work_rx,
+            clock: Arc::clone(&clock),
+            telemetry: telemetry.clone(),
+            faults: faults.clone(),
+            watchdog: worker_watchdog,
+            live: AtomicUsize::new(0),
+            exhausted: AtomicBool::new(false),
+            dispatch_gate: Mutex::new(()),
+            handles: Mutex::new(Vec::with_capacity(workers_n)),
+            seq: AtomicUsize::new(0),
+        });
+        for _ in 0..workers_n {
+            spawn_worker(&worker_ctx).expect("spawn serve worker");
+        }
+
         let dispatcher = {
             let clock = Arc::clone(&clock);
             let telemetry = telemetry.clone();
             let queued = Arc::clone(&queued);
+            let ctx = Arc::clone(&worker_ctx);
             let max_batch = cfg.max_batch.max(1);
             let max_wait_us = cfg.max_wait.as_micros() as u64;
             let pending_budget = cfg.queue_depth.max(1) * 2;
@@ -160,6 +306,7 @@ impl ServeEngine {
                     dispatcher_loop(
                         submit_rx,
                         work_tx,
+                        ctx,
                         clock,
                         telemetry,
                         queued,
@@ -171,18 +318,6 @@ impl ServeEngine {
                 .expect("spawn serve dispatcher")
         };
 
-        let mut workers = Vec::with_capacity(workers_n);
-        for i in 0..workers_n {
-            let work_rx = work_rx.clone();
-            let clock = Arc::clone(&clock);
-            let telemetry = telemetry.clone();
-            let h = std::thread::Builder::new()
-                .name(format!("egeria-serve-worker-{i}"))
-                .spawn(move || worker_loop(work_rx, clock, telemetry))
-                .expect("spawn serve worker");
-            workers.push(h);
-        }
-
         ServeEngine {
             registry,
             clock,
@@ -192,7 +327,8 @@ impl ServeEngine {
             queued,
             singleton_seq: AtomicU64::new(0),
             dispatcher: Some(dispatcher),
-            workers,
+            worker_ctx,
+            faults,
         }
     }
 
@@ -223,6 +359,13 @@ impl ServeEngine {
     /// [`ServeError::NoSnapshot`].
     pub fn submit(&self, req: ProbeRequest) -> ServeResult<ProbeTicket> {
         let tx = self.submit_tx.as_ref().ok_or(ServeError::Shutdown)?;
+        // Workers exhausted (the last one died with the respawn budget
+        // spent): nothing can ever execute a probe again, so shed at
+        // admission rather than minting a ticket that can only resolve
+        // Shutdown at dispatch.
+        if self.worker_ctx.exhausted.load(Ordering::SeqCst) {
+            return Err(ServeError::Shutdown);
+        }
         let snapshot = self.registry.latest().ok_or(ServeError::NoSnapshot)?;
         let now = self.clock.now_us();
         let deadline = req.deadline.or(self.default_deadline);
@@ -238,6 +381,17 @@ impl ServeEngine {
             reply: reply_tx,
         };
         self.telemetry.counter("serve.requests").inc();
+        // Injected admission failure: behaves exactly like a full queue
+        // (counted as a shed, typed as Overloaded) so callers exercise
+        // their real fallback path.
+        if let Some(f) = &self.faults {
+            if f.should_fail(FaultSite::ServeAdmission) {
+                self.telemetry.counter("serve.shed").inc();
+                return Err(ServeError::Overloaded {
+                    queue_depth: self.queued.load(Ordering::Relaxed),
+                });
+            }
+        }
         // Count before sending: the dispatcher decrements on receipt, so
         // incrementing after a successful send could race below zero.
         let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
@@ -284,6 +438,36 @@ impl ServeEngine {
         ticket.wait()
     }
 
+    /// Reaps finished worker threads, absorbing their panic payloads.
+    /// Returns how many were reaped. Respawning is not supervision's
+    /// job: a panicking worker heals itself through its panic guard
+    /// (see [`WorkerGuard`]) before the caller can even observe the
+    /// failure, so queued batches behind the fatal one still execute.
+    /// This is bookkeeping the reference manager runs on its fallback
+    /// path to keep the handle list tight.
+    pub fn supervise(&self) -> usize {
+        let mut handles = lock_unpoisoned(&self.worker_ctx.handles);
+        let mut reaped = 0;
+        let mut live = Vec::with_capacity(handles.len());
+        for h in handles.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+                reaped += 1;
+            } else {
+                live.push(h);
+            }
+        }
+        *handles = live;
+        reaped
+    }
+
+    /// How many worker threads are registered (dead-but-unreaped workers
+    /// count until the next [`supervise`](Self::supervise); a freshly
+    /// respawned replacement counts alongside the corpse it replaced).
+    pub fn worker_count(&self) -> usize {
+        lock_unpoisoned(&self.worker_ctx.handles).len()
+    }
+
     fn group_key(&self, req: &ProbeRequest, version: u64) -> GroupKey {
         match &req.batch.input {
             Input::Image(t) if t.rank() >= 1 => GroupKey::Image {
@@ -306,7 +490,7 @@ impl Drop for ServeEngine {
         // still-pending probes with Shutdown, and closes the work queue.
         self.submit_tx = None;
         let mut handles: Vec<JoinHandle<()>> = self.dispatcher.take().into_iter().collect();
-        handles.append(&mut self.workers);
+        handles.append(&mut lock_unpoisoned(&self.worker_ctx.handles));
         for h in handles {
             // ~1.5 s bound per thread without reading the wall clock.
             let mut spins = 0u32;
@@ -336,6 +520,7 @@ fn target_kind(batch: &Batch) -> u8 {
 fn dispatcher_loop(
     submit_rx: Receiver<Msg>,
     work_tx: Sender<ReadyBatch<GroupKey, PendingProbe>>,
+    ctx: Arc<WorkerCtx>,
     clock: Arc<dyn Clock>,
     telemetry: Telemetry,
     queued: Arc<AtomicUsize>,
@@ -348,11 +533,37 @@ fn dispatcher_loop(
     let shed = telemetry.counter("serve.shed");
     let depth_gauge = telemetry.gauge("serve.queue_depth");
     let dispatch = |rb: ReadyBatch<GroupKey, PendingProbe>| {
-        // Blocking send: backpressure onto the batcher, never unbounded.
-        if let Err(e) = work_tx.send(rb) {
-            for p in e.0.requests {
-                let _ = p.reply.send(Err(ServeError::Shutdown));
+        // Enqueue under the gate so a push can never race the exhaustion
+        // drain (see `WorkerCtx::dispatch_gate`): a batch is either
+        // queued before the drain (and drained there) or pushed after
+        // the flag check (and failed here). `try_send` keeps the gate
+        // non-blocking; a full queue backs off outside it — bounded
+        // backpressure onto the batcher, never unbounded buffering.
+        let mut rb = rb;
+        loop {
+            {
+                let _g = lock_unpoisoned(&ctx.dispatch_gate);
+                if ctx.exhausted.load(Ordering::SeqCst) {
+                    for p in rb.requests {
+                        let _ = p.reply.send(Err(ServeError::Shutdown));
+                    }
+                    return;
+                }
+                match work_tx.try_send(rb) {
+                    Ok(()) => return,
+                    Err(TrySendError::Full(b)) => rb = b,
+                    Err(TrySendError::Disconnected(b)) => {
+                        for p in b.requests {
+                            let _ = p.reply.send(Err(ServeError::Shutdown));
+                        }
+                        return;
+                    }
+                }
             }
+            // Liveness pacing while the queue is full, not policy time:
+            // deliberately the wall clock, like the bounded shutdown
+            // joins, so a stalled virtual clock cannot wedge dispatch.
+            std::thread::sleep(Duration::from_millis(1));
         }
     };
     loop {
@@ -414,11 +625,8 @@ fn dispatcher_loop(
     // Dropping work_tx lets the workers drain and exit.
 }
 
-fn worker_loop(
-    work_rx: Receiver<ReadyBatch<GroupKey, PendingProbe>>,
-    clock: Arc<dyn Clock>,
-    telemetry: Telemetry,
-) {
+fn worker_loop(ctx: &WorkerCtx) {
+    let WorkerCtx { work_rx, clock, telemetry, faults, .. } = ctx;
     // Executor clones keyed by snapshot version; models carry scratch
     // state, so the published master is never run directly. Capped so a
     // publish-heavy trainer can't accumulate stale clones.
@@ -433,6 +641,16 @@ fn worker_loop(
     let exec_h = telemetry.histogram("serve.exec_us");
 
     while let Ok(rb) = work_rx.recv() {
+        // Injected worker death: the panic is deliberately *outside* the
+        // execution catch region, so the thread dies, this batch's reply
+        // senders drop (tickets resolve Shutdown → callers fall back
+        // inline), and the panic guard must heal or drain (see
+        // [`WorkerGuard`]).
+        if let Some(f) = faults {
+            if f.should_fail(FaultSite::PoolTaskPanic) {
+                panic!("injected serve worker panic");
+            }
+        }
         let now = clock.now_us();
         let mut live = Vec::with_capacity(rb.requests.len());
         for p in rb.requests {
@@ -459,7 +677,14 @@ fn worker_loop(
         let leader_wait = now.saturating_sub(rb.formed_at_us.min(now));
         let t0 = clock.now_us();
         let mut merged = false;
-        let result = {
+        let injected_exec_failure = faults
+            .as_ref()
+            .is_some_and(|f| f.should_fail(FaultSite::ServeExecute));
+        let result = if injected_exec_failure {
+            Err(ServeError::Model(TensorError::Io(
+                "injected serve execution failure".into(),
+            )))
+        } else {
             let _span = telemetry
                 .span("serve_batch")
                 .module(module as u64)
@@ -467,7 +692,19 @@ fn worker_loop(
                 .arg("requests", live.len())
                 .arg("rows", rows)
                 .arg("queue_wait_us", leader_wait);
-            exec::execute_group(executor.as_mut(), module, &parts, &mut merged)
+            // A panicking executor clone must not take the worker thread
+            // (and every queued batch behind it) down with it: contain
+            // the panic at the execution boundary and fail the batch
+            // with a typed error instead.
+            match catch_unwind(AssertUnwindSafe(|| {
+                exec::execute_group(executor.as_mut(), module, &parts, &mut merged)
+            })) {
+                Ok(r) => r,
+                Err(_) => {
+                    telemetry.counter("serve.exec_panics").inc();
+                    Err(ServeError::WorkerPanic)
+                }
+            }
         };
         let exec_us = clock.now_us().saturating_sub(t0);
         batches.inc();
@@ -618,6 +855,158 @@ mod tests {
             let r = t.wait().unwrap();
             assert_eq!(r.batch_size, 3, "group should have coalesced all three");
         }
+    }
+
+    /// A panicked worker's thread takes a moment to finish unwinding
+    /// after its tickets resolve; reaping is sample-based, so the tests
+    /// poll supervision (bounded) until the corpse count settles.
+    fn supervise_until_worker_count(e: &ServeEngine, want: usize) -> usize {
+        let mut reaped = 0;
+        for _ in 0..600 {
+            reaped += e.supervise();
+            if e.worker_count() == want {
+                return reaped;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        reaped
+    }
+
+    #[test]
+    fn injected_admission_fault_sheds_typed() {
+        let faults = FaultInjector::new();
+        faults.arm(FaultSite::ServeAdmission, 0, 1, egeria_resil::FaultAction::Fail);
+        let t = Telemetry::enabled();
+        let e = ServeEngine::with_faults(
+            ServeConfig::default(),
+            RealClock::shared(),
+            t.clone(),
+            Some(Arc::clone(&faults)),
+            None,
+        );
+        e.publish(&model(), Precision::F32).unwrap();
+        let err = e.probe_blocking(&image_batch(1, 2), 0).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }), "got {err}");
+        // The next probe passes: the plan fired exactly once.
+        assert!(e.probe_blocking(&image_batch(2, 2), 0).is_ok());
+        let snap = t.metrics_snapshot();
+        assert_eq!(snap.counter("serve.shed"), Some(1));
+    }
+
+    #[test]
+    fn injected_execute_fault_fails_batch_then_recovers() {
+        let faults = FaultInjector::new();
+        faults.arm(FaultSite::ServeExecute, 0, 1, egeria_resil::FaultAction::Fail);
+        let e = ServeEngine::with_faults(
+            ServeConfig::default(),
+            RealClock::shared(),
+            Telemetry::disabled(),
+            Some(faults),
+            None,
+        );
+        e.publish(&model(), Precision::F32).unwrap();
+        let err = e.probe_blocking(&image_batch(3, 2), 0).unwrap_err();
+        assert!(matches!(err, ServeError::Model(_)), "got {err}");
+        // The worker survived an execution failure; the executor clone is
+        // rebuilt and the next probe succeeds.
+        assert!(e.probe_blocking(&image_batch(4, 2), 0).is_ok());
+    }
+
+    #[test]
+    fn injected_worker_panic_self_heals_without_supervision() {
+        let faults = FaultInjector::new();
+        faults.arm(FaultSite::PoolTaskPanic, 0, 1, egeria_resil::FaultAction::Fail);
+        let t = Telemetry::enabled();
+        let e = ServeEngine::with_faults(
+            ServeConfig::default(),
+            RealClock::shared(),
+            t.clone(),
+            Some(faults),
+            None,
+        );
+        e.publish(&model(), Precision::F32).unwrap();
+        // The worker dies mid-batch: the ticket resolves Shutdown (its
+        // reply sender dropped with the unwound batch).
+        let err = e.probe_blocking(&image_batch(5, 2), 0).unwrap_err();
+        assert_eq!(err, ServeError::Shutdown);
+        // No supervise() call in between: the dying worker respawned its
+        // own replacement, which picks this probe up from the queue.
+        assert!(e.probe_blocking(&image_batch(6, 2), 0).is_ok());
+        // Supervision reaps the corpse; the replacement remains.
+        assert!(supervise_until_worker_count(&e, 1) >= 1, "corpse reaped");
+        assert_eq!(e.worker_count(), 1);
+        let snap = t.metrics_snapshot();
+        assert_eq!(snap.counter("serve.worker_deaths"), Some(1));
+        assert_eq!(snap.counter("serve.worker_respawns"), Some(1));
+        assert_eq!(snap.counter("serve.worker_panics"), Some(1));
+    }
+
+    #[test]
+    fn respawn_budget_exhaustion_goes_critical() {
+        use egeria_resil::health::HealthMonitor;
+        let faults = FaultInjector::new();
+        // Every batch panics the worker; budget of 1 respawn.
+        faults.arm(FaultSite::PoolTaskPanic, 0, 2, egeria_resil::FaultAction::Fail);
+        let health = HealthMonitor::new(Telemetry::disabled());
+        let e = ServeEngine::with_faults(
+            ServeConfig { worker_respawn_budget: 1, ..ServeConfig::default() },
+            RealClock::shared(),
+            Telemetry::disabled(),
+            Some(faults),
+            Some(Arc::clone(&health)),
+        );
+        e.publish(&model(), Precision::F32).unwrap();
+        // Death 1: the guard spends the whole budget on a replacement.
+        assert_eq!(e.probe_blocking(&image_batch(7, 2), 0).unwrap_err(), ServeError::Shutdown);
+        // Death 2: respawn denied; the last worker is gone. Whether this
+        // probe's ticket resolved via the unwound batch or the
+        // exhaustion drain, it must resolve.
+        assert_eq!(e.probe_blocking(&image_batch(8, 2), 0).unwrap_err(), ServeError::Shutdown);
+        // Exhausted: later probes shed at admission (or fail at
+        // dispatch if they raced the flag) instead of queueing forever.
+        assert_eq!(e.probe_blocking(&image_batch(9, 2), 0).unwrap_err(), ServeError::Shutdown);
+        // Supervision reaps both corpses and replaces neither.
+        supervise_until_worker_count(&e, 0);
+        assert_eq!(e.worker_count(), 0, "budget exhausted: no respawn");
+        assert_eq!(health.level(), 2, "exhaustion is a critical condition");
+    }
+
+    /// Regression: the fatal batch is not necessarily the only one in
+    /// flight. Two groups are queued (distinct modules), the single
+    /// worker panics on the first, and with a zero respawn budget
+    /// nothing will ever execute the second — its tickets must resolve
+    /// via the exhaustion drain rather than strand their waiters. The
+    /// pre-guard engine hung here forever.
+    #[test]
+    fn worker_death_fails_queued_batches_instead_of_stranding() {
+        let faults = FaultInjector::new();
+        faults.arm(FaultSite::PoolTaskPanic, 0, 1, egeria_resil::FaultAction::Fail);
+        let e = ServeEngine::with_faults(
+            ServeConfig {
+                worker_respawn_budget: 0,
+                max_wait: Duration::from_secs(60),
+                ..ServeConfig::default()
+            },
+            RealClock::shared(),
+            Telemetry::disabled(),
+            Some(faults),
+            None,
+        );
+        e.publish(&model(), Precision::F32).unwrap();
+        let t1 = e
+            .submit(ProbeRequest { batch: image_batch(1, 2), module: 0, deadline: None })
+            .unwrap();
+        let t2 = e
+            .submit(ProbeRequest { batch: image_batch(2, 2), module: 1, deadline: None })
+            .unwrap();
+        e.flush();
+        assert_eq!(t1.wait().unwrap_err(), ServeError::Shutdown);
+        assert_eq!(t2.wait().unwrap_err(), ServeError::Shutdown);
+        assert_eq!(
+            e.probe_blocking(&image_batch(3, 2), 0).unwrap_err(),
+            ServeError::Shutdown,
+            "exhausted engine sheds at admission"
+        );
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub enum ServeError {
     Shutdown,
     /// The model forward failed.
     Model(TensorError),
+    /// A worker caught a panic while executing the batch; the executor
+    /// clone was discarded and every request in the batch failed. The
+    /// worker itself survives (the panic is contained at the execution
+    /// boundary) — only an injected [`PoolTaskPanic`] kills a worker
+    /// outright, which resolves its in-flight tickets as [`Shutdown`].
+    ///
+    /// [`PoolTaskPanic`]: egeria_resil::FaultSite::PoolTaskPanic
+    /// [`Shutdown`]: ServeError::Shutdown
+    WorkerPanic,
 }
 
 impl fmt::Display for ServeError {
@@ -42,6 +51,9 @@ impl fmt::Display for ServeError {
             ServeError::NoSnapshot => write!(f, "no model snapshot published"),
             ServeError::Shutdown => write!(f, "serve engine is shut down"),
             ServeError::Model(e) => write!(f, "model execution failed: {e}"),
+            ServeError::WorkerPanic => {
+                write!(f, "serve worker caught a panic executing the batch")
+            }
         }
     }
 }
@@ -66,5 +78,6 @@ mod tests {
         assert!(ServeError::Shutdown.to_string().contains("shut down"));
         let m: ServeError = TensorError::Numerical("x".into()).into();
         assert!(m.to_string().contains("model execution"));
+        assert!(ServeError::WorkerPanic.to_string().contains("panic"));
     }
 }

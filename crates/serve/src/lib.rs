@@ -73,6 +73,11 @@ pub struct ServeConfig {
     /// Default per-request deadline applied when a request carries none;
     /// `None` means requests without a deadline never expire.
     pub default_deadline: Option<Duration>,
+    /// How many dead workers may respawn themselves over the engine's
+    /// lifetime (a panicking worker's guard spawns its own replacement)
+    /// before the budget is exhausted. Exhaustion fails all queued and
+    /// future probes and flips the wired health monitor to Critical.
+    pub worker_respawn_budget: u32,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +88,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(2),
             queue_depth: 64,
             default_deadline: None,
+            worker_respawn_budget: 8,
         }
     }
 }
@@ -104,6 +110,9 @@ impl ServeConfig {
         }
         if let Some(v) = env_usize("EGERIA_SERVE_QUEUE") {
             cfg.queue_depth = v.max(1);
+        }
+        if let Some(v) = env_usize("EGERIA_SERVE_RESPAWNS") {
+            cfg.worker_respawn_budget = v.min(u32::MAX as usize) as u32;
         }
         cfg
     }
