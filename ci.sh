@@ -10,17 +10,25 @@ cargo build --release
 # exact-eq, determinism, vendored-deps) — hard gate before any test runs.
 cargo run --release -p egeria-lint -- --workspace
 
-# The parallel compute backend must be bit-identical at every pool size:
-# run the suite pinned to 1 thread and again at the machine default.
-EGERIA_THREADS=1 cargo test -q
+# The parallel compute backend must be bit-identical at every pool size
+# and well-behaved at every ISA: run the suite pinned to 1 thread with the
+# SIMD layer forced to the scalar fallback, and again at the machine
+# default (auto-detected vector ISA, default pool). The two axes cross:
+# scalar+1-thread is the reference corner, auto+default the fastest one.
+EGERIA_THREADS=1 EGERIA_SIMD=scalar cargo test -q
 cargo test -q
 
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Kernel perf smoke: times the hot paths under both backends and emits a
-# machine-readable report (BENCH_ops.json). Asserts the determinism
-# contract and the <2% disabled-telemetry overhead contract (DESIGN §5d).
+# Kernel perf smoke: times the hot paths under both backends and the SIMD
+# microkernel layer, emitting a machine-readable report (BENCH_ops.json).
+# Asserts the determinism contract and the <2% disabled-telemetry overhead
+# contract (DESIGN §5d). The report must carry the SIMD entries (§5g).
 cargo run --release -p egeria-bench --bin bench_ops -- --smoke
+grep -q '"simd_isa"' BENCH_ops.json
+grep -q '"qmatmul"' BENCH_ops.json
+grep -q '"softmax"' BENCH_ops.json
+grep -q '"adam_update"' BENCH_ops.json
 
 # Telemetry smoke: a traced quickstart must emit schema-valid JSONL that
 # trace_report can validate and summarize (trace_report exits non-zero on

@@ -1,14 +1,21 @@
 //! Machine-readable kernel perf report: `BENCH_ops.json`.
 //!
-//! Times the three training hot paths — a 512³ matmul, a conv2d
-//! forward+backward, and a full ResNet train step — under both compute
-//! backends:
+//! Times the tensor hot paths — a 512³ matmul, a conv2d forward+backward,
+//! an int8 qmatmul, a batched softmax, a fused Adam update, and a full
+//! ResNet train step — under up to three variants:
 //!
 //! - `serial`: the seed repo's naive serial kernels
-//!   (`EGERIA_COMPUTE_BACKEND=reference` path), and
-//! - `parallel`: the blocked, register-tiled GEMM backend on the worker
-//!   pool at the default thread count.
+//!   (`EGERIA_COMPUTE_BACKEND=reference` path) — only for the ops the
+//!   reference backend implements (matmul/conv2d/train_step),
+//! - `parallel`: the blocked, register-tiled backend on the worker pool
+//!   with the SIMD layer pinned to `Isa::Scalar`, and
+//! - `simd`: the same blocked backend on this machine's best vector ISA
+//!   (reported in the top-level `simd_isa` field; equal to `parallel`
+//!   when the CPU has no vector unit).
 //!
+//! Variants are interleaved round-robin and each keeps its per-round
+//! minimum, so clock/thermal drift on a loaded box cancels instead of
+//! masquerading as speedup (same discipline as the telemetry section).
 //! Also asserts the determinism contract (blocked output at the default
 //! thread count is bit-identical to a 1-thread pool) and records the
 //! verdict in the report. Pass `--smoke` for a fast low-iteration run with
@@ -17,9 +24,12 @@
 use egeria_bench::write_json;
 use egeria_models::resnet::{resnet_cifar, ResNetCifarConfig};
 use egeria_models::{Batch, Input, Model, Targets};
+use egeria_nn::activation::softmax_last;
 use egeria_obs::Telemetry;
+use egeria_quant::qtensor::{qmatmul, Granularity, QTensor};
 use egeria_tensor::backend::{set_backend, Backend};
 use egeria_tensor::gemm::{gemm, Layout};
+use egeria_tensor::simd::{self, Isa};
 use egeria_tensor::{pool, Rng, Tensor, ThreadPool};
 use serde::Serialize;
 use std::time::Instant;
@@ -27,10 +37,18 @@ use std::time::Instant;
 #[derive(Serialize)]
 struct OpReport {
     op: String,
-    serial_ns_per_iter: u64,
-    parallel_ns_per_iter: u64,
-    speedup: f64,
     iters: u32,
+    /// Reference-backend time; `null` for the ops the seed's serial
+    /// backend does not implement (qmatmul/softmax/adam_update).
+    serial_ns_per_iter: Option<u64>,
+    /// Blocked backend, SIMD layer pinned to `Isa::Scalar`.
+    parallel_ns_per_iter: u64,
+    /// Blocked backend on the detected vector ISA.
+    simd_ns_per_iter: u64,
+    /// `serial / parallel` (the PR-2 blocked-backend win), when measured.
+    speedup: Option<f64>,
+    /// `parallel / simd`: the additional win from the vector microkernels.
+    simd_speedup: f64,
 }
 
 /// Telemetry cost on the train-step hot path: the same step loop run
@@ -51,43 +69,63 @@ struct TelemetryOverheadReport {
 #[derive(Serialize)]
 struct Report {
     threads: usize,
+    /// The vector ISA the `simd` variant ran on (`"scalar"` when the CPU
+    /// has no supported vector unit).
+    simd_isa: String,
     bit_identical_to_serial: bool,
     ops: Vec<OpReport>,
     telemetry: TelemetryOverheadReport,
 }
 
-/// Median-of-runs timer: one warmup call, then `iters` timed calls.
-fn time_ns(iters: u32, mut f: impl FnMut()) -> u64 {
+fn once(f: &mut dyn FnMut()) -> u64 {
+    let t0 = Instant::now();
     f();
-    let mut samples = Vec::with_capacity(iters as usize);
-    for _ in 0..iters {
-        let t0 = Instant::now();
-        f();
-        samples.push(t0.elapsed().as_nanos() as u64);
-    }
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+    t0.elapsed().as_nanos() as u64
 }
 
-fn bench_pair(
-    op: &str,
-    iters: u32,
-    mut f: impl FnMut(),
-) -> OpReport {
-    set_backend(Backend::Reference);
-    let serial = time_ns(iters, &mut f);
+/// Times one op under its variants, interleaved per round with round 0 as
+/// warmup, keeping each variant's minimum round.
+fn bench_op(op: &str, iters: u32, with_serial: bool, mut f: impl FnMut()) -> OpReport {
+    let vector = simd::detect();
+    let (mut serial, mut parallel, mut simd_t) = (u64::MAX, u64::MAX, u64::MAX);
+    for round in 0..=iters {
+        let s = if with_serial {
+            set_backend(Backend::Reference);
+            simd::set_isa(Isa::Scalar);
+            once(&mut f)
+        } else {
+            0
+        };
+        set_backend(Backend::Blocked);
+        simd::set_isa(Isa::Scalar);
+        let p = once(&mut f);
+        simd::set_isa(vector);
+        let v = once(&mut f);
+        if round > 0 {
+            serial = serial.min(s);
+            parallel = parallel.min(p);
+            simd_t = simd_t.min(v);
+        }
+    }
     set_backend(Backend::Blocked);
-    let parallel = time_ns(iters, &mut f);
+    simd::set_isa(vector);
     let r = OpReport {
         op: op.into(),
-        serial_ns_per_iter: serial,
-        parallel_ns_per_iter: parallel,
-        speedup: serial as f64 / parallel.max(1) as f64,
         iters,
+        serial_ns_per_iter: with_serial.then_some(serial),
+        parallel_ns_per_iter: parallel,
+        simd_ns_per_iter: simd_t,
+        speedup: with_serial.then(|| serial as f64 / parallel.max(1) as f64),
+        simd_speedup: parallel as f64 / simd_t.max(1) as f64,
     };
     println!(
-        "{:<12} serial {:>12} ns/iter   parallel {:>12} ns/iter   speedup {:.2}x",
-        r.op, r.serial_ns_per_iter, r.parallel_ns_per_iter, r.speedup
+        "{:<12} serial {:>12} ns/iter   parallel {:>12} ns/iter   simd {:>12} ns/iter   blocked {}   simd {:.2}x",
+        r.op,
+        r.serial_ns_per_iter.map_or_else(|| "-".into(), |v| v.to_string()),
+        r.parallel_ns_per_iter,
+        r.simd_ns_per_iter,
+        r.speedup.map_or_else(|| "    -".into(), |v| format!("{v:.2}x")),
+        r.simd_speedup
     );
     r
 }
@@ -101,7 +139,17 @@ fn check_bit_identical() -> bool {
     let b = Tensor::randn(&[k, n], &mut rng);
     let mut c1 = vec![0.0f32; m * n];
     let p1 = ThreadPool::new(1);
-    gemm(&p1, a.data(), Layout::RowMajor, b.data(), Layout::RowMajor, m, n, k, &mut c1);
+    gemm(
+        &p1,
+        a.data(),
+        Layout::RowMajor,
+        b.data(),
+        Layout::RowMajor,
+        m,
+        n,
+        k,
+        &mut c1,
+    );
     let mut cd = vec![0.0f32; m * n];
     gemm(
         ThreadPool::global(),
@@ -114,17 +162,21 @@ fn check_bit_identical() -> bool {
         k,
         &mut cd,
     );
-    c1.iter().zip(cd.iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+    c1.iter()
+        .zip(cd.iter())
+        .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let iters: u32 = if smoke { 2 } else { 5 };
+    let iters: u32 = if smoke { 3 } else { 7 };
     let threads = ThreadPool::global().threads().max(pool::default_threads());
+    let simd_isa = simd::detect();
     println!(
-        "bench_ops: {} threads, {} iters/op{}",
+        "bench_ops: {} threads, {} iters/op, simd isa {}{}",
         threads,
         iters,
+        simd_isa.name(),
         if smoke { " (smoke)" } else { "" }
     );
 
@@ -136,7 +188,7 @@ fn main() {
         let mut rng = Rng::new(1);
         let a = Tensor::randn(&[dim, dim], &mut rng);
         let b = Tensor::randn(&[dim, dim], &mut rng);
-        ops.push(bench_pair(&format!("matmul_{dim}"), iters, || {
+        ops.push(bench_op(&format!("matmul_{dim}"), iters, true, || {
             let c = a.matmul(&b).unwrap();
             std::hint::black_box(c.data()[0]);
         }));
@@ -145,17 +197,63 @@ fn main() {
     // conv2d forward + both gradients (the CNN layer hot path).
     {
         use egeria_tensor::conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, Conv2dSpec};
-        let (n, ci, co, hw) = if smoke { (2, 8, 8, 12) } else { (4, 16, 32, 16) };
+        let (n, ci, co, hw) = if smoke {
+            (2, 8, 8, 12)
+        } else {
+            (4, 16, 32, 16)
+        };
         let spec = Conv2dSpec::new(1, 1).unwrap();
         let mut rng = Rng::new(2);
         let x = Tensor::randn(&[n, ci, hw, hw], &mut rng);
         let w = Tensor::randn(&[co, ci, 3, 3], &mut rng);
         let g = Tensor::randn(&[n, co, hw, hw], &mut rng);
-        ops.push(bench_pair("conv2d", iters, || {
+        ops.push(bench_op("conv2d", iters, true, || {
             let y = conv2d(&x, &w, None, spec).unwrap();
             let gx = conv2d_grad_input(&g, &w, x.dims(), spec).unwrap();
             let gw = conv2d_grad_weight(&g, &x, w.dims(), spec).unwrap();
             std::hint::black_box((y.data()[0], gx.data()[0], gw.data()[0]));
+        }));
+    }
+
+    // Int8 qmatmul (the reference-model inference kernel; no serial
+    // reference — the seed backend has no int8 path).
+    {
+        let dim = if smoke { 128 } else { 256 };
+        let mut rng = Rng::new(4);
+        let a = Tensor::randn(&[dim, dim], &mut rng);
+        let b = Tensor::randn(&[dim, dim], &mut rng);
+        let qa = QTensor::quantize(&a, Granularity::PerTensor).unwrap();
+        let qb = QTensor::quantize(&b, Granularity::PerTensor).unwrap();
+        ops.push(bench_op("qmatmul", iters, false, || {
+            let c = qmatmul(&qa, &qb).unwrap();
+            std::hint::black_box(c.data()[0]);
+        }));
+    }
+
+    // Batched softmax over the class axis (loss layer / attention shape).
+    {
+        let (rows, k) = if smoke { (128, 512) } else { (512, 1024) };
+        let mut rng = Rng::new(5);
+        let x = Tensor::randn(&[rows, k], &mut rng);
+        ops.push(bench_op("softmax", iters, false, || {
+            let p = softmax_last(&x).unwrap();
+            std::hint::black_box(p.data()[0]);
+        }));
+    }
+
+    // Fused Adam parameter update (the optimizer hot loop).
+    {
+        let len = if smoke { 1 << 18 } else { 1 << 20 };
+        let mut rng = Rng::new(7);
+        let p0 = Tensor::randn(&[len], &mut rng);
+        let g = Tensor::randn(&[len], &mut rng);
+        let m = Tensor::randn(&[len], &mut rng);
+        let v = g.map(|x| x * x + 1e-3);
+        let mut p = p0.clone();
+        ops.push(bench_op("adam_update", iters, false, || {
+            p.adam_update_inplace(1e-3, 1e-8, 0.9, 0.99, &m, &v)
+                .unwrap();
+            std::hint::black_box(p.data()[0]);
         }));
     }
 
@@ -177,7 +275,7 @@ fn main() {
             targets: Targets::Classes((0..16).map(|i| i % 8).collect()),
             sample_ids: (0..16).collect(),
         };
-        ops.push(bench_pair("train_step", iters, || {
+        ops.push(bench_op("train_step", iters, true, || {
             let r = model.train_step(&batch, None).unwrap();
             model.zero_grad();
             std::hint::black_box(r.loss);
@@ -185,9 +283,11 @@ fn main() {
     }
 
     set_backend(Backend::Blocked);
+    simd::set_isa(simd_isa);
     let telemetry = bench_telemetry_overhead(if smoke { 5 } else { 9 });
     let report = Report {
         threads,
+        simd_isa: simd_isa.name().to_string(),
         bit_identical_to_serial: check_bit_identical(),
         ops,
         telemetry,
@@ -254,11 +354,6 @@ fn bench_telemetry_overhead(iters: u32) -> TelemetryOverheadReport {
             m.zero_grad();
             std::hint::black_box((i, r.loss));
         }
-    };
-    let once = |f: &mut dyn FnMut()| {
-        let t0 = Instant::now();
-        f();
-        t0.elapsed().as_nanos() as u64
     };
     let (mut bare, mut disabled, mut enabled) = (u64::MAX, u64::MAX, u64::MAX);
     for round in 0..=iters {

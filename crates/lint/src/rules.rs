@@ -21,6 +21,10 @@
 //!   take time through the injected `Clock` trait; `thread::sleep`,
 //!   `Instant::now` and `SystemTime` are banned in the configured modules
 //!   (the `RealClock` implementation is the sanctioned carve-out).
+//! - `arch-intrinsics-confined` — `std::arch`/`core::arch` may appear only
+//!   under the path prefixes listed in the rule's `allowed` key (the SIMD
+//!   dispatch layer), so ISA-specific intrinsics never leak into generic
+//!   kernel or model code.
 
 use crate::config::{path_matches, Config};
 use crate::lexer::{Scan, TokKind};
@@ -32,6 +36,7 @@ pub const FLOAT_EXACT_EQ: &str = "float-exact-eq";
 pub const DETERMINISM: &str = "determinism";
 pub const VENDORED_DEPS_ONLY: &str = "vendored-deps-only";
 pub const NO_WALLCLOCK_SLEEP_RETRY: &str = "no-wallclock-sleep-retry";
+pub const ARCH_INTRINSICS_CONFINED: &str = "arch-intrinsics-confined";
 
 /// All rule ids, for pragma validation.
 pub const ALL_RULES: &[&str] = &[
@@ -41,6 +46,7 @@ pub const ALL_RULES: &[&str] = &[
     DETERMINISM,
     VENDORED_DEPS_ONLY,
     NO_WALLCLOCK_SLEEP_RETRY,
+    ARCH_INTRINSICS_CONFINED,
 ];
 
 /// One diagnostic.
@@ -138,6 +144,16 @@ pub fn lint_scan(rel: &str, scan: &Scan, cfg: &Config) -> Vec<Finding> {
             .bool("skip_test_code", true);
         no_wallclock_sleep_retry(rel, scan, &mut findings, |l| skip_tests && is_test_line(l));
     }
+    if cfg.rule_applies(ARCH_INTRINSICS_CONFINED, rel) {
+        let sanctioned = cfg
+            .rule(ARCH_INTRINSICS_CONFINED)
+            .list("allowed")
+            .iter()
+            .any(|p| path_matches(rel, p));
+        if !sanctioned {
+            arch_intrinsics_confined(rel, scan, &mut findings);
+        }
+    }
 
     let suppressed = pragma_suppressions(scan);
     findings.retain(|f| {
@@ -176,20 +192,14 @@ fn unsafe_needs_safety(rel: &str, scan: &Scan, findings: &mut Vec<Finding>) {
 
 /// `no-panic-in-kernels`: `.unwrap()`, `.expect(` and `panic!` in hot-path
 /// modules.
-fn no_panic(
-    rel: &str,
-    scan: &Scan,
-    findings: &mut Vec<Finding>,
-    skip: impl Fn(u32) -> bool,
-) {
+fn no_panic(rel: &str, scan: &Scan, findings: &mut Vec<Finding>, skip: impl Fn(u32) -> bool) {
     let toks = &scan.toks;
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident || skip(t.line) {
             continue;
         }
-        let prev_is = |text: &str| {
-            i > 0 && toks[i - 1].kind == TokKind::Op && toks[i - 1].text == text
-        };
+        let prev_is =
+            |text: &str| i > 0 && toks[i - 1].kind == TokKind::Op && toks[i - 1].text == text;
         let next_is = |text: &str| {
             toks.get(i + 1)
                 .is_some_and(|n| n.kind == TokKind::Op && n.text == text)
@@ -208,7 +218,11 @@ fn no_panic(
                 message: format!(
                     "`{}` in a hot-path kernel module; return a Result or restructure \
                      so the failure is impossible",
-                    if t.text == "panic" { "panic!" } else { t.text.as_str() }
+                    if t.text == "panic" {
+                        "panic!"
+                    } else {
+                        t.text.as_str()
+                    }
                 ),
             });
         }
@@ -217,12 +231,7 @@ fn no_panic(
 
 /// `float-exact-eq`: `==` / `!=` with a float literal on either side
 /// (including a negated literal on the right).
-fn float_exact_eq(
-    rel: &str,
-    scan: &Scan,
-    findings: &mut Vec<Finding>,
-    skip: impl Fn(u32) -> bool,
-) {
+fn float_exact_eq(rel: &str, scan: &Scan, findings: &mut Vec<Finding>, skip: impl Fn(u32) -> bool) {
     let toks = &scan.toks;
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Op || (t.text != "==" && t.text != "!=") || skip(t.line) {
@@ -355,6 +364,40 @@ fn no_wallclock_sleep_retry(
                 message: format!(
                     "`{}` in retry/backoff code; waits and timestamps must go through \
                      the injected `Clock` trait so schedules replay under VirtualClock",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// `arch-intrinsics-confined`: `std::arch` / `core::arch` outside the
+/// sanctioned SIMD dispatch layer. The caller has already checked the
+/// `allowed` path-prefix list, so every hit here is a finding — per-ISA
+/// intrinsics must stay behind the portable vector traits.
+fn arch_intrinsics_confined(rel: &str, scan: &Scan, findings: &mut Vec<Finding>) {
+    let toks = &scan.toks;
+    let seq = |i: usize, parts: &[&str]| -> bool {
+        parts.iter().enumerate().all(|(k, p)| {
+            toks.get(i + k)
+                .is_some_and(|t| t.text == *p && matches!(t.kind, TokKind::Ident | TokKind::Op))
+        })
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "std" && t.text != "core") {
+            continue;
+        }
+        if seq(i, &[&t.text, "::", "arch"]) {
+            findings.push(Finding {
+                rule: ARCH_INTRINSICS_CONFINED,
+                path: rel.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}::arch` outside the sanctioned SIMD module; ISA intrinsics are \
+                     confined to the `allowed` paths in \
+                     `[rules.arch-intrinsics-confined]` (use the portable \
+                     egeria_tensor::simd dispatch layer instead)",
                     t.text
                 ),
             });

@@ -1,0 +1,12 @@
+// Seeded violations for arch-intrinsics-confined: this file is outside the
+// fixture config's `allowed` prefix (`simd/`).
+
+use std::arch::x86_64::_mm256_add_ps;
+
+pub fn leaked() {
+    let _ = core::arch::x86_64::_mm256_setzero_ps;
+}
+
+// A doc/comment mention of std::arch is not a violation (token scan).
+// egeria-lint: allow(arch-intrinsics-confined): fixture pragma exercise
+use std::arch::x86_64::_mm256_mul_ps;

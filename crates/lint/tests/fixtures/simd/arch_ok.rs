@@ -1,0 +1,8 @@
+// Clean: this file lives under the fixture config's `allowed` prefix for
+// arch-intrinsics-confined, so intrinsic imports are sanctioned here.
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::_mm256_setzero_ps;
+
+#[cfg(target_arch = "aarch64")]
+use core::arch::aarch64::vdupq_n_f32;

@@ -32,6 +32,8 @@ fn fixture_corpus_findings_are_exact() {
         .map(|f| (f.path.clone(), f.line, f.rule))
         .collect();
     let want: Vec<(String, u32, &str)> = [
+        ("bad_arch.rs", 4, rules::ARCH_INTRINSICS_CONFINED),
+        ("bad_arch.rs", 7, rules::ARCH_INTRINSICS_CONFINED),
         ("bad_float_eq.rs", 4, rules::FLOAT_EXACT_EQ),
         ("bad_float_eq.rs", 5, rules::FLOAT_EXACT_EQ),
         ("bad_float_eq.rs", 6, rules::FLOAT_EXACT_EQ),

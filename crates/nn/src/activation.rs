@@ -1,8 +1,20 @@
 //! Elementwise activation layers.
+//!
+//! The transcendental activations (GELU/Tanh/Sigmoid) and softmax route
+//! their exp/tanh sweeps through [`egeria_tensor::simd`]: under
+//! `EGERIA_SIMD=scalar` that layer calls libm exactly like the seed code
+//! (bit-identical, golden-run-pinned); under a vector ISA it runs the
+//! polynomial kernels (toleranced — DESIGN §5g). The surrounding
+//! per-element arithmetic here replicates the scalar reference expressions
+//! [`Activation::apply`]/[`Activation::derivative`] operation-for-operation
+//! so the only numerical difference between ISAs is inside exp/tanh.
 
 use crate::layer::{Layer, Mode};
 use crate::param::Parameter;
-use egeria_tensor::{Result, Tensor, TensorError};
+use egeria_tensor::{simd, Result, Tensor, TensorError};
+
+/// √(2/π), the GELU tanh-approximation constant.
+const GELU_C: f32 = 0.797_884_6;
 
 /// Which nonlinearity an [`Activation`] layer applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,15 +46,15 @@ impl Activation {
         }
     }
 
-    /// Applies the activation to a raw value.
+    /// Applies the activation to a raw value (the scalar reference for the
+    /// vectorized tensor paths below).
     pub fn apply(act: Act, x: f32) -> f32 {
         match act {
             Act::Relu => x.max(0.0),
             Act::Relu6 => x.clamp(0.0, 6.0),
             Act::Gelu => {
                 // tanh approximation: 0.5x(1 + tanh(√(2/π)(x + 0.044715x³))).
-                let c = 0.797_884_6_f32;
-                0.5 * x * (1.0 + (c * (x + 0.044_715 * x * x * x)).tanh())
+                0.5 * x * (1.0 + (GELU_C * (x + 0.044_715 * x * x * x)).tanh())
             }
             Act::Tanh => x.tanh(),
             Act::Sigmoid => 1.0 / (1.0 + (-x).exp()),
@@ -67,10 +79,9 @@ impl Activation {
                 }
             }
             Act::Gelu => {
-                let c = 0.797_884_6_f32;
-                let inner = c * (x + 0.044_715 * x * x * x);
+                let inner = GELU_C * (x + 0.044_715 * x * x * x);
                 let t = inner.tanh();
-                let dinner = c * (1.0 + 3.0 * 0.044_715 * x * x);
+                let dinner = GELU_C * (1.0 + 3.0 * 0.044_715 * x * x);
                 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
             }
             Act::Tanh => {
@@ -85,17 +96,52 @@ impl Activation {
     }
 }
 
+/// The GELU inner argument `√(2/π)(x + 0.044715x³)` for every element of
+/// `x`, ready for one vectorized tanh sweep.
+fn gelu_inner(x: &Tensor) -> Tensor {
+    x.map(|v| GELU_C * (v + 0.044_715 * v * v * v))
+}
+
+/// `tanh(x)` elementwise through the SIMD layer.
+fn tanh_tensor(x: &Tensor) -> Tensor {
+    let mut t = x.clone();
+    simd::tanh_inplace(t.data_mut());
+    t
+}
+
+/// `sigmoid(x)` elementwise: one vectorized exp sweep, then the same
+/// `1 / (1 + e)` arithmetic as the scalar reference.
+fn sigmoid_tensor(x: &Tensor) -> Tensor {
+    let mut e = x.map(|v| -v);
+    simd::exp_inplace(e.data_mut());
+    e.map_inplace(|ev| 1.0 / (1.0 + ev));
+    e
+}
+
 impl Layer for Activation {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
         self.cached_input = Some(x.clone());
         let act = self.act;
-        Ok(x.map(|v| Self::apply(act, v)))
+        Ok(match act {
+            Act::Relu | Act::Relu6 => x.map(|v| Self::apply(act, v)),
+            Act::Tanh => tanh_tensor(x),
+            Act::Sigmoid => sigmoid_tensor(x),
+            Act::Gelu => {
+                let mut t = gelu_inner(x);
+                simd::tanh_inplace(t.data_mut());
+                for (tv, &xv) in t.data_mut().iter_mut().zip(x.data().iter()) {
+                    *tv = 0.5 * xv * (1.0 + *tv);
+                }
+                t
+            }
+        })
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let x = self.cached_input.as_ref().ok_or_else(|| {
-            TensorError::Numerical("Activation::backward before forward".into())
-        })?;
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| TensorError::Numerical("Activation::backward before forward".into()))?;
         if x.dims() != grad_out.dims() {
             return Err(TensorError::ShapeMismatch {
                 op: "activation backward",
@@ -105,8 +151,37 @@ impl Layer for Activation {
         }
         let act = self.act;
         let mut g = grad_out.clone();
-        for (gv, &xv) in g.data_mut().iter_mut().zip(x.data().iter()) {
-            *gv *= Self::derivative(act, xv);
+        match act {
+            Act::Relu | Act::Relu6 => {
+                for (gv, &xv) in g.data_mut().iter_mut().zip(x.data().iter()) {
+                    *gv *= Self::derivative(act, xv);
+                }
+            }
+            Act::Tanh => {
+                let t = tanh_tensor(x);
+                for (gv, &tv) in g.data_mut().iter_mut().zip(t.data().iter()) {
+                    *gv *= 1.0 - tv * tv;
+                }
+            }
+            Act::Sigmoid => {
+                let s = sigmoid_tensor(x);
+                for (gv, &sv) in g.data_mut().iter_mut().zip(s.data().iter()) {
+                    *gv *= sv * (1.0 - sv);
+                }
+            }
+            Act::Gelu => {
+                let mut t = gelu_inner(x);
+                simd::tanh_inplace(t.data_mut());
+                for ((gv, &tv), &xv) in g
+                    .data_mut()
+                    .iter_mut()
+                    .zip(t.data().iter())
+                    .zip(x.data().iter())
+                {
+                    let dinner = GELU_C * (1.0 + 3.0 * 0.044_715 * xv * xv);
+                    *gv *= 0.5 * (1.0 + tv) + 0.5 * xv * (1.0 - tv * tv) * dinner;
+                }
+            }
         }
         Ok(g)
     }
@@ -143,16 +218,7 @@ pub fn softmax_last(x: &Tensor) -> Result<Tensor> {
     let rows = x.numel() / k;
     let mut out = x.clone();
     for r in 0..rows {
-        let row = &mut out.data_mut()[r * k..(r + 1) * k];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
+        simd::softmax_row(&mut out.data_mut()[r * k..(r + 1) * k]);
     }
     Ok(out)
 }

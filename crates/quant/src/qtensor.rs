@@ -1,6 +1,6 @@
 //! Real int8 tensors and kernels.
 
-use egeria_tensor::{pool, Result, Tensor, TensorError, ThreadPool};
+use egeria_tensor::{pool, simd, Result, Tensor, TensorError, ThreadPool};
 
 /// Quantization granularity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,18 +140,14 @@ pub fn qmatmul(a: &QTensor, b: &QTensor) -> Result<Tensor> {
     let scale = a.scales[0] * b.scales[0];
     let mut out = vec![0.0f32; m * n];
     // Row-parallel over the output: each pool task owns a disjoint output
-    // row and accumulates exactly in i32 before the single f32 rescale, so
-    // results are bit-identical for every thread count.
+    // row whose i32 dot products run on the SIMD layer (sign-extending
+    // widened loads, exact integer accumulation) before the single f32
+    // rescale. Integer adds associate exactly, so results are bit-identical
+    // for every thread count *and* every ISA.
     pool::for_each_batch_mut(ThreadPool::global(), &mut out, n, |i, orow| {
         let arow = &a.data[i * k..(i + 1) * k];
         let mut acc = vec![0i32; n];
-        for (p, &av) in arow.iter().enumerate() {
-            let av = av as i32;
-            let brow = &b.data[p * n..(p + 1) * n];
-            for (o, &bv) in acc.iter_mut().zip(brow.iter()) {
-                *o += av * bv as i32;
-            }
-        }
+        simd::qmatmul_row(arow, &b.data, n, &mut acc);
         for (o, &s) in orow.iter_mut().zip(acc.iter()) {
             *o = s as f32 * scale;
         }
@@ -219,6 +215,23 @@ mod tests {
         let approx = qmatmul(&qa, &qb).unwrap();
         let rel = exact.sub(&approx).unwrap().norm() / exact.norm();
         assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn qmatmul_bit_identical_across_isas() {
+        use egeria_tensor::simd::{self, Isa};
+        let mut rng = Rng::new(5);
+        let a = Tensor::randn(&[5, 33], &mut rng);
+        let b = Tensor::randn(&[33, 9], &mut rng);
+        let qa = QTensor::quantize(&a, Granularity::PerTensor).unwrap();
+        let qb = QTensor::quantize(&b, Granularity::PerTensor).unwrap();
+        // Integer accumulation is exact, so scalar and vector ISAs must
+        // agree bit-for-bit (process-global set_isa; restored to default).
+        simd::set_isa(Isa::Scalar);
+        let s = qmatmul(&qa, &qb).unwrap();
+        simd::set_isa(simd::detect());
+        let v = qmatmul(&qa, &qb).unwrap();
+        assert_eq!(s, v);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! - **Cache blocking**: the k dimension is processed in [`KC`]-sized blocks
 //!   and the rows of A in [`MC`]-sized blocks, keeping the packed A block
 //!   and the active B panel resident in cache.
-//! - **Register tiling**: an [`MR`]`×`[`NR`] microkernel accumulates into a
-//!   local tile the compiler keeps in vector registers.
+//! - **Register tiling**: the [`MR`]`×`[`NR`] microkernel in
+//!   [`crate::simd`] accumulates into a tile of 8-lane vector registers,
+//!   dispatched once per process to the detected ISA (bit-identical across
+//!   ISAs — DESIGN §5g).
 //!
 //! Parallelism: row blocks of A are dispatched as pool tasks; each task owns
 //! a disjoint stripe of C. Determinism: every C element accumulates its k
@@ -20,11 +22,12 @@
 //! output is bit-identical for any pool size.
 
 use crate::pool::ThreadPool;
+use crate::simd;
 
-/// Microkernel tile rows.
-pub const MR: usize = 4;
-/// Microkernel tile columns (kept contiguous in packed B).
-pub const NR: usize = 16;
+// Microkernel tile geometry is owned by the SIMD layer (the tile is two
+// 8-lane registers wide per row); re-exported here for the packing code and
+// the shape-aware callers/tests.
+pub use crate::simd::{MR, NR};
 /// Rows of A per cache block (multiple of [`MR`]).
 const MC: usize = 64;
 /// Depth of one k block: `KC × NR` floats of packed B plus `MC × KC` of
@@ -122,27 +125,6 @@ fn pack_a_block(
     }
 }
 
-/// The register-tiled inner kernel: `acc += a_strip · b_panel` over `kc`
-/// rank-1 updates. `a_strip` is `kc × MR` interleaved, `b_panel` is
-/// `kc × NR` interleaved.
-#[inline(always)]
-fn microkernel(kc: usize, a_strip: &[f32], b_panel: &[f32], acc: &mut [f32; MR * NR]) {
-    for p in 0..kc {
-        // egeria-lint: allow(no-panic-in-kernels): the range is exactly MR
-        // long, so try_into cannot fail; the fixed-size array is what keeps
-        // the tile in vector registers.
-        let av: &[f32; MR] = a_strip[p * MR..(p + 1) * MR].try_into().expect("MR strip");
-        // egeria-lint: allow(no-panic-in-kernels): as above, exactly NR long.
-        let bv: &[f32; NR] = b_panel[p * NR..(p + 1) * NR].try_into().expect("NR panel");
-        for r in 0..MR {
-            let ar = av[r];
-            for c in 0..NR {
-                acc[r * NR + c] += ar * bv[c];
-            }
-        }
-    }
-}
-
 /// `c += a · b` where logical A is `m × k`, logical B is `k × n` and `c` is
 /// `m × n` row-major. `Layout::Transposed` operands are read through their
 /// transpose without materializing it.
@@ -180,8 +162,7 @@ pub fn gemm(
         pool.run(panels, &|j| {
             // SAFETY: each task writes only its own disjoint, in-bounds
             // `k * NR` panel of packed_b, which outlives the blocking run.
-            let dst =
-                unsafe { std::slice::from_raw_parts_mut(pb.get().add(j * k * NR), k * NR) };
+            let dst = unsafe { std::slice::from_raw_parts_mut(pb.get().add(j * k * NR), k * NR) };
             let mut kb = 0;
             while kb < k {
                 let kc = KC.min(k - kb);
@@ -220,7 +201,7 @@ pub fn gemm(
                 for s in 0..strips {
                     let a_strip = &packed_a[s * MR * kc..(s + 1) * MR * kc];
                     let mut acc = [0.0f32; MR * NR];
-                    microkernel(kc, a_strip, b_panel, &mut acc);
+                    simd::microkernel(kc, a_strip, b_panel, &mut acc);
                     let r0 = i0 + s * MR;
                     let live = MR.min(i0 + rows - r0);
                     for r in 0..live {
@@ -228,13 +209,9 @@ pub fn gemm(
                         // the width-bounded segment is in-bounds; C outlives
                         // the blocking run.
                         let row = unsafe {
-                            std::slice::from_raw_parts_mut(
-                                cp.get().add((r0 + r) * n + j0),
-                                width,
-                            )
+                            std::slice::from_raw_parts_mut(cp.get().add((r0 + r) * n + j0), width)
                         };
-                        for (dst, &v) in row.iter_mut().zip(acc[r * NR..r * NR + width].iter())
-                        {
+                        for (dst, &v) in row.iter_mut().zip(acc[r * NR..r * NR + width].iter()) {
                             *dst += v;
                         }
                     }
@@ -360,7 +337,17 @@ mod tests {
         let a = vec![1.0f32, 2.0];
         let b = vec![3.0f32, 4.0];
         let mut c = vec![10.0f32];
-        gemm(&pool, &a, Layout::RowMajor, &b, Layout::RowMajor, 1, 1, 2, &mut c);
+        gemm(
+            &pool,
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            1,
+            1,
+            2,
+            &mut c,
+        );
         assert_eq!(c[0], 10.0 + 3.0 + 8.0);
     }
 
@@ -371,7 +358,17 @@ mod tests {
         a[0] = f32::NAN;
         let b = vec![0.0f32; 4];
         let mut c = vec![0.0f32; 4];
-        gemm(&pool, &a, Layout::RowMajor, &b, Layout::RowMajor, 2, 2, 2, &mut c);
+        gemm(
+            &pool,
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            2,
+            2,
+            2,
+            &mut c,
+        );
         assert!(c[0].is_nan(), "0 · NaN must stay NaN");
         assert!(c[1].is_nan());
         assert!(!c[2].is_nan());

@@ -18,8 +18,10 @@
 //! Everything is `f32`: the paper trains in fp32 and emulates reduced
 //! precision (int8/f16) in `egeria-quant` on top of this crate.
 
-// The only crate allowed `unsafe` (pool dispatch and the GEMM hot loops);
-// every site carries a // SAFETY: comment, enforced by egeria-lint.
+// The only crate allowed `unsafe` (pool dispatch and the SIMD intrinsic
+// layer under crates/tensor/src/simd/); every site carries a // SAFETY:
+// comment, enforced by egeria-lint, and `std::arch` intrinsics are confined
+// to the simd module by the arch-intrinsics-confined lint rule.
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod backend;
@@ -31,6 +33,7 @@ pub mod pool;
 pub mod rng;
 pub mod serialize;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use error::{Result, TensorError};

@@ -1,0 +1,258 @@
+//! NEON registers (two 128-bit quads per logical 8-lane register) and the
+//! aarch64 kernel entry points.
+//!
+//! Mirrors `x86.rs`: every lane op is a single correctly-rounded (f32) or
+//! exact (i32) instruction, never fused — `vmulq`/`vaddq`, deliberately not
+//! `vfmaq` — so the NEON kernels are bit-identical to [`ScalarF32x8`] on
+//! the linear paths (DESIGN §5g). NEON is baseline on aarch64, so the
+//! intrinsics are unconditionally executable there; the `unsafe` blocks
+//! discharge only the intrinsic-call obligation.
+
+use super::kernels::{self, MR, NR};
+use super::vec::{F32x8, I32x8, LANES};
+use std::arch::aarch64::*;
+
+/// One logical 8-lane f32 register: a pair of NEON quads.
+#[derive(Clone, Copy)]
+pub struct NeonF32x8(float32x4_t, float32x4_t);
+
+/// One logical 8-lane i32 register: a pair of NEON quads.
+#[derive(Clone, Copy)]
+pub struct NeonI32x8(int32x4_t, int32x4_t);
+
+impl F32x8 for NeonF32x8 {
+    type Int = NeonI32x8;
+
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        // SAFETY: NEON is baseline on aarch64 (module safety model).
+        unsafe { NeonF32x8(vdupq_n_f32(v), vdupq_n_f32(v)) }
+    }
+
+    #[inline(always)]
+    fn load(src: &[f32; LANES]) -> Self {
+        // SAFETY: the 8-element array reference is valid for two quad reads.
+        unsafe { NeonF32x8(vld1q_f32(src.as_ptr()), vld1q_f32(src.as_ptr().add(4))) }
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f32; LANES]) {
+        // SAFETY: the 8-element array reference is valid for two quad writes.
+        unsafe {
+            vst1q_f32(dst.as_mut_ptr(), self.0);
+            vst1q_f32(dst.as_mut_ptr().add(4), self.1);
+        }
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        // SAFETY: NEON is baseline on aarch64 (module safety model).
+        unsafe { NeonF32x8(vaddq_f32(self.0, o.0), vaddq_f32(self.1, o.1)) }
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        // SAFETY: NEON is baseline on aarch64 (module safety model).
+        unsafe { NeonF32x8(vsubq_f32(self.0, o.0), vsubq_f32(self.1, o.1)) }
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        // SAFETY: NEON is baseline on aarch64 (module safety model).
+        unsafe { NeonF32x8(vmulq_f32(self.0, o.0), vmulq_f32(self.1, o.1)) }
+    }
+
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        // SAFETY: NEON is baseline on aarch64 (module safety model).
+        unsafe { NeonF32x8(vdivq_f32(self.0, o.0), vdivq_f32(self.1, o.1)) }
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        // SAFETY: NEON is baseline on aarch64 (module safety model).
+        unsafe { NeonF32x8(vsqrtq_f32(self.0), vsqrtq_f32(self.1)) }
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        // SAFETY: NEON is baseline on aarch64. vbslq on the > mask gives
+        // maxps semantics: the second operand wins when either is NaN.
+        unsafe {
+            NeonF32x8(
+                vbslq_f32(vcgtq_f32(self.0, o.0), self.0, o.0),
+                vbslq_f32(vcgtq_f32(self.1, o.1), self.1, o.1),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        // SAFETY: NEON is baseline on aarch64. minps semantics as in max.
+        unsafe {
+            NeonF32x8(
+                vbslq_f32(vcltq_f32(self.0, o.0), self.0, o.0),
+                vbslq_f32(vcltq_f32(self.1, o.1), self.1, o.1),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn to_i32_nearest(self) -> NeonI32x8 {
+        // SAFETY: NEON is baseline on aarch64; vcvtnq rounds to nearest
+        // even, matching `round_ties_even`.
+        unsafe { NeonI32x8(vcvtnq_s32_f32(self.0), vcvtnq_s32_f32(self.1)) }
+    }
+
+    #[inline(always)]
+    fn with_nan_from(self, src: Self) -> Self {
+        // SAFETY: NEON is baseline on aarch64. vceqq is false exactly on
+        // NaN lanes of src; vbslq keeps self on equal lanes, src elsewhere.
+        unsafe {
+            NeonF32x8(
+                vbslq_f32(vceqq_f32(src.0, src.0), self.0, src.0),
+                vbslq_f32(vceqq_f32(src.1, src.1), self.1, src.1),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn hmax(self) -> f32 {
+        let mut buf = [0.0f32; LANES];
+        self.store(&mut buf);
+        let mut m = buf[0];
+        for &v in &buf[1..] {
+            m = if m > v { m } else { v };
+        }
+        m
+    }
+
+    #[inline(always)]
+    fn hsum(self) -> f32 {
+        // Same pairwise tree as ScalarF32x8::hsum.
+        let mut l = [0.0f32; LANES];
+        self.store(&mut l);
+        let a = [l[0] + l[4], l[1] + l[5], l[2] + l[6], l[3] + l[7]];
+        (a[0] + a[2]) + (a[1] + a[3])
+    }
+}
+
+impl I32x8 for NeonI32x8 {
+    type Float = NeonF32x8;
+
+    #[inline(always)]
+    fn splat(v: i32) -> Self {
+        // SAFETY: NEON is baseline on aarch64 (module safety model).
+        unsafe { NeonI32x8(vdupq_n_s32(v), vdupq_n_s32(v)) }
+    }
+
+    #[inline(always)]
+    fn load(src: &[i32; LANES]) -> Self {
+        // SAFETY: the 8-element array reference is valid for two quad reads.
+        unsafe { NeonI32x8(vld1q_s32(src.as_ptr()), vld1q_s32(src.as_ptr().add(4))) }
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i32; LANES]) {
+        // SAFETY: the 8-element array reference is valid for two quad writes.
+        unsafe {
+            vst1q_s32(dst.as_mut_ptr(), self.0);
+            vst1q_s32(dst.as_mut_ptr().add(4), self.1);
+        }
+    }
+
+    #[inline(always)]
+    fn widen_i8(src: &[i8; LANES]) -> Self {
+        // SAFETY: the 8-element array reference is valid for one 64-bit
+        // read; vmovl sign-extends i8→i16→i32 lanewise.
+        unsafe {
+            let bytes = vld1_s8(src.as_ptr());
+            let wide = vmovl_s8(bytes);
+            NeonI32x8(
+                vmovl_s16(vget_low_s16(wide)),
+                vmovl_s16(vget_high_s16(wide)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        // SAFETY: NEON is baseline on aarch64 (module safety model).
+        unsafe { NeonI32x8(vaddq_s32(self.0, o.0), vaddq_s32(self.1, o.1)) }
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        // SAFETY: NEON is baseline on aarch64; vmulq_s32 keeps the low 32
+        // bits, matching scalar wrapping_mul.
+        unsafe { NeonI32x8(vmulq_s32(self.0, o.0), vmulq_s32(self.1, o.1)) }
+    }
+
+    #[inline(always)]
+    fn to_f32(self) -> NeonF32x8 {
+        // SAFETY: NEON is baseline on aarch64 (module safety model).
+        unsafe { NeonF32x8(vcvtq_f32_s32(self.0), vcvtq_f32_s32(self.1)) }
+    }
+
+    #[inline(always)]
+    fn exp2_bits(self) -> NeonF32x8 {
+        // SAFETY: NEON is baseline on aarch64. (n + 127) << 23 constructs
+        // the f32 exponent field; vreinterpretq is a bit reinterpretation.
+        unsafe {
+            let bias = vdupq_n_s32(127);
+            NeonF32x8(
+                vreinterpretq_f32_s32(vshlq_n_s32::<23>(vaddq_s32(self.0, bias))),
+                vreinterpretq_f32_s32(vshlq_n_s32::<23>(vaddq_s32(self.1, bias))),
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel entry points (NEON is baseline on aarch64, so these are safe)
+// ---------------------------------------------------------------------
+
+/// GEMM microkernel on NEON registers.
+pub fn microkernel(kc: usize, a_strip: &[f32], b_panel: &[f32], acc: &mut [f32; MR * NR]) {
+    kernels::microkernel::<NeonF32x8>(kc, a_strip, b_panel, acc)
+}
+
+/// Int8 GEMM output row on NEON registers.
+pub fn qmatmul_row(arow: &[i8], b: &[i8], n: usize, out: &mut [i32]) {
+    kernels::qmatmul_row::<NeonF32x8>(arow, b, n, out)
+}
+
+/// `dst += alpha * src` on NEON registers.
+pub fn axpy(dst: &mut [f32], src: &[f32], alpha: f32) {
+    kernels::axpy::<NeonF32x8>(dst, src, alpha)
+}
+
+/// Fused momentum update on NEON registers.
+pub fn decay_axpy(dst: &mut [f32], src: &[f32], decay: f32, alpha: f32) {
+    kernels::decay_axpy::<NeonF32x8>(dst, src, decay, alpha)
+}
+
+/// Fused second-moment update on NEON registers.
+pub fn ema_sq(dst: &mut [f32], src: &[f32], decay: f32, w: f32) {
+    kernels::ema_sq::<NeonF32x8>(dst, src, decay, w)
+}
+
+/// Adam parameter update on NEON registers.
+pub fn adam_update(p: &mut [f32], m: &[f32], v: &[f32], lr: f32, eps: f32, bc1: f32, bc2: f32) {
+    kernels::adam_update::<NeonF32x8>(p, m, v, lr, eps, bc1, bc2)
+}
+
+/// Polynomial exp over a slice on NEON registers.
+pub fn exp_inplace(xs: &mut [f32]) {
+    kernels::exp_inplace::<NeonF32x8>(xs)
+}
+
+/// Polynomial tanh over a slice on NEON registers.
+pub fn tanh_inplace(xs: &mut [f32]) {
+    kernels::tanh_inplace::<NeonF32x8>(xs)
+}
+
+/// In-place softmax of one row on NEON registers.
+pub fn softmax_row(row: &mut [f32]) {
+    kernels::softmax_row::<NeonF32x8>(row)
+}

@@ -1,0 +1,287 @@
+//! Portable 8-lane vector traits and the scalar reference implementation.
+//!
+//! [`F32x8`] / [`I32x8`] abstract one 8-wide register of the target ISA.
+//! Every method maps to a single correctly-rounded IEEE-754 lane operation
+//! (add/sub/mul/div/sqrt/min/max) or an exact integer operation, so a
+//! generic kernel instantiated at two ISAs produces bit-identical lanes as
+//! long as it only uses these ops in the same per-element order. That is
+//! the mechanism behind the scalar↔AVX2↔NEON bit-identity contract for the
+//! GEMM microkernel, the int8 dot product and the fused optimizer kernels
+//! (DESIGN §5g). Deliberately absent: a fused multiply-add. FMA rounds
+//! once where `mul`+`add` round twice, which would break that contract.
+//!
+//! Lane loads/stores take `&[T; 8]` array references (produced with
+//! `slice::as_chunks`), so the trait surface is entirely safe; `unsafe` is
+//! confined to the intrinsic calls inside the per-ISA impls.
+
+/// Lanes per vector register (256-bit f32/i32).
+pub const LANES: usize = 8;
+
+/// One 8-lane f32 register.
+///
+/// All arithmetic lane ops are IEEE-754 correctly rounded; horizontal
+/// reductions ([`hsum`](F32x8::hsum)/[`hmax`](F32x8::hmax)) have an
+/// ISA-specific association and must only be used where the surrounding
+/// kernel is documented as toleranced (softmax row reductions).
+pub trait F32x8: Copy {
+    /// The i32 register type of the same ISA.
+    type Int: I32x8<Float = Self>;
+
+    /// Broadcasts one value into all lanes.
+    fn splat(v: f32) -> Self;
+    /// Loads 8 contiguous lanes.
+    fn load(src: &[f32; LANES]) -> Self;
+    /// Stores 8 contiguous lanes.
+    fn store(self, dst: &mut [f32; LANES]);
+    /// Lanewise `self + o` (one rounding).
+    fn add(self, o: Self) -> Self;
+    /// Lanewise `self - o`.
+    fn sub(self, o: Self) -> Self;
+    /// Lanewise `self * o` (unfused; see module docs).
+    fn mul(self, o: Self) -> Self;
+    /// Lanewise `self / o` (correctly rounded).
+    fn div(self, o: Self) -> Self;
+    /// Lanewise square root (correctly rounded).
+    fn sqrt(self) -> Self;
+    /// Lanewise maximum with x86 `maxps` NaN semantics: if either operand
+    /// is NaN the **second** (`o`) operand is returned.
+    fn max(self, o: Self) -> Self;
+    /// Lanewise minimum, `minps` NaN semantics (as [`max`](F32x8::max)).
+    fn min(self, o: Self) -> Self;
+    /// Lanewise round-to-nearest-even, then convert to i32. Inputs must be
+    /// within i32 range (the transcendental kernels clamp first).
+    fn to_i32_nearest(self) -> Self::Int;
+    /// Lanes where `src` is NaN become NaN; others keep `self`. Used to
+    /// restore NaN propagation after range clamps in the polynomial
+    /// transcendentals.
+    fn with_nan_from(self, src: Self) -> Self;
+    /// Horizontal max of all lanes (association ISA-specific).
+    fn hmax(self) -> f32;
+    /// Horizontal sum of all lanes (association ISA-specific).
+    fn hsum(self) -> f32;
+}
+
+/// One 8-lane i32 register. All ops are exact (wrapping on overflow, like
+/// the scalar `i32` ops in release builds).
+pub trait I32x8: Copy {
+    /// The f32 register type of the same ISA.
+    type Float: F32x8<Int = Self>;
+
+    /// Broadcasts one value into all lanes.
+    fn splat(v: i32) -> Self;
+    /// Loads 8 contiguous lanes.
+    fn load(src: &[i32; LANES]) -> Self;
+    /// Stores 8 contiguous lanes.
+    fn store(self, dst: &mut [i32; LANES]);
+    /// Loads 8 `i8` values and sign-extends each to i32 (the int8 GEMM
+    /// operand widening).
+    fn widen_i8(src: &[i8; LANES]) -> Self;
+    /// Lanewise wrapping add.
+    fn add(self, o: Self) -> Self;
+    /// Lanewise wrapping multiply (low 32 bits).
+    fn mul(self, o: Self) -> Self;
+    /// Lanewise exact int→float conversion (used for small-magnitude
+    /// exponents, where it is lossless).
+    fn to_f32(self) -> Self::Float;
+    /// Lanewise `2^self` built by exponent-field construction:
+    /// `bitcast((self + 127) << 23)`. Lanes must be in `[-126, 127]`.
+    fn exp2_bits(self) -> Self::Float;
+}
+
+/// Scalar fallback register: a plain `[f32; 8]` with per-lane scalar ops.
+///
+/// This is the cross-ISA reference implementation: each method performs the
+/// same single IEEE operation per lane that the AVX2/NEON registers do, so
+/// generic kernels instantiated with it are the bit-exact oracle for the
+/// vector paths (and the tail path inside those kernels).
+#[derive(Clone, Copy)]
+pub struct ScalarF32x8(pub [f32; LANES]);
+
+/// Scalar fallback i32 register.
+#[derive(Clone, Copy)]
+pub struct ScalarI32x8(pub [i32; LANES]);
+
+impl F32x8 for ScalarF32x8 {
+    type Int = ScalarI32x8;
+
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        ScalarF32x8([v; LANES])
+    }
+
+    #[inline(always)]
+    fn load(src: &[f32; LANES]) -> Self {
+        ScalarF32x8(*src)
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f32; LANES]) {
+        *dst = self.0;
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        let mut r = self.0;
+        for (a, b) in r.iter_mut().zip(o.0) {
+            *a += b;
+        }
+        ScalarF32x8(r)
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        let mut r = self.0;
+        for (a, b) in r.iter_mut().zip(o.0) {
+            *a -= b;
+        }
+        ScalarF32x8(r)
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        let mut r = self.0;
+        for (a, b) in r.iter_mut().zip(o.0) {
+            *a *= b;
+        }
+        ScalarF32x8(r)
+    }
+
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        let mut r = self.0;
+        for (a, b) in r.iter_mut().zip(o.0) {
+            *a /= b;
+        }
+        ScalarF32x8(r)
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        let mut r = self.0;
+        for a in r.iter_mut() {
+            *a = a.sqrt();
+        }
+        ScalarF32x8(r)
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        let mut r = self.0;
+        for (a, b) in r.iter_mut().zip(o.0) {
+            // maxps semantics: second operand wins when either is NaN.
+            *a = if *a > b { *a } else { b };
+        }
+        ScalarF32x8(r)
+    }
+
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        let mut r = self.0;
+        for (a, b) in r.iter_mut().zip(o.0) {
+            *a = if *a < b { *a } else { b };
+        }
+        ScalarF32x8(r)
+    }
+
+    #[inline(always)]
+    fn to_i32_nearest(self) -> ScalarI32x8 {
+        let mut r = [0i32; LANES];
+        for (o, a) in r.iter_mut().zip(self.0) {
+            *o = a.round_ties_even() as i32;
+        }
+        ScalarI32x8(r)
+    }
+
+    #[inline(always)]
+    fn with_nan_from(self, src: Self) -> Self {
+        let mut r = self.0;
+        for (a, s) in r.iter_mut().zip(src.0) {
+            if s.is_nan() {
+                *a = s;
+            }
+        }
+        ScalarF32x8(r)
+    }
+
+    #[inline(always)]
+    fn hmax(self) -> f32 {
+        let mut m = self.0[0];
+        for &v in &self.0[1..] {
+            m = if m > v { m } else { v };
+        }
+        m
+    }
+
+    #[inline(always)]
+    fn hsum(self) -> f32 {
+        // Same pairwise tree the AVX2 reduction uses:
+        // ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+        let l = self.0;
+        let a = [l[0] + l[4], l[1] + l[5], l[2] + l[6], l[3] + l[7]];
+        (a[0] + a[2]) + (a[1] + a[3])
+    }
+}
+
+impl I32x8 for ScalarI32x8 {
+    type Float = ScalarF32x8;
+
+    #[inline(always)]
+    fn splat(v: i32) -> Self {
+        ScalarI32x8([v; LANES])
+    }
+
+    #[inline(always)]
+    fn load(src: &[i32; LANES]) -> Self {
+        ScalarI32x8(*src)
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i32; LANES]) {
+        *dst = self.0;
+    }
+
+    #[inline(always)]
+    fn widen_i8(src: &[i8; LANES]) -> Self {
+        let mut r = [0i32; LANES];
+        for (o, &b) in r.iter_mut().zip(src) {
+            *o = b as i32;
+        }
+        ScalarI32x8(r)
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        let mut r = self.0;
+        for (a, b) in r.iter_mut().zip(o.0) {
+            *a = a.wrapping_add(b);
+        }
+        ScalarI32x8(r)
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        let mut r = self.0;
+        for (a, b) in r.iter_mut().zip(o.0) {
+            *a = a.wrapping_mul(b);
+        }
+        ScalarI32x8(r)
+    }
+
+    #[inline(always)]
+    fn to_f32(self) -> ScalarF32x8 {
+        let mut r = [0.0f32; LANES];
+        for (o, a) in r.iter_mut().zip(self.0) {
+            *o = a as f32;
+        }
+        ScalarF32x8(r)
+    }
+
+    #[inline(always)]
+    fn exp2_bits(self) -> ScalarF32x8 {
+        let mut r = [0.0f32; LANES];
+        for (o, n) in r.iter_mut().zip(self.0) {
+            *o = f32::from_bits((n.wrapping_add(127) as u32) << 23);
+        }
+        ScalarF32x8(r)
+    }
+}

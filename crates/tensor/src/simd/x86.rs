@@ -1,0 +1,311 @@
+//! AVX2 registers and the `#[target_feature(enable = "avx2")]` kernel
+//! entry points.
+//!
+//! The trait impls wrap one `__m256`/`__m256i` each; every method lowers to
+//! a single correctly-rounded (f32) or exact (i32) instruction, and none of
+//! them fuse — `mul` + `add` round twice exactly like the scalar reference,
+//! which is what keeps the AVX2 kernels bit-identical to [`ScalarF32x8`]
+//! on the linear paths (DESIGN §5g).
+//!
+//! Safety model: the intrinsics themselves are safe to *execute* whenever
+//! the CPU supports AVX2. The only route to these kernels is the `Isa`
+//! dispatch in `simd::mod`, which selects [`Isa::Avx2`] exclusively after
+//! `is_x86_feature_detected!("avx2")` succeeds; each `unsafe` block below
+//! cites that invariant.
+
+use super::kernels::{self, MR, NR};
+use super::vec::{F32x8, I32x8, LANES};
+use std::arch::x86_64::*;
+
+/// One AVX2 f32 register.
+#[derive(Clone, Copy)]
+pub struct AvxF32x8(__m256);
+
+/// One AVX2 i32 register.
+#[derive(Clone, Copy)]
+pub struct AvxI32x8(__m256i);
+
+impl F32x8 for AvxF32x8 {
+    type Int = AvxI32x8;
+
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        // SAFETY: reached only via the Isa::Avx2 dispatch, which requires a
+        // successful runtime avx2 detection (module safety model).
+        AvxF32x8(unsafe { _mm256_set1_ps(v) })
+    }
+
+    #[inline(always)]
+    fn load(src: &[f32; LANES]) -> Self {
+        // SAFETY: avx2 verified at dispatch (module safety model); the
+        // 8-element array reference is valid for 8 unaligned f32 reads.
+        AvxF32x8(unsafe { _mm256_loadu_ps(src.as_ptr()) })
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f32; LANES]) {
+        // SAFETY: avx2 verified at dispatch; the 8-element array reference
+        // is valid for 8 unaligned f32 writes.
+        unsafe { _mm256_storeu_ps(dst.as_mut_ptr(), self.0) }
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        // SAFETY: avx2 verified at dispatch (module safety model).
+        AvxF32x8(unsafe { _mm256_add_ps(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        // SAFETY: avx2 verified at dispatch (module safety model).
+        AvxF32x8(unsafe { _mm256_sub_ps(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        // SAFETY: avx2 verified at dispatch (module safety model).
+        AvxF32x8(unsafe { _mm256_mul_ps(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        // SAFETY: avx2 verified at dispatch (module safety model).
+        AvxF32x8(unsafe { _mm256_div_ps(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        // SAFETY: avx2 verified at dispatch (module safety model).
+        AvxF32x8(unsafe { _mm256_sqrt_ps(self.0) })
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        // SAFETY: avx2 verified at dispatch (module safety model).
+        AvxF32x8(unsafe { _mm256_max_ps(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        // SAFETY: avx2 verified at dispatch (module safety model).
+        AvxF32x8(unsafe { _mm256_min_ps(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn to_i32_nearest(self) -> AvxI32x8 {
+        // SAFETY: avx2 verified at dispatch; cvtps2dq rounds to nearest
+        // even under the default MXCSR mode, matching `round_ties_even`.
+        AvxI32x8(unsafe { _mm256_cvtps_epi32(self.0) })
+    }
+
+    #[inline(always)]
+    fn with_nan_from(self, src: Self) -> Self {
+        // SAFETY: avx2 verified at dispatch. UNORD_Q compares lanes where
+        // src is NaN; blendv takes src (the NaN) there, self elsewhere.
+        unsafe {
+            let nan_mask = _mm256_cmp_ps::<_CMP_UNORD_Q>(src.0, src.0);
+            AvxF32x8(_mm256_blendv_ps(self.0, src.0, nan_mask))
+        }
+    }
+
+    #[inline(always)]
+    fn hmax(self) -> f32 {
+        // SAFETY: avx2 verified at dispatch (module safety model).
+        unsafe {
+            let lo = _mm256_castps256_ps128(self.0);
+            let hi = _mm256_extractf128_ps::<1>(self.0);
+            let m = _mm_max_ps(lo, hi);
+            let m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+            let m = _mm_max_ss(m, _mm_shuffle_ps::<0b01>(m, m));
+            _mm_cvtss_f32(m)
+        }
+    }
+
+    #[inline(always)]
+    fn hsum(self) -> f32 {
+        // SAFETY: avx2 verified at dispatch. The pairwise tree
+        // ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) matches ScalarF32x8::hsum.
+        unsafe {
+            let lo = _mm256_castps256_ps128(self.0);
+            let hi = _mm256_extractf128_ps::<1>(self.0);
+            let s = _mm_add_ps(lo, hi);
+            let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_add_ss(s, _mm_shuffle_ps::<0b01>(s, s));
+            _mm_cvtss_f32(s)
+        }
+    }
+}
+
+impl I32x8 for AvxI32x8 {
+    type Float = AvxF32x8;
+
+    #[inline(always)]
+    fn splat(v: i32) -> Self {
+        // SAFETY: avx2 verified at dispatch (module safety model).
+        AvxI32x8(unsafe { _mm256_set1_epi32(v) })
+    }
+
+    #[inline(always)]
+    fn load(src: &[i32; LANES]) -> Self {
+        // SAFETY: avx2 verified at dispatch; the 8-element array reference
+        // is valid for one unaligned 256-bit read.
+        AvxI32x8(unsafe { _mm256_loadu_si256(src.as_ptr().cast()) })
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i32; LANES]) {
+        // SAFETY: avx2 verified at dispatch; the 8-element array reference
+        // is valid for one unaligned 256-bit write.
+        unsafe { _mm256_storeu_si256(dst.as_mut_ptr().cast(), self.0) }
+    }
+
+    #[inline(always)]
+    fn widen_i8(src: &[i8; LANES]) -> Self {
+        // SAFETY: avx2 verified at dispatch; the 8-element array reference
+        // is valid for one unaligned 64-bit read, sign-extended lanewise.
+        unsafe {
+            let bytes = _mm_loadl_epi64(src.as_ptr().cast());
+            AvxI32x8(_mm256_cvtepi8_epi32(bytes))
+        }
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        // SAFETY: avx2 verified at dispatch (module safety model).
+        AvxI32x8(unsafe { _mm256_add_epi32(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        // SAFETY: avx2 verified at dispatch; mullo keeps the low 32 bits,
+        // matching scalar wrapping_mul.
+        AvxI32x8(unsafe { _mm256_mullo_epi32(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn to_f32(self) -> AvxF32x8 {
+        // SAFETY: avx2 verified at dispatch (module safety model).
+        AvxF32x8(unsafe { _mm256_cvtepi32_ps(self.0) })
+    }
+
+    #[inline(always)]
+    fn exp2_bits(self) -> AvxF32x8 {
+        // SAFETY: avx2 verified at dispatch. (n + 127) << 23 constructs the
+        // f32 exponent field; the cast is a bit reinterpretation.
+        unsafe {
+            let biased = _mm256_add_epi32(self.0, _mm256_set1_epi32(127));
+            AvxF32x8(_mm256_castsi256_ps(_mm256_slli_epi32::<23>(biased)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// target_feature entry points (monomorphized generic kernels)
+// ---------------------------------------------------------------------
+
+/// GEMM microkernel on AVX2 registers.
+///
+/// # Safety
+/// The CPU must support AVX2 (the `Isa::Avx2` dispatch guarantees this).
+// SAFETY: declared unsafe because executing AVX2 instructions requires CPU
+// support; the Isa::Avx2 dispatch verifies that before calling in here.
+#[target_feature(enable = "avx2")]
+pub unsafe fn microkernel(kc: usize, a_strip: &[f32], b_panel: &[f32], acc: &mut [f32; MR * NR]) {
+    kernels::microkernel::<AvxF32x8>(kc, a_strip, b_panel, acc)
+}
+
+/// Int8 GEMM output row on AVX2 registers.
+///
+/// # Safety
+/// The CPU must support AVX2 (the `Isa::Avx2` dispatch guarantees this).
+// SAFETY: declared unsafe because executing AVX2 instructions requires CPU
+// support; the Isa::Avx2 dispatch verifies that before calling in here.
+#[target_feature(enable = "avx2")]
+pub unsafe fn qmatmul_row(arow: &[i8], b: &[i8], n: usize, out: &mut [i32]) {
+    kernels::qmatmul_row::<AvxF32x8>(arow, b, n, out)
+}
+
+/// `dst += alpha * src` on AVX2 registers.
+///
+/// # Safety
+/// The CPU must support AVX2 (the `Isa::Avx2` dispatch guarantees this).
+// SAFETY: declared unsafe because executing AVX2 instructions requires CPU
+// support; the Isa::Avx2 dispatch verifies that before calling in here.
+#[target_feature(enable = "avx2")]
+pub unsafe fn axpy(dst: &mut [f32], src: &[f32], alpha: f32) {
+    kernels::axpy::<AvxF32x8>(dst, src, alpha)
+}
+
+/// Fused momentum update on AVX2 registers.
+///
+/// # Safety
+/// The CPU must support AVX2 (the `Isa::Avx2` dispatch guarantees this).
+// SAFETY: declared unsafe because executing AVX2 instructions requires CPU
+// support; the Isa::Avx2 dispatch verifies that before calling in here.
+#[target_feature(enable = "avx2")]
+pub unsafe fn decay_axpy(dst: &mut [f32], src: &[f32], decay: f32, alpha: f32) {
+    kernels::decay_axpy::<AvxF32x8>(dst, src, decay, alpha)
+}
+
+/// Fused second-moment update on AVX2 registers.
+///
+/// # Safety
+/// The CPU must support AVX2 (the `Isa::Avx2` dispatch guarantees this).
+// SAFETY: declared unsafe because executing AVX2 instructions requires CPU
+// support; the Isa::Avx2 dispatch verifies that before calling in here.
+#[target_feature(enable = "avx2")]
+pub unsafe fn ema_sq(dst: &mut [f32], src: &[f32], decay: f32, w: f32) {
+    kernels::ema_sq::<AvxF32x8>(dst, src, decay, w)
+}
+
+/// Adam parameter update on AVX2 registers.
+///
+/// # Safety
+/// The CPU must support AVX2 (the `Isa::Avx2` dispatch guarantees this).
+// SAFETY: declared unsafe because executing AVX2 instructions requires CPU
+// support; the Isa::Avx2 dispatch verifies that before calling in here.
+#[target_feature(enable = "avx2")]
+pub unsafe fn adam_update(
+    p: &mut [f32],
+    m: &[f32],
+    v: &[f32],
+    lr: f32,
+    eps: f32,
+    bc1: f32,
+    bc2: f32,
+) {
+    kernels::adam_update::<AvxF32x8>(p, m, v, lr, eps, bc1, bc2)
+}
+
+/// Polynomial exp over a slice on AVX2 registers.
+///
+/// # Safety
+/// The CPU must support AVX2 (the `Isa::Avx2` dispatch guarantees this).
+// SAFETY: declared unsafe because executing AVX2 instructions requires CPU
+// support; the Isa::Avx2 dispatch verifies that before calling in here.
+#[target_feature(enable = "avx2")]
+pub unsafe fn exp_inplace(xs: &mut [f32]) {
+    kernels::exp_inplace::<AvxF32x8>(xs)
+}
+
+/// Polynomial tanh over a slice on AVX2 registers.
+///
+/// # Safety
+/// The CPU must support AVX2 (the `Isa::Avx2` dispatch guarantees this).
+// SAFETY: declared unsafe because executing AVX2 instructions requires CPU
+// support; the Isa::Avx2 dispatch verifies that before calling in here.
+#[target_feature(enable = "avx2")]
+pub unsafe fn tanh_inplace(xs: &mut [f32]) {
+    kernels::tanh_inplace::<AvxF32x8>(xs)
+}
+
+/// In-place softmax of one row on AVX2 registers.
+///
+/// # Safety
+/// The CPU must support AVX2 (the `Isa::Avx2` dispatch guarantees this).
+// SAFETY: declared unsafe because executing AVX2 instructions requires CPU
+// support; the Isa::Avx2 dispatch verifies that before calling in here.
+#[target_feature(enable = "avx2")]
+pub unsafe fn softmax_row(row: &mut [f32]) {
+    kernels::softmax_row::<AvxF32x8>(row)
+}

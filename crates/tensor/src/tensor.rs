@@ -6,6 +6,7 @@ use crate::gemm::{gemm, gemm_reference, Layout};
 use crate::pool::{self, ThreadPool};
 use crate::rng::Rng;
 use crate::shape::Shape;
+use crate::simd;
 
 /// A dense n-dimensional array of `f32` stored contiguously in row-major
 /// order.
@@ -260,9 +261,9 @@ impl Tensor {
 
     /// Concatenates tensors along `axis`; all other extents must match.
     pub fn concat(parts: &[&Tensor], axis: usize) -> Result<Tensor> {
-        let first = parts.first().ok_or_else(|| {
-            TensorError::Numerical("concat of empty tensor list".into())
-        })?;
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::Numerical("concat of empty tensor list".into()))?;
         let rank = first.rank();
         if axis >= rank {
             return Err(TensorError::AxisOutOfRange { axis, rank });
@@ -390,13 +391,14 @@ impl Tensor {
                 shape: self.shape.clone(),
             });
         }
-        let target = self.shape.broadcast(&other.shape).map_err(|_| {
-            TensorError::ShapeMismatch {
-                op,
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-            }
-        })?;
+        let target =
+            self.shape
+                .broadcast(&other.shape)
+                .map_err(|_| TensorError::ShapeMismatch {
+                    op,
+                    lhs: self.dims().to_vec(),
+                    rhs: other.dims().to_vec(),
+                })?;
         let ls = self.shape.broadcast_strides(&target)?;
         let rs = other.shape.broadcast_strides(&target)?;
         let rank = target.rank();
@@ -465,16 +467,9 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        pool::for_each_chunk_mut_zip(
-            ThreadPool::global(),
-            &mut self.data,
-            &other.data,
-            |d, s| {
-                for (a, &b) in d.iter_mut().zip(s.iter()) {
-                    *a += alpha * b;
-                }
-            },
-        );
+        pool::for_each_chunk_mut_zip(ThreadPool::global(), &mut self.data, &other.data, |d, s| {
+            simd::axpy(d, s, alpha)
+        });
         Ok(())
     }
 
@@ -488,16 +483,9 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        pool::for_each_chunk_mut_zip(
-            ThreadPool::global(),
-            &mut self.data,
-            &other.data,
-            |d, s| {
-                for (a, &b) in d.iter_mut().zip(s.iter()) {
-                    *a = decay * *a + alpha * b;
-                }
-            },
-        );
+        pool::for_each_chunk_mut_zip(ThreadPool::global(), &mut self.data, &other.data, |d, s| {
+            simd::decay_axpy(d, s, decay, alpha)
+        });
         Ok(())
     }
 
@@ -512,16 +500,9 @@ impl Tensor {
             });
         }
         let w = 1.0 - decay;
-        pool::for_each_chunk_mut_zip(
-            ThreadPool::global(),
-            &mut self.data,
-            &other.data,
-            |d, s| {
-                for (a, &g) in d.iter_mut().zip(s.iter()) {
-                    *a = decay * *a + w * g * g;
-                }
-            },
-        );
+        pool::for_each_chunk_mut_zip(ThreadPool::global(), &mut self.data, &other.data, |d, s| {
+            simd::ema_sq(d, s, decay, w)
+        });
         Ok(())
     }
 
@@ -536,20 +517,28 @@ impl Tensor {
         m: &Tensor,
         v: &Tensor,
     ) -> Result<()> {
-        if self.shape != m.shape || self.shape != v.shape {
+        // Validate each operand separately so the error names the moment
+        // tensor that actually disagrees — the chunk-parallel path below
+        // slices both unchecked.
+        if self.shape != m.shape {
             return Err(TensorError::ShapeMismatch {
-                op: "adam_update",
+                op: "adam_update (param vs m)",
                 lhs: self.dims().to_vec(),
                 rhs: m.dims().to_vec(),
             });
         }
+        if self.shape != v.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "adam_update (param vs v)",
+                lhs: self.dims().to_vec(),
+                rhs: v.dims().to_vec(),
+            });
+        }
         pool::for_each_chunk_mut(ThreadPool::global(), &mut self.data, |ci, chunk| {
             let start = ci * pool::CHUNK;
-            for (j, p) in chunk.iter_mut().enumerate() {
-                let m_hat = m.data[start + j] / bc1;
-                let v_hat = v.data[start + j] / bc2;
-                *p -= lr * m_hat / (v_hat.sqrt() + eps);
-            }
+            let mc = &m.data[start..start + chunk.len()];
+            let vc = &v.data[start..start + chunk.len()];
+            simd::adam_update(chunk, mc, vc, lr, eps, bc1, bc2);
         });
         Ok(())
     }
@@ -666,13 +655,10 @@ impl Tensor {
 
     /// Means along `axis`, removing that dimension.
     pub fn mean_axis(&self, axis: usize) -> Result<Tensor> {
-        let extent = *self
-            .dims()
-            .get(axis)
-            .ok_or(TensorError::AxisOutOfRange {
-                axis,
-                rank: self.rank(),
-            })?;
+        let extent = *self.dims().get(axis).ok_or(TensorError::AxisOutOfRange {
+            axis,
+            rank: self.rank(),
+        })?;
         Ok(self.sum_axis(axis)?.mul_scalar(1.0 / extent.max(1) as f32))
     }
 
@@ -751,9 +737,16 @@ impl Tensor {
                 k,
                 &mut out,
             ),
-            Backend::Reference => {
-                gemm_reference(&self.data, a_layout, &other.data, b_layout, m, n, k, &mut out)
-            }
+            Backend::Reference => gemm_reference(
+                &self.data,
+                a_layout,
+                &other.data,
+                b_layout,
+                m,
+                n,
+                k,
+                &mut out,
+            ),
         }
         Tensor::from_vec(out, &[m, n])
     }
@@ -824,7 +817,9 @@ impl Tensor {
             if reference {
                 gemm_reference(a_slice, a_layout, b_slice, b_layout, m, n, k, o_slice);
             } else {
-                gemm(pool_ref, a_slice, a_layout, b_slice, b_layout, m, n, k, o_slice);
+                gemm(
+                    pool_ref, a_slice, a_layout, b_slice, b_layout, m, n, k, o_slice,
+                );
             }
         });
         Tensor::from_vec(out, &[b, m, n])
@@ -955,10 +950,7 @@ mod tests {
         let x = Tensor::randn(&[2, 3, 4, 5], &mut rng);
         let y = x.permute(&[0, 2, 3, 1]).unwrap();
         assert_eq!(y.dims(), &[2, 4, 5, 3]);
-        assert_eq!(
-            y.at(&[1, 2, 3, 1]).unwrap(),
-            x.at(&[1, 1, 2, 3]).unwrap()
-        );
+        assert_eq!(y.at(&[1, 2, 3, 1]).unwrap(), x.at(&[1, 1, 2, 3]).unwrap());
     }
 
     #[test]
@@ -1046,6 +1038,24 @@ mod tests {
         assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
         let c = Tensor::zeros(&[4]);
         assert!(a.axpy_inplace(1.0, &c).is_err());
+    }
+
+    #[test]
+    fn adam_update_rejects_each_mismatched_moment_by_name() {
+        let mut p = Tensor::ones(&[4]);
+        let good = Tensor::ones(&[4]);
+        let bad = Tensor::ones(&[5]);
+        let err = p.adam_update_inplace(1e-3, 1e-8, 0.9, 0.99, &bad, &good);
+        assert!(err.unwrap_err().to_string().contains("param vs m"));
+        let err = p.adam_update_inplace(1e-3, 1e-8, 0.9, 0.99, &good, &bad);
+        assert!(err.unwrap_err().to_string().contains("param vs v"));
+        assert!(p
+            .adam_update_inplace(1e-3, 1e-8, 0.9, 0.99, &good, &good)
+            .is_ok());
+        let err = p.decay_axpy_inplace(0.9, 0.1, &bad);
+        assert!(err.unwrap_err().to_string().contains("decay_axpy"));
+        let err = p.ema_sq_inplace(0.99, &bad);
+        assert!(err.unwrap_err().to_string().contains("ema_sq"));
     }
 
     #[test]

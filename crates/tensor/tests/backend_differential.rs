@@ -14,6 +14,7 @@
 
 use egeria_tensor::backend::{set_backend, Backend};
 use egeria_tensor::conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, Conv2dSpec};
+use egeria_tensor::simd::{self, Isa};
 use egeria_tensor::{Rng, Tensor};
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -32,6 +33,24 @@ fn differential<T>(f: impl Fn() -> T) -> (T, T) {
     set_backend(Backend::Blocked);
     let b = f();
     (r, b)
+}
+
+/// Runs `f` under `Isa::Scalar` and under this machine's vector unit,
+/// returning `None` when there is no vector unit (the ISA contract is then
+/// trivially satisfied). `set_isa`, like `set_backend`, is process-global,
+/// so this shares `BACKEND_LOCK`; the lock is released with the ISA back at
+/// the auto-detected default.
+fn isa_differential<T>(f: impl Fn() -> T) -> Option<(T, T)> {
+    let vector = simd::detect();
+    if vector == Isa::Scalar {
+        return None;
+    }
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    simd::set_isa(Isa::Scalar);
+    let s = f();
+    simd::set_isa(vector);
+    let v = f();
+    Some((s, v))
 }
 
 fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
@@ -53,11 +72,19 @@ fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
 #[test]
 fn matmul_backends_bit_identical_within_one_k_block() {
     let mut rng = Rng::new(101);
-    for &(m, n, k) in &[(1usize, 1usize, 1usize), (7, 5, 3), (33, 17, 255), (64, 48, KC)] {
+    for &(m, n, k) in &[
+        (1usize, 1usize, 1usize),
+        (7, 5, 3),
+        (33, 17, 255),
+        (64, 48, KC),
+    ] {
         let a = Tensor::randn(&[m, k], &mut rng);
         let b = Tensor::randn(&[k, n], &mut rng);
         let (r, p) = differential(|| a.matmul(&b).unwrap());
-        assert!(bits_eq(&r, &p), "matmul ({m},{n},{k}) differs between backends");
+        assert!(
+            bits_eq(&r, &p),
+            "matmul ({m},{n},{k}) differs between backends"
+        );
     }
 }
 
@@ -189,5 +216,148 @@ proptest! {
         let (gwr, gwp) = differential(|| conv2d_grad_weight(&g, &x, w.dims(), spec).unwrap());
         let dgw = max_abs_diff(&gwr, &gwp);
         prop_assert!(dgw <= 1e-3, "conv2d grad_weight drifted {dgw}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ISA differential: `Isa::Scalar` vs the machine's vector unit.
+//
+// DESIGN §5g splits the kernels in two classes. Everything built from
+// single-rounded IEEE lane ops in a fixed order — GEMM, the int8 qmatmul
+// dot, and the fused optimizer kernels — must be **bit-identical** between
+// the scalar fallback and every vector ISA (the vector bodies deliberately
+// use unfused mul+add, never FMA). The transcendentals (exp/tanh/softmax)
+// swap libm for a polynomial under a vector ISA and are only promised to
+// agree within tolerance.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random shapes, including reductions spanning several k-blocks: the
+    /// blocked GEMM is bit-identical between scalar and vector ISAs.
+    #[test]
+    fn prop_matmul_scalar_vs_simd_bit_identical(
+        seed in any::<u64>(),
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..300,
+    ) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        if let Some((s, v)) = isa_differential(|| a.matmul(&b).unwrap()) {
+            prop_assert!(bits_eq(&s, &v), "matmul ({m},{n},{k}) differs between ISAs");
+        }
+    }
+
+    /// The int8 row-dot kernel under qmatmul accumulates in exact i32
+    /// arithmetic: scalar and vector ISAs must agree to the last bit.
+    #[test]
+    fn prop_qmatmul_row_scalar_vs_simd_exact(
+        seed in any::<u64>(),
+        k in 1usize..128,
+        n in 1usize..48,
+    ) {
+        let mut rng = Rng::new(seed);
+        let to_i8 = |t: &Tensor| -> Vec<i8> {
+            t.data().iter().map(|&x| (x * 40.0).clamp(-127.0, 127.0) as i8).collect()
+        };
+        let arow = to_i8(&Tensor::randn(&[k], &mut rng));
+        let b = to_i8(&Tensor::randn(&[k, n], &mut rng));
+        let run = || {
+            let mut acc = vec![0i32; n];
+            simd::qmatmul_row(&arow, &b, n, &mut acc);
+            acc
+        };
+        if let Some((s, v)) = isa_differential(run) {
+            prop_assert_eq!(s, v, "qmatmul_row ({}, {}) differs between ISAs", k, n);
+        }
+    }
+
+    /// The fused optimizer kernels (axpy / decay_axpy / ema_sq / adam) are
+    /// pure lane arithmetic: bit-identical between ISAs.
+    #[test]
+    fn prop_fused_optimizer_scalar_vs_simd_bit_identical(
+        seed in any::<u64>(),
+        len in 1usize..200,
+        which in 0usize..4,
+    ) {
+        let mut rng = Rng::new(seed);
+        let p0 = Tensor::randn(&[len], &mut rng);
+        let g = Tensor::randn(&[len], &mut rng);
+        let m = Tensor::randn(&[len], &mut rng);
+        let v = g.map(|x| x * x + 1e-3);
+        let run = || {
+            let mut p = p0.clone();
+            match which {
+                0 => p.axpy_inplace(-0.05, &g).unwrap(),
+                1 => p.decay_axpy_inplace(0.9, -0.05, &g).unwrap(),
+                2 => p.ema_sq_inplace(0.99, &g).unwrap(),
+                _ => p.adam_update_inplace(1e-3, 1e-8, 0.9, 0.99, &m, &v).unwrap(),
+            }
+            p
+        };
+        if let Some((s, r)) = isa_differential(run) {
+            prop_assert!(bits_eq(&s, &r), "optimizer kernel {which} differs between ISAs");
+        }
+    }
+
+    /// exp/tanh: the vector polynomial tracks libm within tight tolerance
+    /// over the clamped domain (bit-identity deliberately not promised).
+    #[test]
+    fn prop_exp_tanh_scalar_vs_simd_toleranced(
+        seed in any::<u64>(),
+        len in 1usize..300,
+        tanh in any::<bool>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn(&[len], &mut rng).map(|v| v * 5.0);
+        let run = || {
+            let mut y = x.clone();
+            if tanh {
+                simd::tanh_inplace(y.data_mut());
+            } else {
+                simd::exp_inplace(y.data_mut());
+            }
+            y
+        };
+        if let Some((s, v)) = isa_differential(run) {
+            for (a, b) in s.data().iter().zip(v.data().iter()) {
+                if tanh {
+                    prop_assert!((a - b).abs() <= 1e-5, "tanh drifted: {a} vs {b}");
+                } else {
+                    prop_assert!((a - b).abs() <= 1e-5 * a.abs().max(1e-30),
+                        "exp drifted: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    /// softmax rows: scalar and vector ISAs agree within tolerance and the
+    /// vector result still normalizes.
+    #[test]
+    fn prop_softmax_scalar_vs_simd_toleranced(
+        seed in any::<u64>(),
+        rows in 1usize..4,
+        k in 1usize..40,
+    ) {
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn(&[rows, k], &mut rng).map(|v| v * 3.0);
+        let run = || {
+            let mut y = x.clone();
+            for r in 0..rows {
+                simd::softmax_row(&mut y.data_mut()[r * k..(r + 1) * k]);
+            }
+            y
+        };
+        if let Some((s, v)) = isa_differential(run) {
+            let d = max_abs_diff(&s, &v);
+            prop_assert!(d <= 1e-5, "softmax drifted {d} between ISAs");
+            for r in 0..rows {
+                let sum: f32 = v.data()[r * k..(r + 1) * k].iter().sum();
+                prop_assert!((sum - 1.0).abs() <= 1e-5, "vector softmax row sums to {sum}");
+            }
+        }
     }
 }

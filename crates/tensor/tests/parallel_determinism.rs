@@ -12,8 +12,10 @@ use egeria_tensor::conv::{
     Conv2dSpec,
 };
 use egeria_tensor::gemm::{gemm, gemm_reference, Layout};
+use egeria_tensor::simd::{self, Isa};
 use egeria_tensor::{Rng, Tensor, ThreadPool};
 use proptest::prelude::*;
+use std::sync::Mutex;
 
 const THREADS: [usize; 4] = [1, 2, 7, 8];
 
@@ -29,7 +31,17 @@ fn bits_eq(a: &[f32], b: &[f32]) -> bool {
 fn run_gemm(threads: usize, a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
     let pool = ThreadPool::new(threads);
     let mut c = vec![0.0f32; m * n];
-    gemm(&pool, a, Layout::RowMajor, b, Layout::RowMajor, m, n, k, &mut c);
+    gemm(
+        &pool,
+        a,
+        Layout::RowMajor,
+        b,
+        Layout::RowMajor,
+        m,
+        n,
+        k,
+        &mut c,
+    );
     c
 }
 
@@ -37,19 +49,39 @@ fn run_gemm(threads: usize, a: &[f32], b: &[f32], m: usize, n: usize, k: usize) 
 #[test]
 fn gemm_bit_identical_across_thread_counts_on_odd_shapes() {
     let mut rng = Rng::new(77);
-    for &(m, n, k) in &[(1usize, 1usize, 1usize), (3, 5, 7), (65, 9, 257), (130, 67, 31)] {
+    for &(m, n, k) in &[
+        (1usize, 1usize, 1usize),
+        (3, 5, 7),
+        (65, 9, 257),
+        (130, 67, 31),
+    ] {
         let a = Tensor::randn(&[m, k], &mut rng);
         let b = Tensor::randn(&[k, n], &mut rng);
         let serial = run_gemm(1, a.data(), b.data(), m, n, k);
         for &t in &THREADS[1..] {
             let par = run_gemm(t, a.data(), b.data(), m, n, k);
-            assert!(bits_eq(&serial, &par), "gemm ({m},{n},{k}) differs at {t} threads");
+            assert!(
+                bits_eq(&serial, &par),
+                "gemm ({m},{n},{k}) differs at {t} threads"
+            );
         }
         // And the blocked kernel agrees with the naive reference numerically.
         let mut naive = vec![0.0f32; m * n];
-        gemm_reference(a.data(), Layout::RowMajor, b.data(), Layout::RowMajor, m, n, k, &mut naive);
+        gemm_reference(
+            a.data(),
+            Layout::RowMajor,
+            b.data(),
+            Layout::RowMajor,
+            m,
+            n,
+            k,
+            &mut naive,
+        );
         for (s, r) in serial.iter().zip(naive.iter()) {
-            assert!((s - r).abs() <= 1e-3 * r.abs().max(1.0), "blocked vs naive: {s} vs {r}");
+            assert!(
+                (s - r).abs() <= 1e-3 * r.abs().max(1.0),
+                "blocked vs naive: {s} vs {r}"
+            );
         }
     }
 }
@@ -60,7 +92,9 @@ fn conv2d_bit_identical_across_thread_counts() {
     // (n, c_in, c_out, h, w, kh, kw, stride, pad) — strides > 1 and
     // padding > 0 included deliberately.
     for &(n, c_in, c_out, h, w, kh, kw, stride, pad) in &[
-        (2usize, 3usize, 4usize, 9usize, 7usize, 3usize, 3usize, 1usize, 1usize),
+        (
+            2usize, 3usize, 4usize, 9usize, 7usize, 3usize, 3usize, 1usize, 1usize,
+        ),
         (3, 2, 5, 11, 8, 3, 2, 2, 1),
         (1, 4, 3, 13, 9, 5, 3, 3, 2),
     ] {
@@ -76,16 +110,60 @@ fn conv2d_bit_identical_across_thread_counts() {
         for &t in &THREADS[1..] {
             let pt = ThreadPool::new(t);
             let yt = conv2d_with_pool(&pt, &x, &wt, Some(&b), spec).unwrap();
-            assert!(bits_eq(y1.data(), yt.data()), "forward differs at {t} threads");
+            assert!(
+                bits_eq(y1.data(), yt.data()),
+                "forward differs at {t} threads"
+            );
             let gxt = conv2d_grad_input_with_pool(&pt, &g, &wt, x.dims(), spec).unwrap();
-            assert!(bits_eq(gx1.data(), gxt.data()), "grad_input differs at {t} threads");
+            assert!(
+                bits_eq(gx1.data(), gxt.data()),
+                "grad_input differs at {t} threads"
+            );
             let gwt = conv2d_grad_weight_with_pool(&pt, &g, &x, wt.dims(), spec).unwrap();
-            assert!(bits_eq(gw1.data(), gwt.data()), "grad_weight differs at {t} threads");
+            assert!(
+                bits_eq(gw1.data(), gwt.data()),
+                "grad_weight differs at {t} threads"
+            );
         }
         // The blocked lowering agrees with the seed's direct loops.
         let y_ref = reference::conv2d(&x, &wt, Some(&b), spec).unwrap();
         assert!(y1.allclose(&y_ref, 1e-4));
     }
+}
+
+/// The thread-count contract must hold at *every* ISA, not just the
+/// default: the SIMD microkernel partitions by the same fixed geometry as
+/// the scalar one (DESIGN §5g), so each ISA's 1-thread output is the
+/// reference for its 2/7/8-thread runs. (GEMM is additionally bit-identical
+/// *across* ISAs — pinned by backend_differential.rs — so flipping the
+/// process-global ISA here cannot disturb the other tests in this binary;
+/// the mutex only serializes this test against itself under `--test-threads`.)
+#[test]
+fn gemm_bit_identical_across_thread_counts_at_every_isa() {
+    static ISA_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = ISA_LOCK.lock().unwrap();
+    let mut rng = Rng::new(79);
+    let mut isas = vec![Isa::Scalar];
+    if simd::detect() != Isa::Scalar {
+        isas.push(simd::detect());
+    }
+    for &isa in &isas {
+        simd::set_isa(isa);
+        for &(m, n, k) in &[(5usize, 21usize, 300usize), (64, 48, 256), (33, 17, 31)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let serial = run_gemm(1, a.data(), b.data(), m, n, k);
+            for &t in &THREADS[1..] {
+                let par = run_gemm(t, a.data(), b.data(), m, n, k);
+                assert!(
+                    bits_eq(&serial, &par),
+                    "gemm ({m},{n},{k}) differs at {t} threads under {}",
+                    isa.name()
+                );
+            }
+        }
+    }
+    simd::set_isa(simd::detect());
 }
 
 proptest! {
