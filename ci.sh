@@ -6,9 +6,31 @@ cd "$(dirname "$0")"
 
 cargo build --release
 
-# Workspace contract lint (unsafe/SAFETY audit, kernel panic ban, float
-# exact-eq, determinism, vendored-deps) — hard gate before any test runs.
+# Workspace contract lint: the line-local rules (unsafe/SAFETY audit,
+# kernel panic ban, float exact-eq, determinism, vendored-deps) plus the
+# graph tier (panic/wallclock/entropy reachability from kernel and
+# serialize entries, lock-order cycles, unjoined spawns — DESIGN.md §5h)
+# — hard gate before any test runs. Deny findings fail outright; warn
+# findings fail only when new vs the checked-in lint-baseline.json
+# ratchet. The gate doubles as the lint's own perf smoke: parsing and
+# resolving the whole workspace must stay under 5 seconds.
+lint_start=$SECONDS
 cargo run --release -p egeria-lint -- --workspace
+lint_elapsed=$(( SECONDS - lint_start ))
+if [ "$lint_elapsed" -ge 5 ]; then
+    echo "egeria-lint took ${lint_elapsed}s — over the 5s self-perf budget" >&2
+    exit 1
+fi
+
+# The checked-in baseline must be byte-identical to what --bless-baseline
+# would write today: a stale baseline silently widens or mislabels the
+# warn ratchet. (Bless to a scratch file and compare.)
+lint_scratch="$(mktemp)"
+cargo run --release -p egeria-lint -- --workspace --bless-baseline \
+    --baseline "$lint_scratch" >/dev/null
+cmp "$lint_scratch" lint-baseline.json \
+    || { echo "lint-baseline.json is stale — rerun with --bless-baseline" >&2; exit 1; }
+rm -f "$lint_scratch"
 
 # The parallel compute backend must be bit-identical at every pool size
 # and well-behaved at every ISA: run the suite pinned to 1 thread with the
@@ -25,10 +47,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Asserts the determinism contract and the <2% disabled-telemetry overhead
 # contract (DESIGN §5d). The report must carry the SIMD entries (§5g).
 cargo run --release -p egeria-bench --bin bench_ops -- --smoke
-grep -q '"simd_isa"' BENCH_ops.json
-grep -q '"qmatmul"' BENCH_ops.json
-grep -q '"softmax"' BENCH_ops.json
-grep -q '"adam_update"' BENCH_ops.json
+for key in simd_isa qmatmul softmax adam_update; do
+    grep -q "\"$key\"" BENCH_ops.json
+done
 
 # Telemetry smoke: a traced quickstart must emit schema-valid JSONL that
 # trace_report can validate and summarize (trace_report exits non-zero on

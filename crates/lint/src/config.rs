@@ -50,6 +50,9 @@ pub struct Config {
     pub exclude: Vec<String>,
     /// Per-rule tables, keyed by rule id.
     pub rules: BTreeMap<String, RuleConfig>,
+    /// The `[graph]` table: call-graph entry points (`kernel_entries`,
+    /// `serialize_entries`) shared by the graph-tier rules (§5h).
+    pub graph: RuleConfig,
 }
 
 impl Config {
@@ -61,6 +64,12 @@ impl Config {
     /// The config table for `rule` (empty if the table is absent).
     pub fn rule(&self, rule: &str) -> RuleConfig {
         self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Whether a `[rules.<id>]` table is declared at all. Graph-tier rules
+    /// only run when declared, so pre-graph configs keep exact behavior.
+    pub fn has_rule(&self, rule: &str) -> bool {
+        self.rules.contains_key(rule)
     }
 
     /// Whether `rule` applies to `rel`: true when the rule table has no
@@ -128,7 +137,15 @@ pub fn parse(src: &str) -> Result<Config, ConfigError> {
         if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
             let header = header.trim();
             match header.split_once('.') {
-                Some((a, b)) => section = Some((a.trim().to_string(), Some(b.trim().to_string()))),
+                Some((a, b)) => {
+                    let (a, b) = (a.trim().to_string(), b.trim().to_string());
+                    // A bare `[rules.<id>]` header opts the rule in even
+                    // with no keys — graph rules run iff their table exists.
+                    if a == "rules" {
+                        cfg.rules.entry(b.clone()).or_default();
+                    }
+                    section = Some((a, Some(b)));
+                }
                 None => section = Some((header.to_string(), None)),
             }
             continue;
@@ -160,6 +177,15 @@ pub fn parse(src: &str) -> Result<Config, ConfigError> {
                     table.bools.insert(key, value == "true");
                 } else {
                     table.strings.insert(key, parse_string(value, lineno)?);
+                }
+            }
+            Some((s, None)) if s == "graph" => {
+                if value.starts_with('[') {
+                    cfg.graph.lists.insert(key, parse_array(value, lineno)?);
+                } else if value == "true" || value == "false" {
+                    cfg.graph.bools.insert(key, value == "true");
+                } else {
+                    cfg.graph.strings.insert(key, parse_string(value, lineno)?);
                 }
             }
             _ => {
@@ -246,6 +272,27 @@ manifest = "Cargo.toml" # trailing comment
         // Absent table → applies everywhere.
         assert!(cfg.rule_applies("unsafe-needs-safety", "anything.rs"));
         assert_eq!(cfg.rule("vendored-deps-only").strings["manifest"], "Cargo.toml");
+    }
+
+    #[test]
+    fn graph_section_parses() {
+        let src = "
+[graph]
+kernel_entries = [\"egeria_tensor::gemm::*\"]
+serialize_entries = [\"egeria_core::checkpoint::to_bytes\"]
+
+[rules.lock-order]
+tier = \"warn\"
+";
+        let cfg = parse(src).unwrap();
+        assert_eq!(cfg.graph.list("kernel_entries"), ["egeria_tensor::gemm::*"]);
+        assert_eq!(
+            cfg.graph.list("serialize_entries"),
+            ["egeria_core::checkpoint::to_bytes"]
+        );
+        assert!(cfg.has_rule("lock-order"));
+        assert!(!cfg.has_rule("unjoined-spawn"));
+        assert_eq!(cfg.rule("lock-order").strings["tier"], "warn");
     }
 
     #[test]

@@ -1,0 +1,513 @@
+//! The workspace symbol graph and conservative call graph.
+//!
+//! Name resolution is best-effort and deliberately pessimistic (DESIGN.md
+//! §5h): a call that cannot be pinned to one definition resolves to *every*
+//! plausible definition, so reachability over-approximates and a contract
+//! violation cannot hide behind an ambiguous name. Concretely:
+//!
+//! - `path::to::f(...)` resolves through (in order) an exact
+//!   fully-qualified match, the caller's `use` imports, the caller's own
+//!   module, glob imports, then any workspace function whose qualified name
+//!   ends with the written path segments.
+//! - `self.f(...)` resolves to every method `f` on the caller's impl type
+//!   (any impl block, any file).
+//! - `recv.f(...)` with an unknown receiver resolves to every workspace
+//!   method named `f` — except for a short list of ubiquitous std-shadowing
+//!   names (`len`, `get`, `clone`, …) where the std method is
+//!   overwhelmingly the real target; fanning those out would connect the
+//!   whole workspace into one blob and drown real paths. This is the one
+//!   place the graph trades recall for precision, and it is documented as
+//!   such.
+//! - Calls into `std`/vendored crates resolve to nothing: their effects
+//!   (panics, clocks, entropy) are instead modeled as *sink tokens* at the
+//!   call site itself (see [`crate::parser::SinkKind`]), which is exactly
+//!   equivalent for the reachability rules.
+//!
+//! Edges into test functions are dropped: test helpers assert/unwrap by
+//! design and are never part of the shipped call paths the rules guard.
+//!
+//! On top of name resolution, candidate edges are pruned by the *crate
+//! dependency graph* ([`CallGraph::build_with_deps`]): crate A cannot call
+//! crate B unless A's manifest transitively depends on B, so a pessimistic
+//! fan-out can never invent an edge the compiler would reject. Files whose
+//! crate is unknown (examples, benches, integration tests) stay unpruned.
+
+use crate::parser::{CallKind, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Index of one function in the workspace: (file index, fn index).
+pub type FnId = (usize, usize);
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    pub callee: FnId,
+    /// Call-site position (in the caller's file).
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Method names whose pessimistic fan-out is suppressed because the `std`
+/// method of the same name is overwhelmingly the real target (see module
+/// docs).
+const UBIQUITOUS_METHODS: &[&str] = &[
+    "len", "is_empty", "get", "get_mut", "push", "pop", "insert", "remove", "contains",
+    "contains_key", "clone", "iter", "iter_mut", "into_iter", "next", "map", "and_then",
+    "unwrap_or", "unwrap_or_else", "unwrap_or_default", "ok", "err", "as_ref", "as_mut",
+    "as_str", "as_slice", "as_bytes", "to_string", "to_vec", "to_owned", "into", "from", "eq",
+    "cmp", "partial_cmp", "hash", "fmt", "default", "drop", "extend", "clear", "sort",
+    "sort_by", "split", "join", "send", "recv", "min", "max", "abs", "sqrt", "floor", "ceil",
+    "exp", "ln", "powi", "powf",
+];
+
+/// The workspace call graph plus the symbol indexes used to build it.
+pub struct CallGraph {
+    /// Outgoing edges per function, deduplicated, deterministic order.
+    pub edges: BTreeMap<FnId, Vec<Edge>>,
+    /// Qualified-name lookup of every non-test function.
+    by_qual: BTreeMap<String, FnId>,
+    /// Free functions by bare name.
+    by_name: BTreeMap<String, Vec<FnId>>,
+    /// Methods by bare name.
+    methods_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Methods by (impl type, name).
+    methods_by_type: BTreeMap<(String, String), Vec<FnId>>,
+    /// Functions by (second-to-last, last) qualified segments.
+    by_suffix2: BTreeMap<(String, String), Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Builds the symbol graph and resolves every call site in `files`,
+    /// with no crate-dependency pruning (equivalent to an empty dep map).
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        CallGraph::build_with_deps(files, &BTreeMap::new())
+    }
+
+    /// Builds the call graph, dropping any candidate edge from crate A into
+    /// crate B when `deps` knows A and A's (transitively closed) dependency
+    /// set does not contain B — such an edge cannot compile, so keeping it
+    /// would only manufacture false witness paths out of pessimistic
+    /// fan-out. Crates absent from `deps`, and files with no derivable
+    /// crate, are left unpruned (conservative default).
+    pub fn build_with_deps(
+        files: &[ParsedFile],
+        deps: &BTreeMap<String, BTreeSet<String>>,
+    ) -> CallGraph {
+        let mut g = CallGraph {
+            edges: BTreeMap::new(),
+            by_qual: BTreeMap::new(),
+            by_name: BTreeMap::new(),
+            methods_by_name: BTreeMap::new(),
+            methods_by_type: BTreeMap::new(),
+            by_suffix2: BTreeMap::new(),
+        };
+
+        for (fi, pf) in files.iter().enumerate() {
+            for (ki, f) in pf.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let id: FnId = (fi, ki);
+                g.by_qual.insert(f.qual.clone(), id);
+                match &f.impl_type {
+                    Some(ty) => {
+                        g.methods_by_name
+                            .entry(f.name.clone())
+                            .or_default()
+                            .push(id);
+                        g.methods_by_type
+                            .entry((ty.clone(), f.name.clone()))
+                            .or_default()
+                            .push(id);
+                    }
+                    None => {
+                        g.by_name.entry(f.name.clone()).or_default().push(id);
+                    }
+                }
+                let segs: Vec<&str> = f.qual.split("::").collect();
+                if segs.len() >= 2 {
+                    g.by_suffix2
+                        .entry((
+                            segs[segs.len() - 2].to_string(),
+                            segs[segs.len() - 1].to_string(),
+                        ))
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+
+        for (fi, pf) in files.iter().enumerate() {
+            for call in &pf.calls {
+                let caller: FnId = (fi, call.caller);
+                if pf.fns[call.caller].is_test {
+                    continue;
+                }
+                let targets = g.resolve(files, fi, call.caller, &call.kind);
+                if targets.is_empty() {
+                    continue;
+                }
+                let out = g.edges.entry(caller).or_default();
+                for callee in targets {
+                    if callee == caller {
+                        continue;
+                    }
+                    let from = &files[fi].krate;
+                    let to = &files[callee.0].krate;
+                    let dep_ok = from == to
+                        || from.is_empty()
+                        || to.is_empty()
+                        || deps.get(from).is_none_or(|d| d.contains(to));
+                    if !dep_ok {
+                        continue;
+                    }
+                    let e = Edge {
+                        callee,
+                        line: call.line,
+                        col: call.col,
+                    };
+                    if !out.contains(&e) {
+                        out.push(e);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The qualified display name of a function.
+    pub fn qual<'a>(&self, files: &'a [ParsedFile], id: FnId) -> &'a str {
+        &files[id.0].fns[id.1].qual
+    }
+
+    /// Functions whose qualified name matches an entry pattern: exact, or a
+    /// `prefix::*` wildcard.
+    pub fn match_entries(&self, patterns: &[String]) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for pat in patterns {
+            if let Some(prefix) = pat.strip_suffix("::*") {
+                for (q, id) in &self.by_qual {
+                    if q.strip_prefix(prefix)
+                        .is_some_and(|rest| rest.starts_with("::"))
+                    {
+                        out.push(*id);
+                    }
+                }
+            } else if let Some(id) = self.by_qual.get(pat) {
+                out.push(*id);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn resolve(
+        &self,
+        files: &[ParsedFile],
+        file_idx: usize,
+        caller_idx: usize,
+        kind: &CallKind,
+    ) -> Vec<FnId> {
+        let pf = &files[file_idx];
+        match kind {
+            CallKind::Direct(path) => self.resolve_direct(files, file_idx, caller_idx, path),
+            CallKind::Method(name, receiver) => {
+                let caller = &pf.fns[caller_idx];
+                if receiver.as_deref() == Some("self") || receiver.as_deref() == Some("Self") {
+                    if let Some(ty) = &caller.impl_type {
+                        let hits = self.methods_of_type(ty, name);
+                        if !hits.is_empty() {
+                            return hits;
+                        }
+                    }
+                }
+                if UBIQUITOUS_METHODS.contains(&name.as_str()) {
+                    return Vec::new();
+                }
+                self.methods_by_name
+                    .get(name)
+                    .cloned()
+                    .unwrap_or_default()
+            }
+        }
+    }
+
+    fn methods_of_type(&self, ty: &str, name: &str) -> Vec<FnId> {
+        self.methods_by_type
+            .get(&(ty.to_string(), name.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn resolve_direct(
+        &self,
+        files: &[ParsedFile],
+        file_idx: usize,
+        caller_idx: usize,
+        path: &[String],
+    ) -> Vec<FnId> {
+        let pf = &files[file_idx];
+        let caller = &pf.fns[caller_idx];
+        let name = &path[path.len() - 1];
+
+        // Normalize crate/self/super prefixes against the caller's module.
+        let mut norm: Vec<String> = Vec::new();
+        for (k, seg) in path.iter().enumerate() {
+            match seg.as_str() {
+                "crate" if k == 0 => {
+                    if !pf.krate.is_empty() {
+                        norm.push(pf.krate.clone());
+                    }
+                }
+                "self" if k == 0 => {
+                    if !pf.krate.is_empty() {
+                        norm.push(pf.krate.clone());
+                    }
+                    norm.extend(pf.module.iter().cloned());
+                }
+                "super" => {
+                    norm.pop();
+                }
+                _ => norm.push(seg.clone()),
+            }
+        }
+        if norm.is_empty() {
+            return Vec::new();
+        }
+
+        // `Self::helper()` — methods of the enclosing impl type.
+        if norm.len() == 2 && norm[0] == "Self" {
+            if let Some(ty) = &caller.impl_type {
+                return self.methods_of_type(ty, name);
+            }
+            return Vec::new();
+        }
+
+        // 1. Exact fully-qualified match.
+        if norm.len() >= 2 {
+            if let Some(&id) = self.by_qual.get(&norm.join("::")) {
+                return vec![id];
+            }
+        }
+
+        // 2. Imports: the first written segment is an imported leaf — splice
+        // the import's full path in and retry exactly.
+        if let Some(imp) = pf.imports.iter().find(|i| i.leaf == norm[0]) {
+            let mut spliced = imp.path.clone();
+            spliced.extend(norm[1..].iter().cloned());
+            if let Some(&id) = self.by_qual.get(&spliced.join("::")) {
+                return vec![id];
+            }
+            // Imported type + method: `use x::Engine; Engine::new()`.
+            if spliced.len() >= 2 {
+                let hits =
+                    self.methods_of_type(&spliced[spliced.len() - 2], &spliced[spliced.len() - 1]);
+                if !hits.is_empty() {
+                    return hits;
+                }
+            }
+        }
+
+        if norm.len() == 1 {
+            // 3. Same module (same file's module path — free fn).
+            let mut own = format!("{}::", pf.krate);
+            for m in &pf.module {
+                own.push_str(m);
+                own.push_str("::");
+            }
+            own.push_str(name);
+            if let Some(&id) = self.by_qual.get(&own) {
+                return vec![id];
+            }
+            // 4. Glob imports.
+            for g in &pf.glob_imports {
+                let mut p = g.clone();
+                p.push(name.clone());
+                if let Some(&id) = self.by_qual.get(&p.join("::")) {
+                    return vec![id];
+                }
+            }
+            // 5. Pessimistic: free fns of the same bare name, same crate
+            // first, then workspace-wide.
+            if let Some(ids) = self.by_name.get(name) {
+                let same_crate: Vec<FnId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&(fi, _)| files[fi].krate == pf.krate)
+                    .collect();
+                return if same_crate.is_empty() {
+                    ids.clone()
+                } else {
+                    same_crate
+                };
+            }
+            return Vec::new();
+        }
+
+        // 6. Suffix match on the last two written segments — catches
+        // `gemm::matmul(...)`, `Type::new(...)`, `module::helper(...)`
+        // wherever they live.
+        let parent = &norm[norm.len() - 2];
+        if let Some(ids) = self.by_suffix2.get(&(parent.clone(), name.clone())) {
+            return ids.clone();
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::parser::parse;
+
+    fn build(files: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(rel, src)| parse(rel, &scan(src)))
+            .collect();
+        let g = CallGraph::build(&parsed);
+        (parsed, g)
+    }
+
+    fn edge_names(files: &[ParsedFile], g: &CallGraph, from_qual: &str) -> Vec<String> {
+        let id = *g.by_qual.get(from_qual).expect(from_qual);
+        g.edges
+            .get(&id)
+            .map(|es| {
+                es.iter()
+                    .map(|e| g.qual(files, e.callee).to_string())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn same_module_and_cross_module_direct_calls_resolve() {
+        let (files, g) = build(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn entry() { helper(); b::other(); }\nfn helper() {}",
+            ),
+            ("crates/core/src/b.rs", "pub fn other() {}"),
+        ]);
+        assert_eq!(
+            edge_names(&files, &g, "egeria_core::a::entry"),
+            vec!["egeria_core::a::helper", "egeria_core::b::other"]
+        );
+    }
+
+    #[test]
+    fn import_resolution_beats_suffix_matching() {
+        let (files, g) = build(&[
+            (
+                "crates/core/src/a.rs",
+                "use egeria_tensor::gemm::pack;\nfn f() { pack(); }",
+            ),
+            ("crates/tensor/src/gemm.rs", "pub fn pack() {}"),
+            ("crates/serve/src/x.rs", "pub fn pack() {}"),
+        ]);
+        assert_eq!(
+            edge_names(&files, &g, "egeria_core::a::f"),
+            vec!["egeria_tensor::gemm::pack"]
+        );
+    }
+
+    #[test]
+    fn self_method_calls_stay_on_the_impl_type() {
+        let (files, g) = build(&[(
+            "crates/serve/src/engine.rs",
+            "
+            impl Engine { fn run(&self) { self.step(); } fn step(&self) {} }
+            impl Other { fn step(&self) {} }
+            ",
+        )]);
+        assert_eq!(
+            edge_names(&files, &g, "egeria_serve::engine::Engine::run"),
+            vec!["egeria_serve::engine::Engine::step"]
+        );
+    }
+
+    #[test]
+    fn unknown_receiver_fans_out_to_all_methods_of_that_name() {
+        let (files, g) = build(&[(
+            "crates/core/src/a.rs",
+            "
+            fn f(c: &dyn Clock) { c.now_virtual(); }
+            impl RealClock { fn now_virtual(&self) {} }
+            impl FakeClock { fn now_virtual(&self) {} }
+            ",
+        )]);
+        let mut names = edge_names(&files, &g, "egeria_core::a::f");
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "egeria_core::a::FakeClock::now_virtual",
+                "egeria_core::a::RealClock::now_virtual"
+            ]
+        );
+    }
+
+    #[test]
+    fn ubiquitous_method_names_do_not_fan_out() {
+        let (files, g) = build(&[(
+            "crates/core/src/a.rs",
+            "
+            fn f(v: &[u8]) { v.len(); }
+            impl Pool { fn len(&self) {} }
+            ",
+        )]);
+        assert!(edge_names(&files, &g, "egeria_core::a::f").is_empty());
+    }
+
+    #[test]
+    fn edges_into_test_fns_are_dropped() {
+        let (files, g) = build(&[(
+            "crates/core/src/a.rs",
+            "fn f() { t_helper(); }\n#[cfg(test)]\nmod tests { pub fn t_helper() {} }",
+        )]);
+        assert!(edge_names(&files, &g, "egeria_core::a::f").is_empty());
+    }
+
+    #[test]
+    fn dep_pruning_drops_edges_into_non_dependency_crates() {
+        let src = &[
+            (
+                "crates/tensor/src/pool.rs",
+                "impl ThreadPool { fn new(b: Builder) { b.spin_up(); } }",
+            ),
+            (
+                "crates/core/src/controller.rs",
+                "impl AsyncController { fn spin_up(&self) {} }",
+            ),
+        ];
+        // Unpruned, the unknown-receiver fan-out invents tensor -> core.
+        let (files, g) = build(src);
+        assert_eq!(
+            edge_names(&files, &g, "egeria_tensor::pool::ThreadPool::new"),
+            vec!["egeria_core::controller::AsyncController::spin_up"]
+        );
+        // With tensor's real (empty) dep set, the impossible edge is gone.
+        let parsed: Vec<ParsedFile> = src
+            .iter()
+            .map(|(rel, s)| parse(rel, &scan(s)))
+            .collect();
+        let mut deps = BTreeMap::new();
+        deps.insert("egeria_tensor".to_string(), BTreeSet::new());
+        let pruned = CallGraph::build_with_deps(&parsed, &deps);
+        assert!(edge_names(&parsed, &pruned, "egeria_tensor::pool::ThreadPool::new").is_empty());
+    }
+
+    #[test]
+    fn entry_patterns_match_exact_and_wildcard() {
+        let (_files, g) = build(&[(
+            "crates/tensor/src/gemm.rs",
+            "pub fn gemm() {}\npub fn pack_a() {}",
+        )]);
+        assert_eq!(g.match_entries(&["egeria_tensor::gemm::gemm".into()]).len(), 1);
+        assert_eq!(g.match_entries(&["egeria_tensor::gemm::*".into()]).len(), 2);
+        assert_eq!(g.match_entries(&["egeria_tensor::gem::*".into()]).len(), 0);
+    }
+}

@@ -187,6 +187,12 @@ pub fn scan(src: &str) -> Scan {
                 // chars; `'a` followed by a non-quote is a lifetime.
                 let is_char = cur.peek(1) == Some(b'\\')
                     || (cur.peek(1).is_some_and(|c| c != b'\'') && cur.peek(2) == Some(b'\''))
+                    // Multi-byte char literal: 2–4 UTF-8 content bytes, so
+                    // the closing quote sits at index 3, 4, or 5.
+                    || (cur.peek(1).is_some_and(|c| c >= 0x80)
+                        && (cur.peek(3) == Some(b'\'')
+                            || cur.peek(4) == Some(b'\'')
+                            || cur.peek(5) == Some(b'\'')))
                     || !cur.peek(1).is_some_and(is_ident_start);
                 if is_char {
                     lex_char(&mut cur);
@@ -524,6 +530,18 @@ mod tests {
         let chars: Vec<_> = s.toks.iter().filter(|t| t.kind == TokKind::Char).collect();
         assert_eq!(lifetimes.len(), 2);
         assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn multibyte_char_literals_are_chars_not_lifetimes() {
+        // '€' is 3 UTF-8 bytes; mislexing it as a lifetime would swallow
+        // the closing quote and derail everything after it.
+        let src = "fn f() { let e = '€'; let k = '日'; let q = '\u{10348}'; let x = 1 == 1; }";
+        let s = scan(src);
+        assert_eq!(s.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 3);
+        assert_eq!(s.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 0);
+        // The token stream after the literals is intact.
+        assert!(s.toks.iter().any(|t| t.kind == TokKind::Op && t.text == "=="));
     }
 
     #[test]

@@ -15,12 +15,18 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod graph;
+pub mod json;
 pub mod lexer;
+pub mod parser;
+pub mod reach;
 pub mod rules;
+pub mod rules_graph;
 
 pub use config::Config;
-pub use rules::Finding;
+pub use rules::{Finding, Tier};
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Everything one lint run produces.
@@ -43,18 +49,41 @@ pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
 /// Walks the tree under `root`, lints every non-excluded `.rs` file, and
 /// checks the root manifest's vendor-patch invariant. Findings are sorted
 /// by path, then position.
+///
+/// Runs in two phases: the token-level rules see each file alone; the
+/// graph-tier rules ([`rules_graph`]) then run over the whole parsed
+/// workspace at once, so their findings can cite cross-file witness call
+/// paths. Graph findings honor the same `allow` pragma mechanism — a
+/// pragma on the finding's anchor line in the anchor file suppresses it.
 pub fn lint_tree(root: &Path, cfg: &Config) -> std::io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, root, cfg, &mut files)?;
     files.sort();
 
     let mut report = Report::default();
+    let mut parsed: Vec<parser::ParsedFile> = Vec::new();
+    let mut suppressions: BTreeMap<String, BTreeMap<String, BTreeSet<u32>>> = BTreeMap::new();
     for rel in files {
         let src = std::fs::read_to_string(root.join(&rel))?;
         let rel_str = rel_to_string(&rel);
-        report.findings.extend(lint_source(&rel_str, &src, cfg));
+        let scan = lexer::scan(&src);
+        let mut findings = rules::lint_scan(&rel_str, &scan, cfg);
+        findings.extend(rules::unknown_pragma_rules(&rel_str, &scan));
+        report.findings.extend(findings);
+        suppressions.insert(rel_str.clone(), rules::pragma_suppressions(&scan));
+        parsed.push(parser::parse(&rel_str, &scan));
         report.files_scanned += 1;
     }
+
+    let deps = crate_deps(root);
+    let mut graph_findings = rules_graph::run_graph_rules(&parsed, cfg, &deps);
+    graph_findings.retain(|f| {
+        !suppressions
+            .get(&f.path)
+            .and_then(|per_rule| per_rule.get(f.rule))
+            .is_some_and(|lines| lines.contains(&f.line))
+    });
+    report.findings.extend(graph_findings);
 
     let manifest = root.join("Cargo.toml");
     if manifest.is_file() {
@@ -74,6 +103,65 @@ pub fn load_config(root: &Path) -> Result<Config, String> {
     let src = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     config::parse(&src).map_err(|e| e.to_string())
+}
+
+/// The workspace crate dependency map, transitively closed, keyed by crate
+/// label (`egeria_foo`). Read from `crates/*/Cargo.toml` with a
+/// line-oriented scan (no TOML dependency): the package name comes from the
+/// first `name = "…"` line, and every line whose key starts with `egeria-`
+/// in any dependency section is an intra-workspace dependency.
+/// Dev-dependencies are included — more edges means a *less* aggressive
+/// prune, which is the conservative direction for reachability.
+fn crate_deps(root: &Path) -> BTreeMap<String, BTreeSet<String>> {
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let Ok(src) = std::fs::read_to_string(entry.path().join("Cargo.toml")) else {
+                continue;
+            };
+            let mut name = String::new();
+            let mut deps: BTreeSet<String> = BTreeSet::new();
+            for line in src.lines() {
+                let line = line.trim();
+                if name.is_empty() {
+                    if let Some(rest) = line.strip_prefix("name") {
+                        if let Some(val) = rest.trim_start().strip_prefix('=') {
+                            if let Some(q) = val.trim().strip_prefix('"') {
+                                if let Some(n) = q.split('"').next() {
+                                    name = n.replace('-', "_");
+                                }
+                            }
+                        }
+                    }
+                }
+                if line.starts_with("egeria-") {
+                    let key: String = line
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                        .collect();
+                    deps.insert(key.replace('-', "_"));
+                }
+            }
+            if !name.is_empty() {
+                direct.entry(name).or_default().extend(deps);
+            }
+        }
+    }
+    // Transitive closure: A may call anything its dependencies re-export.
+    let mut closed: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (name, deps) in &direct {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut stack: Vec<String> = deps.iter().cloned().collect();
+        while let Some(d) = stack.pop() {
+            if seen.insert(d.clone()) {
+                if let Some(dd) = direct.get(&d) {
+                    stack.extend(dd.iter().cloned());
+                }
+            }
+        }
+        closed.insert(name.clone(), seen);
+    }
+    closed
 }
 
 fn rel_to_string(rel: &Path) -> String {

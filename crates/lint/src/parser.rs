@@ -1,0 +1,1098 @@
+//! Item-level parsing on top of [`crate::lexer`]: functions, inline
+//! modules, impl blocks, use-trees, and the call/sink/lock/spawn sites the
+//! graph rules consume.
+//!
+//! This is deliberately *not* a full Rust parser. It runs one linear pass
+//! over the token stream with a scope stack (module / impl / fn / plain
+//! block), attributing every call site, panic/wall-clock/entropy sink, lock
+//! acquisition, and thread spawn to the innermost enclosing function.
+//! Closures are not scopes — their bodies belong to the enclosing `fn`,
+//! which is exactly the conservative attribution the reachability rules
+//! want (a panic inside a pool-task closure *is* a panic in the function
+//! that builds the task).
+//!
+//! Known, documented imprecision (DESIGN.md §5h): items nested inside
+//! function bodies other than `fn` itself are not tracked as scopes, macro
+//! definition bodies are attributed to no function, and generic arguments
+//! are skipped rather than parsed. All of it errs toward *more* edges, not
+//! fewer.
+
+use crate::lexer::{Scan, Tok, TokKind};
+
+/// Fully-resolved location of one function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare name (`gemm`, `new`, …).
+    pub name: String,
+    /// Fully-qualified display path: `crate::module::Type::name`.
+    pub qual: String,
+    /// The impl/trait type this is a method of, if any.
+    pub impl_type: Option<String>,
+    /// Definition site (the name token).
+    pub line: u32,
+    pub col: u32,
+    /// Whether the fn is test code (cfg(test) region or a test/bench file).
+    pub is_test: bool,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone)]
+pub enum CallKind {
+    /// `a::b::f(...)` — the path as written (≥ 1 segment).
+    Direct(Vec<String>),
+    /// `recv.f(...)` — method name plus the receiver ident when it is a
+    /// plain `ident.` / `self.field.` chain (`None` for chained calls).
+    Method(String, Option<String>),
+}
+
+/// One call site inside a function.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index into [`ParsedFile::fns`] of the calling function.
+    pub caller: usize,
+    pub kind: CallKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Sink classification for the reachability rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// `panic!` / `assert*!` / `unreachable!` / `todo!` / `unimplemented!`
+    /// / `.unwrap()` / `.expect(`.
+    Panic,
+    /// `Instant::now` / `SystemTime` / `.elapsed()`.
+    WallClock,
+    /// `thread_rng` / `from_entropy` / `OsRng`.
+    Entropy,
+}
+
+/// One sink occurrence inside a function.
+#[derive(Debug, Clone)]
+pub struct SinkSite {
+    pub fn_idx: usize,
+    pub kind: SinkKind,
+    /// The offending token text (`panic!`, `unwrap`, `Instant::now`, …).
+    pub what: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One `.lock()` / `.read()` / `.write()` acquisition inside a function.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    pub fn_idx: usize,
+    /// Heuristic lock identity: the receiver's last ident (`state` in
+    /// `self.state.lock()`).
+    pub name: String,
+    /// Which accessor was called: `lock`, `read`, or `write`.
+    pub method: String,
+    /// Token index — acquisition order within the function.
+    pub tok_idx: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One `thread::spawn(..)` / `Builder…spawn(..)` site inside a function.
+#[derive(Debug, Clone)]
+pub struct SpawnSite {
+    pub fn_idx: usize,
+    /// Token index of the `spawn` ident.
+    pub tok_idx: usize,
+    pub line: u32,
+    pub col: u32,
+    /// Whether the returned JoinHandle is bound/used (heuristic; see
+    /// [`spawn_handle_used`]).
+    pub handle_used: bool,
+}
+
+/// One flattened `use` leaf: `use a::b::c as d` → path `[a,b,c]`, leaf `d`.
+#[derive(Debug, Clone)]
+pub struct Import {
+    pub path: Vec<String>,
+    pub leaf: String,
+}
+
+/// Everything the graph layer needs from one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Repo-relative path, forward slashes.
+    pub rel: String,
+    /// Crate label derived from the path (`egeria_tensor`, `examples`, …).
+    pub krate: String,
+    /// Module path derived from the file location (not inline mods).
+    pub module: Vec<String>,
+    pub fns: Vec<FnItem>,
+    pub calls: Vec<CallSite>,
+    pub sinks: Vec<SinkSite>,
+    pub locks: Vec<LockSite>,
+    pub spawns: Vec<SpawnSite>,
+    pub imports: Vec<Import>,
+    /// `use a::b::*;` glob import paths.
+    pub glob_imports: Vec<Vec<String>>,
+    /// Field/static names whose declared type mentions Mutex/RwLock.
+    pub lock_fields: Vec<String>,
+    /// Whole file is test code (under a tests/ or benches/ directory).
+    pub is_test_file: bool,
+}
+
+/// Derives `(crate_label, module_path)` from a repo-relative file path.
+///
+/// `crates/tensor/src/simd/avx2.rs` → `("egeria_tensor", [simd, avx2])`;
+/// `crates/bench/src/bin/bench_ops.rs` → `("egeria_bench", [bin, bench_ops])`;
+/// `examples/quickstart.rs` → `("examples", [quickstart])`. Unknown layouts
+/// fall back to `("", path segments)` — cross-file resolution still works
+/// through suffix matching.
+pub fn crate_and_module(rel: &str) -> (String, Vec<String>) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let stem = |s: &str| s.trim_end_matches(".rs").to_string();
+    let tail_modules = |segs: &[&str]| -> Vec<String> {
+        let mut m: Vec<String> = Vec::new();
+        for (i, s) in segs.iter().enumerate() {
+            if i + 1 == segs.len() {
+                let st = stem(s);
+                if st != "lib" && st != "main" && st != "mod" {
+                    m.push(st);
+                }
+            } else {
+                m.push((*s).to_string());
+            }
+        }
+        m
+    };
+    if parts.len() >= 3 && parts[0] == "crates" {
+        let krate = format!("egeria_{}", parts[1].replace('-', "_"));
+        let rest = &parts[2..];
+        if rest[0] == "src" {
+            return (krate, tail_modules(&rest[1..]));
+        }
+        // crates/X/tests/foo.rs, crates/X/benches/foo.rs
+        let mut m = vec![rest[0].to_string()];
+        m.extend(tail_modules(&rest[1..]));
+        return (krate, m);
+    }
+    if parts.len() >= 2 && (parts[0] == "examples" || parts[0] == "tests" || parts[0] == "benches")
+    {
+        return (parts[0].to_string(), tail_modules(&parts[1..]));
+    }
+    if parts.len() >= 2 && parts[0] == "src" {
+        return ("egeria_repro".to_string(), tail_modules(&parts[1..]));
+    }
+    (String::new(), tail_modules(&parts))
+}
+
+/// Keywords that look like `ident (` call sites but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "fn", "let", "else",
+    "unsafe", "break", "continue", "await", "where", "yield", "dyn", "ref", "mut", "impl", "pub",
+];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+/// What a pending item keyword will turn the next `{` into.
+enum Pending {
+    Mod(String),
+    /// impl/trait blocks: methods are qualified under the type name.
+    Impl(String),
+    Fn { name: String, line: u32, col: u32 },
+}
+
+enum Frame {
+    Mod,
+    Impl,
+    Fn,
+    Block,
+}
+
+/// Parses one scanned file. `rel` must use forward slashes.
+pub fn parse(rel: &str, scan: &Scan) -> ParsedFile {
+    let (krate, module) = crate_and_module(rel);
+    let is_test_file = rel
+        .split('/')
+        .any(|part| part == "tests" || part == "benches");
+    let mut out = ParsedFile {
+        rel: rel.to_string(),
+        krate,
+        module,
+        is_test_file,
+        ..ParsedFile::default()
+    };
+
+    let toks = &scan.toks;
+    let mut mod_stack: Vec<String> = Vec::new();
+    let mut impl_stack: Vec<String> = Vec::new();
+    let mut fn_stack: Vec<usize> = Vec::new();
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut pending: Option<Pending> = None;
+
+    collect_lock_fields(toks, &mut out.lock_fields);
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "use" => {
+                    let krate = out.krate.clone();
+                    let module = out.module.clone();
+                    i = parse_use_tree(toks, i + 1, &krate, &module, &mut out);
+                    continue;
+                }
+                "mod" if pending.is_none() && fn_stack.is_empty() => {
+                    if let Some(n) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        pending = Some(Pending::Mod(n.text.clone()));
+                        i += 2;
+                        continue;
+                    }
+                }
+                "impl" if pending.is_none() && fn_stack.is_empty() => {
+                    if let Some((ty, next)) = parse_impl_header(toks, i + 1) {
+                        pending = Some(Pending::Impl(ty));
+                        i = next;
+                        continue;
+                    }
+                }
+                "trait" if pending.is_none() && fn_stack.is_empty() => {
+                    if let Some(n) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        pending = Some(Pending::Impl(n.text.clone()));
+                        i += 2;
+                        continue;
+                    }
+                }
+                "fn" => {
+                    // `fn` pointer types have `(` next; fn items have a name.
+                    if let Some(n) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        pending = Some(Pending::Fn {
+                            name: n.text.clone(),
+                            line: n.line,
+                            col: n.col,
+                        });
+                        i += 2;
+                        continue;
+                    }
+                }
+                _ => {
+                    scan_code_token(scan, toks, i, &fn_stack, &mut out);
+                }
+            },
+            TokKind::Op => match t.text.as_str() {
+                ";" => pending = None,
+                "{" => {
+                    match pending.take() {
+                        Some(Pending::Mod(name)) => {
+                            mod_stack.push(name);
+                            frames.push(Frame::Mod);
+                        }
+                        Some(Pending::Impl(ty)) => {
+                            impl_stack.push(ty);
+                            frames.push(Frame::Impl);
+                        }
+                        Some(Pending::Fn { name, line, col }) => {
+                            let impl_type = impl_stack.last().cloned();
+                            let mut qual: Vec<String> = Vec::new();
+                            if !out.krate.is_empty() {
+                                qual.push(out.krate.clone());
+                            }
+                            qual.extend(out.module.iter().cloned());
+                            qual.extend(mod_stack.iter().cloned());
+                            if let Some(ty) = &impl_type {
+                                qual.push(ty.clone());
+                            }
+                            qual.push(name.clone());
+                            let idx = out.fns.len();
+                            out.fns.push(FnItem {
+                                name,
+                                qual: qual.join("::"),
+                                impl_type,
+                                line,
+                                col,
+                                is_test: is_test_file || scan.is_test_line(line),
+                            });
+                            fn_stack.push(idx);
+                            frames.push(Frame::Fn);
+                        }
+                        None => frames.push(Frame::Block),
+                    }
+                }
+                "}" => match frames.pop() {
+                    Some(Frame::Mod) => {
+                        mod_stack.pop();
+                    }
+                    Some(Frame::Impl) => {
+                        impl_stack.pop();
+                    }
+                    Some(Frame::Fn) => {
+                        fn_stack.pop();
+                    }
+                    _ => {}
+                },
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses the header after an `impl` keyword, returning the impl type name
+/// and the index to resume at (just before the body `{`). Handles
+/// `impl Type`, `impl<T> Trait for path::Type<T>`, skipping generic
+/// argument lists.
+fn parse_impl_header(toks: &[Tok], mut i: usize) -> Option<(String, usize)> {
+    let mut last_ident: Option<String> = None;
+    let mut angle = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Op => match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                "{" if angle <= 0 => return last_ident.map(|n| (n, i)),
+                ";" => return None,
+                _ => {}
+            },
+            TokKind::Ident if angle <= 0 => match t.text.as_str() {
+                "for" => last_ident = None,
+                "where" => {
+                    // Where clause: the type name is already decided.
+                    let ty = last_ident?;
+                    while i < toks.len() && !(toks[i].kind == TokKind::Op && toks[i].text == "{")
+                    {
+                        if toks[i].kind == TokKind::Op && toks[i].text == ";" {
+                            return None;
+                        }
+                        i += 1;
+                    }
+                    return Some((ty, i));
+                }
+                _ => last_ident = Some(t.text.clone()),
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses a use-tree starting right after the `use` keyword; records
+/// flattened leaves and glob imports into `out`. Returns the index after
+/// the closing `;`.
+fn parse_use_tree(
+    toks: &[Tok],
+    start: usize,
+    krate: &str,
+    module: &[String],
+    out: &mut ParsedFile,
+) -> usize {
+    // Collect the raw token slice up to `;`, then walk it recursively.
+    let mut end = start;
+    let mut depth = 0i32;
+    while end < toks.len() {
+        let t = &toks[end];
+        if t.kind == TokKind::Op {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                ";" if depth <= 0 => break,
+                _ => {}
+            }
+        }
+        end += 1;
+    }
+    let slice = &toks[start..end];
+    let mut leaves: Vec<(Vec<String>, Option<String>)> = Vec::new();
+    let mut globs: Vec<Vec<String>> = Vec::new();
+    walk_use(slice, &mut Vec::new(), &mut leaves, &mut globs);
+
+    let normalize = |path: &[String]| -> Vec<String> {
+        let mut p: Vec<String> = Vec::new();
+        for (k, seg) in path.iter().enumerate() {
+            match seg.as_str() {
+                "crate" if k == 0 => {
+                    if !krate.is_empty() {
+                        p.push(krate.to_string());
+                    }
+                }
+                "self" if k == 0 => {
+                    if !krate.is_empty() {
+                        p.push(krate.to_string());
+                    }
+                    p.extend(module.iter().cloned());
+                }
+                "super" => {
+                    // A leading `super` is relative to this file's module:
+                    // seed crate::module first, then pop one level per hop.
+                    if k == 0 {
+                        if !krate.is_empty() {
+                            p.push(krate.to_string());
+                        }
+                        p.extend(module.iter().cloned());
+                    }
+                    p.pop();
+                }
+                _ => p.push(seg.clone()),
+            }
+        }
+        p
+    };
+
+    for (path, alias) in leaves {
+        if path.is_empty() {
+            continue;
+        }
+        let norm = normalize(&path);
+        if norm.is_empty() {
+            continue;
+        }
+        let leaf = alias.unwrap_or_else(|| norm[norm.len() - 1].clone());
+        out.imports.push(Import { path: norm, leaf });
+    }
+    for g in globs {
+        out.glob_imports.push(normalize(&g));
+    }
+    end + 1
+}
+
+/// Recursive use-tree walker over a token slice (no trailing `;`).
+fn walk_use(
+    toks: &[Tok],
+    prefix: &mut Vec<String>,
+    leaves: &mut Vec<(Vec<String>, Option<String>)>,
+    globs: &mut Vec<Vec<String>>,
+) {
+    let saved = prefix.len();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (&t.kind, t.text.as_str()) {
+            (TokKind::Ident, "as") => {
+                // `path as alias` — rewrite the just-pushed leaf's alias.
+                if let Some(a) = toks.get(i + 1).filter(|a| a.kind == TokKind::Ident) {
+                    // Commit the leaf here with its alias; truncating the
+                    // prefix means the `,`/end-of-slice handlers below see
+                    // nothing left to commit for this branch.
+                    leaves.push((prefix.clone(), Some(a.text.clone())));
+                    prefix.truncate(saved);
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+            }
+            (TokKind::Ident, _) => {
+                prefix.push(t.text.clone());
+                i += 1;
+            }
+            (TokKind::Op, "::") => {
+                i += 1;
+            }
+            (TokKind::Op, "*") => {
+                globs.push(prefix.clone());
+                prefix.truncate(saved);
+                i += 1;
+            }
+            (TokKind::Op, "{") => {
+                // Find the matching close, recurse on comma-separated parts.
+                let mut depth = 1i32;
+                let mut j = i + 1;
+                let mut part_start = j;
+                while j < toks.len() && depth > 0 {
+                    let u = &toks[j];
+                    if u.kind == TokKind::Op {
+                        match u.text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 && part_start < j {
+                                    walk_use(&toks[part_start..j], prefix, leaves, globs);
+                                }
+                            }
+                            "," if depth == 1 => {
+                                if part_start < j {
+                                    walk_use(&toks[part_start..j], prefix, leaves, globs);
+                                }
+                                part_start = j + 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                prefix.truncate(saved);
+                i = j;
+            }
+            (TokKind::Op, ",") => {
+                if prefix.len() > saved {
+                    leaves.push((prefix.clone(), None));
+                }
+                prefix.truncate(saved);
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    if prefix.len() > saved {
+        leaves.push((prefix.clone(), None));
+    }
+    prefix.truncate(saved);
+}
+
+/// Records field/static names whose declared type mentions `Mutex` or
+/// `RwLock`: pattern `name : … Mutex/RwLock …` before the next `,;={)`.
+fn collect_lock_fields(toks: &[Tok], out: &mut Vec<String>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if !toks
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokKind::Op && n.text == ":")
+        {
+            continue;
+        }
+        // Scan the type tokens.
+        let mut j = i + 2;
+        let mut steps = 0usize;
+        while let Some(u) = toks.get(j) {
+            if steps > 24 {
+                break;
+            }
+            match (&u.kind, u.text.as_str()) {
+                (TokKind::Op, "," | ";" | "=" | ")" | "{") => break,
+                (TokKind::Ident, "Mutex" | "RwLock") => {
+                    if !out.contains(&t.text) {
+                        out.push(t.text.clone());
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+            steps += 1;
+        }
+    }
+}
+
+/// Per-token scan inside function bodies: call sites, sinks, locks, spawns.
+fn scan_code_token(
+    scan: &Scan,
+    toks: &[Tok],
+    i: usize,
+    fn_stack: &[usize],
+    out: &mut ParsedFile,
+) {
+    let Some(&fn_idx) = fn_stack.last() else {
+        return;
+    };
+    let t = &toks[i];
+    debug_assert_eq!(t.kind, TokKind::Ident);
+    let next = |k: usize| toks.get(i + k);
+    let next_is = |k: usize, text: &str| {
+        next(k).is_some_and(|n| n.kind == TokKind::Op && n.text == text)
+    };
+    let prev_is = |text: &str| i > 0 && toks[i - 1].kind == TokKind::Op && toks[i - 1].text == text;
+
+    // --- sinks ------------------------------------------------------------
+    if PANIC_MACROS.contains(&t.text.as_str()) && next_is(1, "!") {
+        out.sinks.push(SinkSite {
+            fn_idx,
+            kind: SinkKind::Panic,
+            what: format!("{}!", t.text),
+            line: t.line,
+            col: t.col,
+        });
+        return;
+    }
+    if (t.text == "unwrap" || t.text == "expect") && prev_is(".") && next_is(1, "(") {
+        out.sinks.push(SinkSite {
+            fn_idx,
+            kind: SinkKind::Panic,
+            what: format!(".{}()", t.text),
+            line: t.line,
+            col: t.col,
+        });
+        return;
+    }
+    let seq = |parts: &[&str]| -> bool {
+        parts.iter().enumerate().all(|(k, p)| {
+            toks.get(i + k)
+                .is_some_and(|u| u.text == *p && matches!(u.kind, TokKind::Ident | TokKind::Op))
+        })
+    };
+    if t.text == "Instant" && seq(&["Instant", "::", "now"]) {
+        out.sinks.push(SinkSite {
+            fn_idx,
+            kind: SinkKind::WallClock,
+            what: "Instant::now".to_string(),
+            line: t.line,
+            col: t.col,
+        });
+        return;
+    }
+    if t.text == "SystemTime" {
+        out.sinks.push(SinkSite {
+            fn_idx,
+            kind: SinkKind::WallClock,
+            what: "SystemTime".to_string(),
+            line: t.line,
+            col: t.col,
+        });
+        return;
+    }
+    if t.text == "elapsed" && prev_is(".") && next_is(1, "(") {
+        out.sinks.push(SinkSite {
+            fn_idx,
+            kind: SinkKind::WallClock,
+            what: ".elapsed()".to_string(),
+            line: t.line,
+            col: t.col,
+        });
+        return;
+    }
+    if t.text == "thread_rng" || t.text == "from_entropy" || t.text == "OsRng" {
+        out.sinks.push(SinkSite {
+            fn_idx,
+            kind: SinkKind::Entropy,
+            what: t.text.clone(),
+            line: t.line,
+            col: t.col,
+        });
+        return;
+    }
+
+    // --- calls ------------------------------------------------------------
+    if NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+        return;
+    }
+    // Call paren: `(` directly, or after a turbofish `::<…>`.
+    let call_paren = if next_is(1, "(") {
+        Some(i + 1)
+    } else if next_is(1, "::") && next_is(2, "<") {
+        skip_turbofish(toks, i + 2).filter(|&j| {
+            toks.get(j)
+                .is_some_and(|n| n.kind == TokKind::Op && n.text == "(")
+        })
+    } else {
+        None
+    };
+    let Some(_paren) = call_paren else {
+        return;
+    };
+    // Macro invocation (non-sink): not a call.
+    if next_is(1, "!") {
+        return;
+    }
+
+    if prev_is(".") {
+        // Method call: find the receiver ident, if the receiver is a plain
+        // ident chain (`x.` / `self.state.`).
+        let receiver = if i >= 2 && toks[i - 2].kind == TokKind::Ident {
+            Some(toks[i - 2].text.clone())
+        } else {
+            None
+        };
+        let name = t.text.clone();
+        if name == "lock" || name == "read" || name == "write" {
+            out.locks.push(LockSite {
+                fn_idx,
+                name: receiver.clone().unwrap_or_default(),
+                method: name.clone(),
+                tok_idx: i,
+                line: t.line,
+                col: t.col,
+            });
+        }
+        if name == "spawn" {
+            out.spawns.push(SpawnSite {
+                fn_idx,
+                tok_idx: i,
+                line: t.line,
+                col: t.col,
+                handle_used: spawn_handle_used(toks, i),
+            });
+        }
+        out.calls.push(CallSite {
+            caller: fn_idx,
+            kind: CallKind::Method(name, receiver),
+            line: t.line,
+            col: t.col,
+        });
+        return;
+    }
+
+    // Direct call: walk the `::` path backwards from this ident.
+    let mut path = vec![t.text.clone()];
+    let mut j = i;
+    while j >= 2
+        && toks[j - 1].kind == TokKind::Op
+        && toks[j - 1].text == "::"
+        && toks[j - 2].kind == TokKind::Ident
+    {
+        path.insert(0, toks[j - 2].text.clone());
+        j -= 2;
+    }
+    // A leading `.` means this whole path is a method chain continuation
+    // (can't happen for `::` paths, but guard anyway).
+    if j > 0 && toks[j - 1].kind == TokKind::Op && toks[j - 1].text == "." {
+        return;
+    }
+    if path.len() >= 2 && path[path.len() - 2] == "thread" && path[path.len() - 1] == "spawn" {
+        out.spawns.push(SpawnSite {
+            fn_idx,
+            tok_idx: i,
+            line: t.line,
+            col: t.col,
+            handle_used: spawn_handle_used(toks, j),
+        });
+    }
+    out.calls.push(CallSite {
+        caller: fn_idx,
+        kind: CallKind::Direct(path),
+        line: t.line,
+        col: t.col,
+    });
+    let _ = scan;
+}
+
+/// Skips a turbofish starting at the `<` token index (the caller verified
+/// `::` `<`); returns the index just past the matching `>`.
+fn skip_turbofish(toks: &[Tok], colon_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = colon_idx + 1; // at `<`
+    let mut steps = 0usize;
+    while let Some(t) = toks.get(j) {
+        if steps > 64 {
+            return None;
+        }
+        if t.kind == TokKind::Op {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j + 1);
+                    }
+                }
+                ">>" => {
+                    depth -= 2;
+                    if depth <= 0 {
+                        return Some(j + 1);
+                    }
+                }
+                ";" | "{" => return None,
+                _ => {}
+            }
+        }
+        j += 1;
+        steps += 1;
+    }
+    None
+}
+
+/// Heuristic: is the JoinHandle produced by the spawn at `chain_start`
+/// (index of the first token of the spawn expression) used?
+///
+/// Used when: the expression is bound (`let h = …`, but not `let _ = …`),
+/// assigned, passed as an argument (`handles.push(…)`, `f(…)`), returned,
+/// or immediately joined (`.join()` in the postfix chain). Discarded when
+/// it sits in statement position with no `join` in its postfix chain.
+pub fn spawn_handle_used(toks: &[Tok], chain_start: usize) -> bool {
+    // Look backwards for the statement context.
+    let mut j = chain_start;
+    // Walk back over the path/receiver tokens feeding this call.
+    while j >= 1 {
+        let p = &toks[j - 1];
+        let part_of_chain = matches!(p.kind, TokKind::Ident)
+            || (p.kind == TokKind::Op && (p.text == "::" || p.text == "." || p.text == ")"));
+        if part_of_chain {
+            // `)` ends a sub-expression: jump over the balanced group.
+            if p.kind == TokKind::Op && p.text == ")" {
+                let mut depth = 1i32;
+                let mut k = j - 1;
+                while k >= 1 && depth > 0 {
+                    k -= 1;
+                    if toks[k].kind == TokKind::Op {
+                        match toks[k].text.as_str() {
+                            ")" => depth += 1,
+                            "(" => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                }
+                j = k;
+            } else {
+                j -= 1;
+            }
+            continue;
+        }
+        break;
+    }
+    let used_by_context = if j == 0 {
+        false
+    } else {
+        let p = &toks[j - 1];
+        match (&p.kind, p.text.as_str()) {
+            (TokKind::Op, "=") => {
+                // `let _ = …` still discards.
+                !(j >= 2 && toks[j - 2].kind == TokKind::Ident && toks[j - 2].text == "_")
+            }
+            (TokKind::Op, "(" | "," | "[" | "{") => {
+                // Argument / collection element position … except a plain
+                // block `{` which is statement position. `(`/`,`/`[` are
+                // always value position.
+                p.text != "{"
+            }
+            (TokKind::Ident, "return") => true,
+            (TokKind::Op, "-" | "+" | ";" | "}") => false,
+            _ => false,
+        }
+    };
+    if used_by_context {
+        return true;
+    }
+    // Statement-position candidate: scan forward past the call's postfix
+    // chain. `.join(` in the chain means joined. Otherwise the first
+    // structural token at chain depth decides: `;` discards the value;
+    // `}` (block tail expression), `)`/`,` (argument), and `{` (match/if
+    // scrutinee) all let the handle flow onward — the dominant false-
+    // positive shape is `(0..n).map(|i| { … spawn(…) }).collect()`, whose
+    // spawn is a tail expression feeding the collected Vec<JoinHandle>.
+    let mut depth = 0i32;
+    let mut k = chain_start;
+    while let Some(t) = toks.get(k) {
+        if t.kind == TokKind::Op {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    if depth == 0 {
+                        return true;
+                    }
+                    depth -= 1;
+                }
+                ";" if depth <= 0 => return false,
+                "," | "}" | "{" if depth == 0 => return true,
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident && t.text == "join" && depth <= 0 {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn parse_src(rel: &str, src: &str) -> ParsedFile {
+        parse(rel, &scan(src))
+    }
+
+    #[test]
+    fn crate_and_module_derivation() {
+        assert_eq!(
+            crate_and_module("crates/tensor/src/simd/avx2.rs"),
+            ("egeria_tensor".into(), vec!["simd".into(), "avx2".into()])
+        );
+        assert_eq!(
+            crate_and_module("crates/tensor/src/lib.rs"),
+            ("egeria_tensor".into(), vec![])
+        );
+        assert_eq!(
+            crate_and_module("crates/bench/src/bin/bench_ops.rs"),
+            ("egeria_bench".into(), vec!["bin".into(), "bench_ops".into()])
+        );
+        assert_eq!(
+            crate_and_module("examples/quickstart.rs"),
+            ("examples".into(), vec!["quickstart".into()])
+        );
+        assert_eq!(
+            crate_and_module("tests/golden_run.rs"),
+            ("tests".into(), vec!["golden_run".into()])
+        );
+    }
+
+    #[test]
+    fn fns_mods_and_impls_qualify() {
+        let src = "
+            fn top() {}
+            mod inner {
+                pub fn nested() {}
+                impl Widget {
+                    fn method(&self) {}
+                }
+            }
+            impl Display for Gauge {
+                fn fmt(&self) {}
+            }
+            trait Clock {
+                fn now(&self) -> u64 { 0 }
+            }
+        ";
+        let pf = parse_src("crates/obs/src/metrics.rs", src);
+        let quals: Vec<&str> = pf.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            vec![
+                "egeria_obs::metrics::top",
+                "egeria_obs::metrics::inner::nested",
+                "egeria_obs::metrics::inner::Widget::method",
+                "egeria_obs::metrics::Gauge::fmt",
+                "egeria_obs::metrics::Clock::now",
+            ]
+        );
+        assert_eq!(pf.fns[3].impl_type.as_deref(), Some("Gauge"));
+    }
+
+    #[test]
+    fn impl_with_generics_and_where_clause() {
+        let src = "impl<T: Clone> Ring<T> where T: Send { fn push(&mut self) {} }";
+        let pf = parse_src("crates/obs/src/trace.rs", src);
+        assert_eq!(pf.fns[0].qual, "egeria_obs::trace::Ring::push");
+    }
+
+    #[test]
+    fn calls_and_sinks_attribute_to_innermost_fn() {
+        let src = "
+            fn outer() {
+                helper();
+                gemm::pack_a(1);
+                fn inner() { other.unwrap(); }
+                let c = || nested_call();
+            }
+        ";
+        let pf = parse_src("crates/tensor/src/gemm.rs", src);
+        let call_of = |name: &str| {
+            pf.calls
+                .iter()
+                .find(|c| match &c.kind {
+                    CallKind::Direct(p) => p.last().map(String::as_str) == Some(name),
+                    CallKind::Method(m, _) => m == name,
+                })
+                .expect(name)
+        };
+        assert_eq!(pf.fns[call_of("helper").caller].name, "outer");
+        assert_eq!(pf.fns[call_of("pack_a").caller].name, "outer");
+        // Closure body belongs to the enclosing fn.
+        assert_eq!(pf.fns[call_of("nested_call").caller].name, "outer");
+        // The unwrap sink belongs to the nested fn.
+        assert_eq!(pf.sinks.len(), 1);
+        assert_eq!(pf.fns[pf.sinks[0].fn_idx].name, "inner");
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let src = "
+            use std::sync::{Arc, Mutex as Mu};
+            use crate::gemm::pack_a;
+            use super::pool::*;
+            fn f() {}
+        ";
+        let pf = parse_src("crates/tensor/src/simd/mod.rs", src);
+        let by_leaf = |l: &str| pf.imports.iter().find(|i| i.leaf == l).map(|i| &i.path);
+        assert_eq!(
+            by_leaf("Arc").unwrap(),
+            &vec!["std".to_string(), "sync".to_string(), "Arc".to_string()]
+        );
+        assert_eq!(
+            by_leaf("Mu").unwrap(),
+            &vec!["std".to_string(), "sync".to_string(), "Mutex".to_string()]
+        );
+        assert_eq!(
+            by_leaf("pack_a").unwrap(),
+            &vec![
+                "egeria_tensor".to_string(),
+                "gemm".to_string(),
+                "pack_a".to_string()
+            ]
+        );
+        assert_eq!(
+            pf.glob_imports,
+            vec![vec![
+                "egeria_tensor".to_string(),
+                "pool".to_string()
+            ]]
+        );
+    }
+
+    #[test]
+    fn sinks_classify() {
+        let src = "
+            fn f() {
+                panic!(\"boom\");
+                x.unwrap();
+                y.expect(\"msg\");
+                assert_eq!(a, b);
+                let t = Instant::now();
+                let d = t.elapsed();
+                let r = thread_rng();
+            }
+        ";
+        let pf = parse_src("crates/core/src/trainer.rs", src);
+        let kinds: Vec<SinkKind> = pf.sinks.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SinkKind::Panic,
+                SinkKind::Panic,
+                SinkKind::Panic,
+                SinkKind::Panic,
+                SinkKind::WallClock,
+                SinkKind::WallClock,
+                SinkKind::Entropy,
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_sites_record_receiver() {
+        let src = "
+            struct S { state: Mutex<u32>, log: RwLock<Vec<u8>> }
+            fn f(s: &S) {
+                let g = s.state.lock();
+                let r = s.log.read();
+            }
+        ";
+        let pf = parse_src("crates/serve/src/engine.rs", src);
+        assert_eq!(pf.lock_fields, vec!["state".to_string(), "log".to_string()]);
+        assert_eq!(pf.locks.len(), 2);
+        assert_eq!(pf.locks[0].name, "state");
+        assert_eq!(pf.locks[1].name, "log");
+    }
+
+    #[test]
+    fn spawn_handle_usage_heuristic() {
+        let used = "fn f() { let h = thread::spawn(w); handles.push(thread::spawn(w)); thread::spawn(w).join().unwrap(); }";
+        let pf = parse_src("crates/core/src/controller.rs", used);
+        assert!(pf.spawns.iter().all(|s| s.handle_used), "{:?}", pf.spawns);
+
+        let dropped = "fn f() { thread::spawn(w); let _ = thread::spawn(w); }";
+        let pf = parse_src("crates/core/src/controller.rs", dropped);
+        assert_eq!(pf.spawns.len(), 2);
+        assert!(pf.spawns.iter().all(|s| !s.handle_used), "{:?}", pf.spawns);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let pf = parse_src("crates/core/src/freezer.rs", src);
+        assert!(!pf.fns[0].is_test);
+        assert!(pf.fns[1].is_test);
+    }
+}

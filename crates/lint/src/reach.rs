@@ -1,0 +1,171 @@
+//! Reachability over the call graph, with witness call paths.
+//!
+//! BFS from a set of entry functions gives, for every reachable function,
+//! the *shortest* call chain back to an entry. That chain is rendered as a
+//! witness path — `entry (file:line:col) → hop (file:line:col) → … → sink
+//! (file:line:col)` — so every graph-rule finding is actionable: the
+//! positions are the call sites to cut (or the sink to fix).
+
+use crate::graph::{CallGraph, FnId};
+use crate::parser::ParsedFile;
+use std::collections::BTreeMap;
+
+/// Result of one BFS: predecessor edges for every reached function.
+pub struct Reachability {
+    /// fn → (predecessor fn, call-site line, call-site col). Entries map to
+    /// themselves.
+    pred: BTreeMap<FnId, (FnId, u32, u32)>,
+}
+
+impl Reachability {
+    /// BFS from `entries` over `graph`. Deterministic: entries are visited
+    /// in sorted order and edges in insertion order.
+    pub fn compute(graph: &CallGraph, entries: &[FnId]) -> Reachability {
+        let mut pred: BTreeMap<FnId, (FnId, u32, u32)> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<FnId> = std::collections::VecDeque::new();
+        let mut sorted = entries.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        for &e in &sorted {
+            pred.insert(e, (e, 0, 0));
+            queue.push_back(e);
+        }
+        while let Some(f) = queue.pop_front() {
+            if let Some(edges) = graph.edges.get(&f) {
+                for e in edges {
+                    if let std::collections::btree_map::Entry::Vacant(slot) =
+                        pred.entry(e.callee)
+                    {
+                        slot.insert((f, e.line, e.col));
+                        queue.push_back(e.callee);
+                    }
+                }
+            }
+        }
+        Reachability { pred }
+    }
+
+    /// Whether `f` is reachable from the entry set.
+    pub fn contains(&self, f: FnId) -> bool {
+        self.pred.contains_key(&f)
+    }
+
+    /// All reached functions, in deterministic order.
+    pub fn reached(&self) -> impl Iterator<Item = FnId> + '_ {
+        self.pred.keys().copied()
+    }
+
+    /// The entry-to-`f` call chain: `[(fn, callsite_line, callsite_col)]`
+    /// where the position on each hop is the call site *in the previous
+    /// hop's file* (0,0 for the entry itself).
+    pub fn chain(&self, f: FnId) -> Vec<(FnId, u32, u32)> {
+        let mut rev = Vec::new();
+        let mut cur = f;
+        while let Some(&(p, line, col)) = self.pred.get(&cur) {
+            rev.push((cur, line, col));
+            if p == cur {
+                break;
+            }
+            cur = p;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Renders the witness path from the nearest entry to `f`, then to a
+    /// sink labeled `sink_what` at `sink_line:sink_col` (in `f`'s file).
+    ///
+    /// Format (single line): each hop is `qual (file:line:col)`; the entry
+    /// hop carries its definition site, every later hop the call site in
+    /// its caller, and the sink its own position:
+    ///
+    /// `a::f (a.rs:3:8) → b::g (a.rs:5:9) → panic! (b.rs:12:5)`
+    pub fn witness(
+        &self,
+        files: &[ParsedFile],
+        f: FnId,
+        sink_what: &str,
+        sink_line: u32,
+        sink_col: u32,
+    ) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let chain = self.chain(f);
+        for (k, &(id, line, col)) in chain.iter().enumerate() {
+            let item = &files[id.0].fns[id.1];
+            if k == 0 {
+                // Entry hop: its own definition site.
+                parts.push(format!(
+                    "{} ({}:{}:{})",
+                    item.qual, files[id.0].rel, item.line, item.col
+                ));
+            } else {
+                // Call site lives in the caller's file.
+                let caller = chain[k - 1].0;
+                parts.push(format!(
+                    "{} ({}:{}:{})",
+                    item.qual, files[caller.0].rel, line, col
+                ));
+            }
+        }
+        parts.push(format!(
+            "{} ({}:{}:{})",
+            sink_what, files[f.0].rel, sink_line, sink_col
+        ));
+        parts.join(" \u{2192} ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CallGraph;
+    use crate::lexer::scan;
+    use crate::parser::parse;
+
+    fn setup() -> (Vec<ParsedFile>, CallGraph) {
+        let files = vec![
+            parse(
+                "crates/core/src/a.rs",
+                &scan("pub fn entry() {\n    mid();\n}\nfn mid() {\n    b::leaf();\n}"),
+            ),
+            parse("crates/core/src/b.rs", &scan("pub fn leaf() {}")),
+        ];
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    #[test]
+    fn bfs_reaches_transitively_and_chains_are_shortest() {
+        let (files, g) = setup();
+        let entries = g.match_entries(&["egeria_core::a::entry".into()]);
+        assert_eq!(entries.len(), 1);
+        let r = Reachability::compute(&g, &entries);
+        let leaf = g.match_entries(&["egeria_core::b::leaf".into()])[0];
+        assert!(r.contains(leaf));
+        let chain = r.chain(leaf);
+        let quals: Vec<&str> = chain
+            .iter()
+            .map(|&(id, _, _)| files[id.0].fns[id.1].qual.as_str())
+            .collect();
+        assert_eq!(
+            quals,
+            vec!["egeria_core::a::entry", "egeria_core::a::mid", "egeria_core::b::leaf"]
+        );
+    }
+
+    #[test]
+    fn witness_renders_entry_hops_and_sink() {
+        let (files, g) = setup();
+        let entries = g.match_entries(&["egeria_core::a::entry".into()]);
+        let r = Reachability::compute(&g, &entries);
+        let leaf = g.match_entries(&["egeria_core::b::leaf".into()])[0];
+        let w = r.witness(&files, leaf, "panic!", 7, 5);
+        assert_eq!(
+            w,
+            "egeria_core::a::entry (crates/core/src/a.rs:1:8) \
+             \u{2192} egeria_core::a::mid (crates/core/src/a.rs:2:5) \
+             \u{2192} egeria_core::b::leaf (crates/core/src/a.rs:5:8) \
+             \u{2192} panic! (crates/core/src/b.rs:7:5)"
+        );
+    }
+}

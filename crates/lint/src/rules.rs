@@ -38,7 +38,7 @@ pub const VENDORED_DEPS_ONLY: &str = "vendored-deps-only";
 pub const NO_WALLCLOCK_SLEEP_RETRY: &str = "no-wallclock-sleep-retry";
 pub const ARCH_INTRINSICS_CONFINED: &str = "arch-intrinsics-confined";
 
-/// All rule ids, for pragma validation.
+/// All rule ids (token tier + graph tier), for pragma validation.
 pub const ALL_RULES: &[&str] = &[
     UNSAFE_NEEDS_SAFETY,
     NO_PANIC_IN_KERNELS,
@@ -47,12 +47,36 @@ pub const ALL_RULES: &[&str] = &[
     VENDORED_DEPS_ONLY,
     NO_WALLCLOCK_SLEEP_RETRY,
     ARCH_INTRINSICS_CONFINED,
+    crate::rules_graph::PANIC_REACHABLE,
+    crate::rules_graph::WALLCLOCK_REACHABLE,
+    crate::rules_graph::ENTROPY_REACHABLE,
+    crate::rules_graph::LOCK_ORDER,
+    crate::rules_graph::UNJOINED_SPAWN,
 ];
+
+/// Enforcement tier. `Deny` findings always fail the gate; `Warn` findings
+/// are ratcheted against the checked-in `lint-baseline.json` — known ones
+/// pass, new ones fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    Deny,
+    Warn,
+}
+
+impl Tier {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Deny => "deny",
+            Tier::Warn => "warn",
+        }
+    }
+}
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     pub rule: &'static str,
+    pub tier: Tier,
     pub path: String,
     pub line: u32,
     pub col: u32,
@@ -74,7 +98,7 @@ impl std::fmt::Display for Finding {
 /// next *code* line after the comment (standalone form) — so a pragma whose
 /// justification wraps over several comment lines still covers the code it
 /// annotates.
-fn pragma_suppressions(scan: &Scan) -> BTreeMap<String, BTreeSet<u32>> {
+pub(crate) fn pragma_suppressions(scan: &Scan) -> BTreeMap<String, BTreeSet<u32>> {
     let mut out: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
     for c in &scan.comments {
         // The pragma must lead the comment (after doc-comment markers), so
@@ -178,6 +202,7 @@ fn unsafe_needs_safety(rel: &str, scan: &Scan, findings: &mut Vec<Finding>) {
         });
         if !covered {
             findings.push(Finding {
+                tier: Tier::Deny,
                 rule: UNSAFE_NEEDS_SAFETY,
                 path: rel.to_string(),
                 line: t.line,
@@ -211,6 +236,7 @@ fn no_panic(rel: &str, scan: &Scan, findings: &mut Vec<Finding>, skip: impl Fn(u
         };
         if flagged {
             findings.push(Finding {
+                tier: Tier::Deny,
                 rule: NO_PANIC_IN_KERNELS,
                 path: rel.to_string(),
                 line: t.line,
@@ -247,6 +273,7 @@ fn float_exact_eq(rel: &str, scan: &Scan, findings: &mut Vec<Finding>, skip: imp
         };
         if lhs_float || rhs_float {
             findings.push(Finding {
+                tier: Tier::Deny,
                 rule: FLOAT_EXACT_EQ,
                 path: rel.to_string(),
                 line: t.line,
@@ -289,6 +316,7 @@ fn determinism(rel: &str, scan: &Scan, cfg: &Config, findings: &mut Vec<Finding>
                 || t.text == "from_entropy";
             if banned_time {
                 findings.push(Finding {
+                    tier: Tier::Deny,
                     rule: DETERMINISM,
                     path: rel.to_string(),
                     line: t.line,
@@ -303,6 +331,7 @@ fn determinism(rel: &str, scan: &Scan, cfg: &Config, findings: &mut Vec<Finding>
         }
         if serialize_module && (t.text == "HashMap" || t.text == "HashSet") {
             findings.push(Finding {
+                tier: Tier::Deny,
                 rule: DETERMINISM,
                 path: rel.to_string(),
                 line: t.line,
@@ -319,6 +348,7 @@ fn determinism(rel: &str, scan: &Scan, cfg: &Config, findings: &mut Vec<Finding>
             && (seq(i, &["thread", "::", "spawn"]) || seq(i, &["thread", "::", "Builder"]))
         {
             findings.push(Finding {
+                tier: Tier::Deny,
                 rule: DETERMINISM,
                 path: rel.to_string(),
                 line: t.line,
@@ -357,6 +387,7 @@ fn no_wallclock_sleep_retry(
             || t.text == "SystemTime";
         if flagged {
             findings.push(Finding {
+                tier: Tier::Deny,
                 rule: NO_WALLCLOCK_SLEEP_RETRY,
                 path: rel.to_string(),
                 line: t.line,
@@ -389,6 +420,7 @@ fn arch_intrinsics_confined(rel: &str, scan: &Scan, findings: &mut Vec<Finding>)
         }
         if seq(i, &[&t.text, "::", "arch"]) {
             findings.push(Finding {
+                tier: Tier::Deny,
                 rule: ARCH_INTRINSICS_CONFINED,
                 path: rel.to_string(),
                 line: t.line,
@@ -442,6 +474,7 @@ pub fn check_manifest(manifest_rel: &str, manifest_src: &str) -> Vec<Finding> {
     for (dep, line) in externals {
         if !patched.contains(&dep) {
             findings.push(Finding {
+                tier: Tier::Deny,
                 rule: VENDORED_DEPS_ONLY,
                 path: manifest_rel.to_string(),
                 line,
@@ -465,6 +498,7 @@ pub fn unknown_pragma_rules(rel: &str, scan: &Scan) -> Vec<Finding> {
         if !ALL_RULES.contains(&rule.as_str()) {
             let line = lines.iter().next().copied().unwrap_or(1);
             findings.push(Finding {
+                tier: Tier::Deny,
                 rule: "unknown-pragma",
                 path: rel.to_string(),
                 line,

@@ -1,0 +1,16 @@
+// Lexer-regression fixture: multi-byte char literals vs lifetimes — the
+// scanner once mis-read `'é'` as lifetime-`é` followed by a bare quote,
+// which then swallowed the rest of the file as string text. Every rule
+// trigger below is inert (string/char/comment text); zero findings expected.
+
+pub fn multibyte<'é, 'a>(s: &'a str) -> (char, char, char, &'a str) {
+    let one = 'é'; // two UTF-8 bytes
+    let two = '√'; // three UTF-8 bytes
+    let three = '🦀'; // four UTF-8 bytes
+    let esc = '\u{2192}';
+    let after = "still a string, not code: .unwrap() == 0.0 panic!";
+    let _ = (esc, &after);
+    let lt: &'é str = "lifetime with a multi-byte name";
+    let _ = lt;
+    (one, two, three, s)
+}

@@ -1,0 +1,5 @@
+//! Fixture: mid-tier helper between the kernel entry and the panic sink.
+
+pub fn prep(x: u32) -> u32 {
+    util::deep(x)
+}

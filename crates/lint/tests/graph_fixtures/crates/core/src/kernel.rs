@@ -1,0 +1,10 @@
+//! Fixture: kernel entry points for the graph-rule corpus.
+
+pub fn step(x: u32) -> u32 {
+    let y = helpers::prep(x);
+    rng::jitter(y)
+}
+
+pub fn quiet(x: u32) -> u32 {
+    x + 1
+}

@@ -1,0 +1,10 @@
+//! Fixture: a kernel-reachable panic sink suppressed by an `allow` pragma.
+
+pub fn entry_shim(x: u32) -> u32 {
+    guarded(x)
+}
+
+fn guarded(x: u32) -> u32 {
+    // egeria-lint: allow(panic-reachable-from-kernel): fixture — audited
+    x.checked_mul(2).expect("fixture")
+}

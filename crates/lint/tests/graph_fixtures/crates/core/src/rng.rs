@@ -1,0 +1,6 @@
+//! Fixture: entropy sink reachable from the kernel entry.
+
+pub fn jitter(x: u32) -> u32 {
+    let r = rand::thread_rng().gen::<u32>();
+    x ^ r
+}

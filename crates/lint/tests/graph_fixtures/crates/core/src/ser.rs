@@ -1,0 +1,10 @@
+//! Fixture: wall-clock sinks reachable from the serialize entry point.
+
+pub fn save(buf: &mut Vec<u8>) {
+    stamp(buf);
+}
+
+fn stamp(buf: &mut Vec<u8>) {
+    let t = std::time::Instant::now();
+    buf.push(t.elapsed().as_secs() as u8);
+}

@@ -1,0 +1,16 @@
+//! Fixture: spawn sites — discarded, bound-and-joined, and `let _ =`.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| work());
+}
+
+pub fn supervised() {
+    let h = std::thread::spawn(|| work());
+    h.join().ok();
+}
+
+pub fn deliberately_dropped() {
+    let _ = std::thread::spawn(|| work());
+}
+
+fn work() {}

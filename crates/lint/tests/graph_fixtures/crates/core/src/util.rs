@@ -1,0 +1,9 @@
+//! Fixture: the panic sink lives two hops from the kernel entry.
+
+pub fn deep(x: u32) -> u32 {
+    checked(x).unwrap()
+}
+
+fn checked(x: u32) -> Option<u32> {
+    x.checked_add(1)
+}

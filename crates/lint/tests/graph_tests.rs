@@ -1,0 +1,200 @@
+//! Integration tests for the graph-rule tier: the seeded fixture mini-tree
+//! under `tests/graph_fixtures/` (known call chains, exact findings, exact
+//! witness-path text), the `--json` / baseline-ratchet binary surface, and
+//! the workspace-wide gate mirroring `lint_tests::workspace_is_clean`.
+
+use egeria_lint::{json, lint_tree, load_config, rules_graph, Tier};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/graph_fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+/// The graph corpus findings, down to (path, line, col, rule, tier). The
+/// pragma fixture's reachable `.expect()` must NOT appear (suppressed), and
+/// the bound-and-joined spawn in `supervised` must not be flagged.
+#[test]
+fn graph_fixture_findings_are_exact() {
+    let root = fixtures_root();
+    let cfg = load_config(&root).expect("fixture lint.toml");
+    let report = lint_tree(&root, &cfg).expect("lint graph fixtures");
+    let got: Vec<(String, u32, u32, &str, Tier)> = report
+        .findings
+        .iter()
+        .map(|f| (f.path.clone(), f.line, f.col, f.rule, f.tier))
+        .collect();
+    let want: Vec<(String, u32, u32, &str, Tier)> = [
+        ("crates/core/src/locks.rs", 13, 25, rules_graph::LOCK_ORDER, Tier::Warn),
+        ("crates/core/src/rng.rs", 4, 19, rules_graph::ENTROPY_REACHABLE, Tier::Deny),
+        ("crates/core/src/ser.rs", 8, 24, rules_graph::WALLCLOCK_REACHABLE, Tier::Deny),
+        ("crates/core/src/ser.rs", 9, 16, rules_graph::WALLCLOCK_REACHABLE, Tier::Deny),
+        ("crates/core/src/spawner.rs", 4, 18, rules_graph::UNJOINED_SPAWN, Tier::Deny),
+        ("crates/core/src/spawner.rs", 13, 26, rules_graph::UNJOINED_SPAWN, Tier::Deny),
+        ("crates/core/src/util.rs", 4, 16, rules_graph::PANIC_REACHABLE, Tier::Deny),
+    ]
+    .into_iter()
+    .map(|(p, l, c, r, t)| (p.to_string(), l, c, r, t))
+    .collect();
+    assert_eq!(got, want);
+}
+
+/// The multi-hop witness call path renders hop-by-hop in file:line:col
+/// form: entry definition site, then each callsite in its caller's file,
+/// then the sink.
+#[test]
+fn panic_witness_path_text_is_exact() {
+    let root = fixtures_root();
+    let cfg = load_config(&root).expect("fixture lint.toml");
+    let report = lint_tree(&root, &cfg).expect("lint graph fixtures");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == rules_graph::PANIC_REACHABLE)
+        .expect("panic-reachable finding");
+    assert_eq!(
+        f.message,
+        "`.unwrap()` reachable from a kernel entry point; a panic \
+         mid-train-step breaks checkpoint/resume and freezing-timeline \
+         replay; witness: \
+         egeria_core::kernel::step (crates/core/src/kernel.rs:3:8) \
+         \u{2192} egeria_core::helpers::prep (crates/core/src/kernel.rs:4:22) \
+         \u{2192} egeria_core::util::deep (crates/core/src/helpers.rs:4:11) \
+         \u{2192} .unwrap() (crates/core/src/util.rs:4:16)"
+    );
+}
+
+/// The lock-order cycle names both locks and cites the held→acquired edge
+/// in each direction.
+#[test]
+fn lock_order_cycle_cites_both_directions() {
+    let root = fixtures_root();
+    let cfg = load_config(&root).expect("fixture lint.toml");
+    let report = lint_tree(&root, &cfg).expect("lint graph fixtures");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == rules_graph::LOCK_ORDER)
+        .expect("lock-order finding");
+    assert_eq!(f.tier, Tier::Warn);
+    assert!(f.message.contains("cycle among `a`, `b`"), "{}", f.message);
+    assert!(
+        f.message
+            .contains("`a` held in egeria_core::locks::Pair::ab (crates/core/src/locks.rs:13:25) then `b` acquired (crates/core/src/locks.rs:14:25)"),
+        "{}",
+        f.message
+    );
+    assert!(
+        f.message
+            .contains("`b` held in egeria_core::locks::Pair::ba (crates/core/src/locks.rs:19:25) then `a` acquired (crates/core/src/locks.rs:20:25)"),
+        "{}",
+        f.message
+    );
+}
+
+/// `--json` output parses with the dependency-free reader, carries every
+/// corpus finding in stable (rule, file, line) order, and embeds the
+/// witness arrows.
+#[test]
+fn json_output_parses_and_is_stably_sorted() {
+    let out = Command::new(env!("CARGO_BIN_EXE_egeria-lint"))
+        .args(["--workspace", "--json", "--root"])
+        .arg(fixtures_root())
+        .output()
+        .expect("run egeria-lint --json");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 json");
+    let entries = json::parse_baseline(&stdout).expect("parse --json output");
+    assert_eq!(entries.len(), 7);
+    let rules: Vec<&str> = entries.iter().map(|e| e.rule.as_str()).collect();
+    let mut sorted = rules.clone();
+    sorted.sort();
+    assert_eq!(rules, sorted, "findings must sort by rule first");
+    assert!(stdout.contains("\u{2192}"), "witness arrows survive JSON");
+}
+
+/// The warn-tier ratchet end-to-end: bless a baseline, re-run against it,
+/// and the lock-order warn finding no longer counts as new (the corpus
+/// still fails on its deny findings; dropping them is the fixture tree's
+/// job, not the baseline's).
+#[test]
+fn bless_then_rerun_ratchets_warn_findings() {
+    let dir = std::env::temp_dir().join(format!("egeria-lint-baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let baseline = dir.join("baseline.json");
+
+    let bless = Command::new(env!("CARGO_BIN_EXE_egeria-lint"))
+        .args(["--workspace", "--bless-baseline", "--baseline"])
+        .arg(&baseline)
+        .args(["--root"])
+        .arg(fixtures_root())
+        .output()
+        .expect("bless run");
+    let doc = std::fs::read_to_string(&baseline).expect("blessed baseline");
+    let entries = json::parse_baseline(&doc).expect("parse blessed baseline");
+    assert_eq!(entries.len(), 1, "only the warn finding is baselined: {doc}");
+    assert_eq!(entries[0].rule, "lock-order");
+    let stderr = String::from_utf8_lossy(&bless.stderr);
+    assert!(stderr.contains("0 new vs baseline"), "stderr:\n{stderr}");
+
+    let rerun = Command::new(env!("CARGO_BIN_EXE_egeria-lint"))
+        .args(["--workspace", "--baseline"])
+        .arg(&baseline)
+        .args(["--root"])
+        .arg(fixtures_root())
+        .output()
+        .expect("rerun");
+    let stderr = String::from_utf8_lossy(&rerun.stderr);
+    assert!(
+        stderr.contains("6 deny, 1 warn (0 new vs baseline)"),
+        "stderr:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The workspace-wide graph gate, mirroring `lint_tests::workspace_is_clean`:
+/// zero deny findings, and every warn finding covered by the checked-in
+/// `lint-baseline.json`.
+#[test]
+fn workspace_graph_gate_holds() {
+    let root = repo_root();
+    let cfg = load_config(&root).expect("repo lint.toml");
+    for rule in rules_graph::GRAPH_RULES {
+        assert!(
+            cfg.has_rule(rule),
+            "repo lint.toml must declare [rules.{rule}] so the graph tier runs"
+        );
+    }
+    assert!(
+        !cfg.graph.list("kernel_entries").is_empty(),
+        "repo lint.toml must declare [graph] kernel_entries"
+    );
+    let report = lint_tree(&root, &cfg).expect("lint workspace");
+    let deny: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.tier == Tier::Deny)
+        .map(|f| f.to_string())
+        .collect();
+    assert!(deny.is_empty(), "workspace has deny findings:\n{}", deny.join("\n"));
+
+    let baseline_src = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("checked-in lint-baseline.json");
+    let baseline = json::parse_baseline(&baseline_src).expect("parse lint-baseline.json");
+    let fresh: Vec<String> = json::new_warn_findings(&report.findings, &baseline)
+        .iter()
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        fresh.is_empty(),
+        "workspace has warn findings not covered by lint-baseline.json:\n{}",
+        fresh.join("\n")
+    );
+}

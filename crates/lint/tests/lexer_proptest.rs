@@ -1,0 +1,119 @@
+//! Lexer hardening: the scanner must never panic and must keep its
+//! position invariants on (a) every real `.rs` file in the workspace,
+//! (b) byte-mutated variants of those files, and (c) generated token soup.
+//! The scanner runs before any rule, so a crash here takes the whole gate
+//! down — robustness is part of its contract.
+
+use egeria_lint::lexer::scan;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" || name == "vendor" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Position invariants every scan must satisfy, whatever the input:
+/// 1-based monotonically non-decreasing token lines, 1-based columns, and
+/// no token line past the end of the source.
+fn check_invariants(src: &str) {
+    let s = scan(src);
+    let n_lines = src.lines().count() as u32 + 1;
+    let mut prev = 1u32;
+    for t in &s.toks {
+        assert!(t.line >= 1 && t.col >= 1, "positions are 1-based: {t:?}");
+        assert!(t.line >= prev, "token lines go backwards: {t:?}");
+        assert!(t.line <= n_lines, "token line past EOF: {t:?}");
+        prev = t.line;
+    }
+    for c in &s.comments {
+        assert!(c.line >= 1 && c.end_line >= c.line, "comment span: {c:?}");
+    }
+    for &(a, b) in &s.test_regions {
+        assert!(a <= b, "inverted test region ({a}, {b})");
+    }
+}
+
+/// Every real source file in the workspace lexes without panicking and
+/// satisfies the position invariants. Deterministic, not property-based —
+/// this is the corpus the lint actually runs on.
+#[test]
+fn every_workspace_source_file_lexes() {
+    let mut files = Vec::new();
+    collect_rs(&repo_root(), &mut files);
+    assert!(files.len() > 100, "walker found only {} files", files.len());
+    for f in &files {
+        let src = std::fs::read_to_string(f).expect("read source");
+        check_invariants(&src);
+    }
+}
+
+/// Fragments the soup strategy draws from: quotes, raw strings, lifetimes,
+/// char literals (ASCII, multi-byte, escaped) left deliberately unbalanced.
+const SOUP: &[&str] = &[
+    "\"", "'", "'a", "r#\"", "\"#", "//", "/*", "*/", "\\", "\n", "é", "'é'", "'🦀'",
+    "'\\u{2192}'", "fn f()", "0.5", "b'x'", "#[cfg(test)]", "r\"", "```", "⟶",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (lossily decoded, exactly how a corrupted file
+    /// would reach the lint) never panics the scanner.
+    #[test]
+    fn arbitrary_bytes_lex(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let src = String::from_utf8_lossy(&bytes);
+        check_invariants(&src);
+    }
+
+    /// Rust-ish token soup — unbalanced quotes, raw strings, lifetimes,
+    /// multi-byte char literals — never panics the scanner.
+    #[test]
+    fn tokeny_soup_lexes(picks in prop::collection::vec(0usize..SOUP.len(), 0..40)) {
+        let src: String = picks.iter().map(|&i| SOUP[i]).collect();
+        check_invariants(&src);
+    }
+
+    /// Byte mutations of real workspace source files never panic the
+    /// scanner and never break its position invariants.
+    #[test]
+    fn mutated_real_sources_lex(
+        file_pick in 0usize..1000,
+        edits in prop::collection::vec((0usize..100_000, any::<u8>()), 1..8),
+    ) {
+        let mut files = Vec::new();
+        collect_rs(&repo_root(), &mut files);
+        let src_path = &files[file_pick % files.len()];
+        let mut bytes = std::fs::read(src_path).expect("read source");
+        if bytes.is_empty() {
+            bytes.push(b'\n');
+        }
+        for &(pos, b) in &edits {
+            let at = pos % bytes.len();
+            bytes[at] = b;
+        }
+        let src = String::from_utf8_lossy(&bytes);
+        check_invariants(&src);
+    }
+}

@@ -144,9 +144,12 @@ pub fn gemm(
     k: usize,
     c: &mut [f32],
 ) {
+    // egeria-lint: allow(panic-reachable-from-kernel): documented shape
+    // preconditions at the public kernel boundary — a mismatched buffer is
+    // a caller bug that must fail loudly before any partial accumulation.
     assert_eq!(a.len(), m * k, "gemm: A length");
-    assert_eq!(b.len(), k * n, "gemm: B length");
-    assert_eq!(c.len(), m * n, "gemm: C length");
+    assert_eq!(b.len(), k * n, "gemm: B length"); // egeria-lint: allow(panic-reachable-from-kernel): shape precondition, as above
+    assert_eq!(c.len(), m * n, "gemm: C length"); // egeria-lint: allow(panic-reachable-from-kernel): shape precondition, as above
     if m == 0 || n == 0 {
         return;
     }
@@ -237,6 +240,8 @@ pub fn gemm_reference(
     k: usize,
     c: &mut [f32],
 ) {
+    // egeria-lint: allow(panic-reachable-from-kernel): shape precondition
+    // at the public kernel boundary, same contract as `gemm` above.
     assert_eq!(c.len(), m * n, "gemm_reference: C length");
     for i in 0..m {
         for p in 0..k {

@@ -145,8 +145,10 @@ impl ThreadPool {
                             IN_TASK.with(|t| t.set(false));
                         }
                     })
-                    // egeria-lint: allow(no-panic-in-kernels): failing to
-                    // spawn a worker at pool construction is unrecoverable.
+                    // egeria-lint: allow(no-panic-in-kernels, panic-reachable-from-kernel):
+                    // failing to spawn a worker at pool construction is
+                    // unrecoverable, and happens once at startup — never
+                    // mid-train-step.
                     .expect("spawn pool worker")
             })
             .collect();
@@ -223,8 +225,11 @@ impl ThreadPool {
         // Wait for stragglers claimed by workers.
         let _ = done_rx.recv();
         if shared.panicked.load(Ordering::Relaxed) {
-            // egeria-lint: allow(no-panic-in-kernels): deliberate re-raise
-            // of a worker task's panic on the calling thread.
+            // egeria-lint: allow(no-panic-in-kernels, panic-reachable-from-kernel):
+            // deliberate re-raise of a worker task's panic on the calling
+            // thread — swallowing it would let a half-computed tensor flow
+            // onward; the transitive reachability from every kernel entry is
+            // exactly the point.
             panic!("egeria-tensor pool task panicked");
         }
     }
@@ -314,6 +319,9 @@ pub fn for_each_chunk_mut_zip(
     src: &[f32],
     f: impl Fn(&mut [f32], &[f32]) + Sync,
 ) {
+    // egeria-lint: allow(panic-reachable-from-kernel): geometry
+    // precondition guarding the unsafe disjoint-chunk split below — a
+    // length mismatch here must never reach the raw-pointer arithmetic.
     assert_eq!(dst.len(), src.len(), "zip chunk length mismatch");
     let len = dst.len();
     if len == 0 {
@@ -343,6 +351,9 @@ pub fn for_each_batch_mut(
     if item == 0 || data.is_empty() {
         return;
     }
+    // egeria-lint: allow(panic-reachable-from-kernel): geometry
+    // precondition guarding the unsafe disjoint-item split below — a
+    // non-dividing length must never reach the raw-pointer arithmetic.
     assert_eq!(data.len() % item, 0, "batch dispatch length mismatch");
     let tasks = data.len() / item;
     let ptr = SendPtr(data.as_mut_ptr());
