@@ -40,6 +40,23 @@ rm -f "$lint_scratch"
 EGERIA_THREADS=1 EGERIA_SIMD=scalar cargo test -q
 cargo test -q
 
+# Freezing-policy A/B matrix (DESIGN §5i): the release-built harness runs
+# every policy over every model family on fixed seeds, verifies each cell
+# against its checked-in golden fingerprint (tests/golden/policies/),
+# checks the per-family traces stay pairwise distinct, and rewrites the
+# A/B report under results/. Hard gate; regenerate goldens after an
+# intentional policy change with `cargo run --release -p egeria-scenarios
+# --bin scenario_ab -- --bless`.
+cargo run --release -p egeria-scenarios --bin scenario_ab
+for key in model policy final_loss tta_epochs compute_saved comm_skipped; do
+    grep -q "\"$key\"" results/scenario_ab_report.json
+done
+grep -q '^model,policy,final_loss' results/scenario_ab_report.csv
+
+# The golden-run fingerprint must be pool-size invariant: the full suite
+# above already pins EGERIA_THREADS=1; re-pin the golden run at 8 threads.
+EGERIA_THREADS=8 cargo test -q --test golden_run
+
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Kernel perf smoke: times the hot paths under both backends and the SIMD

@@ -8,15 +8,20 @@
 //! accumulators. The LR schedule and data order need no cursor state —
 //! both are pure functions of `(seed, epoch/step)`.
 //!
-//! On-disk container (little-endian), format version 1:
+//! On-disk container (little-endian), format version 2:
 //!
 //! ```text
 //! magic        u32  = 0x4B434745 ("EGCK")
-//! version      u8   = 1
+//! version      u8   = 2
 //! payload_len  u64
 //! crc32        u32  (IEEE CRC-32 of the payload)
 //! payload      (the encoded TrainerCheckpoint)
 //! ```
+//!
+//! Version history: v2 added the freeze-policy state block
+//! ([`crate::policy::PolicyState`]) to the freezer section. Version-1 files
+//! are still decodable — their freezer state upgrades with
+//! [`PolicyState::legacy`] (those runs were always paper-policy driven).
 //!
 //! Atomicity protocol: the file is written to `<name>.tmp`, fsynced, then
 //! renamed over the final name — a crash mid-save leaves at most a stale
@@ -29,6 +34,7 @@ use crate::bootstrap::BootstrapSnapshot;
 use crate::faults::{FaultAction, FaultInjector, FaultSite};
 use crate::freezer::{FreezeEvent, FreezerSnapshot};
 use crate::plasticity::TrackerSnapshot;
+use crate::policy::PolicyState;
 use crate::reference::ReferenceSnapshot;
 use crate::trainer::{EpochRecord, EventRecord, IterationRecord, PlasticityPoint};
 use bytes::BufMut;
@@ -43,7 +49,10 @@ use std::sync::Arc;
 pub const MAGIC: u32 = 0x4B43_4745;
 
 /// Current checkpoint container version.
-pub const FORMAT_VERSION: u8 = 1;
+pub const FORMAT_VERSION: u8 = 2;
+
+/// Oldest container version this binary still decodes.
+pub const MIN_FORMAT_VERSION: u8 = 1;
 
 const HEADER_LEN: usize = 4 + 1 + 8 + 4;
 
@@ -162,7 +171,17 @@ fn put_tracker(out: &mut Vec<u8>, t: &TrackerSnapshot) {
     out.put_f32_le(t.t);
 }
 
-fn encode_payload(ckpt: &TrainerCheckpoint) -> Vec<u8> {
+fn put_policy_state(out: &mut Vec<u8>, p: &PolicyState) {
+    put_string(out, &p.kind);
+    out.put_u32_le(p.version);
+    put_f32_vec(out, &p.scalars);
+    out.put_u64_le(p.counters.len() as u64);
+    for &c in &p.counters {
+        out.put_u64_le(c);
+    }
+}
+
+fn encode_payload(ckpt: &TrainerCheckpoint, version: u8) -> Vec<u8> {
     let mut out = Vec::new();
     put_string(&mut out, &ckpt.model_name);
     out.put_u64_le(ckpt.next_epoch);
@@ -207,6 +226,9 @@ fn encode_payload(ckpt: &TrainerCheckpoint) -> Vec<u8> {
             out.put_u64_le(f.trackers.len() as u64);
             for t in &f.trackers {
                 put_tracker(&mut out, t);
+            }
+            if version >= 2 {
+                put_policy_state(&mut out, &f.policy);
             }
         }
     }
@@ -372,9 +394,26 @@ impl<'a> Reader<'a> {
             t: self.f32("tracker.t")?,
         })
     }
+
+    fn policy_state(&mut self) -> Result<PolicyState> {
+        let kind = self.string("policy.kind")?;
+        let version = self.u32("policy.version")?;
+        let scalars = self.f32_vec("policy.scalars")?;
+        let n = self.len("policy.counters")?;
+        let mut counters = Vec::new();
+        for _ in 0..n {
+            counters.push(self.u64("policy.counter")?);
+        }
+        Ok(PolicyState {
+            kind,
+            version,
+            scalars,
+            counters,
+        })
+    }
 }
 
-fn decode_payload(payload: &[u8]) -> Result<TrainerCheckpoint> {
+fn decode_payload(payload: &[u8], version: u8) -> Result<TrainerCheckpoint> {
     let mut r = Reader { buf: payload };
     let model_name = r.string("model_name")?;
     let next_epoch = r.u64("next_epoch")?;
@@ -431,6 +470,13 @@ fn decode_payload(payload: &[u8]) -> Result<TrainerCheckpoint> {
             for _ in 0..n_trackers {
                 trackers.push(r.tracker()?);
             }
+            // v1 predates the policy framework; those runs were always
+            // paper-policy driven, so the upgrade is lossless.
+            let policy = if version >= 2 {
+                r.policy_state()?
+            } else {
+                PolicyState::legacy()
+            };
             Some(FreezerSnapshot {
                 front,
                 lr_at_first_freeze,
@@ -438,6 +484,7 @@ fn decode_payload(payload: &[u8]) -> Result<TrainerCheckpoint> {
                 evaluations,
                 events,
                 trackers,
+                policy,
             })
         }
     };
@@ -533,10 +580,17 @@ fn decode_payload(payload: &[u8]) -> Result<TrainerCheckpoint> {
 
 /// Serializes a checkpoint into the versioned, checksummed container.
 pub fn to_bytes(ckpt: &TrainerCheckpoint) -> Vec<u8> {
-    let payload = encode_payload(ckpt);
+    to_bytes_versioned(ckpt, FORMAT_VERSION)
+}
+
+/// Serializes with an explicit container version (old versions drop the
+/// fields they predate). Only the current version is written in production;
+/// this exists so backward-compat decoding stays testable.
+fn to_bytes_versioned(ckpt: &TrainerCheckpoint, version: u8) -> Vec<u8> {
+    let payload = encode_payload(ckpt, version);
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.put_u32_le(MAGIC);
-    out.put_u8(FORMAT_VERSION);
+    out.put_u8(version);
     out.put_u64_le(payload.len() as u64);
     out.put_u32_le(serialize::crc32(&payload));
     out.put_slice(&payload);
@@ -559,9 +613,10 @@ pub fn from_bytes(buf: &[u8]) -> Result<TrainerCheckpoint> {
         )));
     }
     let version = r.u8("version")?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(TensorError::Corrupt(format!(
-            "unsupported checkpoint version {version} (expected {FORMAT_VERSION})"
+            "unsupported checkpoint version {version} \
+             (expected {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
         )));
     }
     let payload_len = r.u64("payload_len")?;
@@ -579,7 +634,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<TrainerCheckpoint> {
             "checkpoint checksum mismatch: stored {expected_crc:#010x}, computed {actual_crc:#010x}"
         )));
     }
-    decode_payload(r.buf)
+    decode_payload(r.buf, version)
 }
 
 /// Manages a directory of rolling checkpoints.
@@ -787,6 +842,12 @@ mod tests {
                     s: 2,
                     t: 1.0,
                 }],
+                policy: PolicyState {
+                    kind: "regression".into(),
+                    version: 1,
+                    scalars: vec![0.4],
+                    counters: vec![1, 7, 0],
+                },
             }),
             bootstrap: Some(BootstrapSnapshot {
                 losses: vec![2.0, 1.0, 0.9],
@@ -856,6 +917,28 @@ mod tests {
         let c = tiny_checkpoint();
         let back = from_bytes(&to_bytes(&c)).unwrap();
         assert_round_trip(&c, &back);
+    }
+
+    #[test]
+    fn format_v1_checkpoints_decode_with_legacy_policy_state() {
+        let c = tiny_checkpoint();
+        let v1_bytes = to_bytes_versioned(&c, 1);
+        let back = from_bytes(&v1_bytes).unwrap();
+        // Everything except the policy block survives; the freezer state
+        // upgrades with the legacy (paper, version-0) policy state.
+        assert_eq!(back.model_name, c.model_name);
+        let f = back.freezer.expect("freezer section survives");
+        let orig = c.freezer.unwrap();
+        assert_eq!(f.front, orig.front);
+        assert_eq!(f.events, orig.events);
+        assert_eq!(f.trackers, orig.trackers);
+        assert_eq!(f.policy, PolicyState::legacy());
+    }
+
+    #[test]
+    fn future_format_versions_are_rejected() {
+        let bytes = to_bytes_versioned(&tiny_checkpoint(), FORMAT_VERSION + 1);
+        assert!(from_bytes(&bytes).is_err());
     }
 
     #[test]

@@ -14,6 +14,92 @@ pub enum ControllerMode {
     Async,
 }
 
+/// Which freeze/unfreeze decision policy drives the [`crate::freezer::FreezingEngine`]
+/// (DESIGN §5i). The engine owns the per-module plasticity trackers and the
+/// event log; the policy owns only the *decision rule*, so every variant
+/// shares one probe pipeline and one determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// The paper's plasticity/CUSUM policy (Algorithm 1): freeze on `S`
+    /// consecutive sub-tolerance slopes, unfreeze on the LR-annealing rule.
+    /// Bit-identical to the pre-trait freezer (pinned by the golden run).
+    #[default]
+    Paper,
+    /// SmartFRZ-style learned predictor: a fixed-weight logistic scorer
+    /// over attention-pooled plasticity-history features, distilled
+    /// offline from paper-policy decision traces.
+    Learned,
+    /// Periodic-interval baseline: freeze one module every `every`
+    /// plasticity evaluations, ignoring the plasticity values entirely.
+    Interval {
+        /// Evaluations between successive freezes.
+        every: usize,
+    },
+    /// Never freeze anything: the vanilla baseline under the same probe
+    /// schedule (isolates probe overhead from freezing benefit).
+    NeverFreeze,
+    /// The paper policy plus regression-aware *unfreezing*: when the
+    /// reference-probe plasticity rebounds right after a freeze (the
+    /// premature-freeze signature), thaw everything and refreeze with
+    /// relaxed criteria.
+    RegressionAware,
+}
+
+impl PolicyKind {
+    /// Stable short name, used in reports, fingerprints, checkpoints, and
+    /// telemetry decision instants.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Paper => "paper",
+            PolicyKind::Learned => "learned",
+            PolicyKind::Interval { .. } => "interval",
+            PolicyKind::NeverFreeze => "never",
+            PolicyKind::RegressionAware => "regression",
+        }
+    }
+
+    /// Parses `"paper" | "learned" | "interval[:N]" | "never" |
+    /// "regression"` (the `EGERIA_FREEZE_POLICY` syntax).
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix("interval") {
+            let every = match rest.strip_prefix(':') {
+                Some(n) => n.parse().ok().filter(|&n| n > 0)?,
+                None if rest.is_empty() => DEFAULT_INTERVAL_EVERY,
+                None => return None,
+            };
+            return Some(PolicyKind::Interval { every });
+        }
+        match s {
+            "paper" => Some(PolicyKind::Paper),
+            "learned" => Some(PolicyKind::Learned),
+            "never" => Some(PolicyKind::NeverFreeze),
+            "regression" => Some(PolicyKind::RegressionAware),
+            _ => None,
+        }
+    }
+
+    /// Reads the `EGERIA_FREEZE_POLICY` override; `None` when unset.
+    /// An unparsable value is reported once and ignored rather than
+    /// aborting training.
+    pub fn from_env() -> Option<PolicyKind> {
+        let raw = std::env::var("EGERIA_FREEZE_POLICY").ok()?;
+        match PolicyKind::parse(&raw) {
+            Some(k) => Some(k),
+            None => {
+                eprintln!(
+                    "egeria: ignoring unparsable EGERIA_FREEZE_POLICY={raw:?} \
+                     (expected paper|learned|interval[:N]|never|regression)"
+                );
+                None
+            }
+        }
+    }
+}
+
+/// Default freeze period of [`PolicyKind::Interval`] when none is given.
+pub const DEFAULT_INTERVAL_EVERY: usize = 5;
+
 /// Unfreeze policy (§4.2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnfreezePolicy {
@@ -65,6 +151,9 @@ pub struct EgeriaConfig {
     /// average divided by core count exceeds this fraction (§4.1.2 uses
     /// 50%). Only consulted in async mode.
     pub cpu_load_gate: f32,
+    /// Freeze/unfreeze decision policy (DESIGN §5i). Overridable at run
+    /// time via `EGERIA_FREEZE_POLICY` in the trainer.
+    pub policy: PolicyKind,
 }
 
 impl Default for EgeriaConfig {
@@ -82,6 +171,7 @@ impl Default for EgeriaConfig {
             cache_mem_batches: 5,
             controller: ControllerMode::Sync,
             cpu_load_gate: 0.5,
+            policy: PolicyKind::Paper,
         }
     }
 }
@@ -117,6 +207,31 @@ mod tests {
         let c = EgeriaConfig::default().with_window(7);
         assert_eq!(c.w, 7);
         assert_eq!(c.s, 7);
+    }
+
+    #[test]
+    fn policy_kind_parses_all_spellings() {
+        assert_eq!(PolicyKind::parse("paper"), Some(PolicyKind::Paper));
+        assert_eq!(PolicyKind::parse("learned"), Some(PolicyKind::Learned));
+        assert_eq!(PolicyKind::parse("never"), Some(PolicyKind::NeverFreeze));
+        assert_eq!(
+            PolicyKind::parse("regression"),
+            Some(PolicyKind::RegressionAware)
+        );
+        assert_eq!(
+            PolicyKind::parse("interval"),
+            Some(PolicyKind::Interval {
+                every: DEFAULT_INTERVAL_EVERY
+            })
+        );
+        assert_eq!(
+            PolicyKind::parse("interval:3"),
+            Some(PolicyKind::Interval { every: 3 })
+        );
+        assert_eq!(PolicyKind::parse("interval:0"), None);
+        assert_eq!(PolicyKind::parse("interval:x"), None);
+        assert_eq!(PolicyKind::parse("bogus"), None);
+        assert_eq!(EgeriaConfig::default().policy, PolicyKind::Paper);
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Algorithm 1: the layer-freezing state machine.
 //!
 //! Tracks the frontmost active layer module, folds plasticity evaluations
-//! into its history, advances the frozen prefix on convergence, and handles
-//! the learning-rate-annealing unfreeze with relaxed refreeze criteria.
+//! into its history, advances the frozen prefix on a policy's decision, and
+//! handles unfreezing with relaxed refreeze criteria. The decision rule
+//! itself lives behind [`FreezePolicy`] (DESIGN §5i): the engine owns the
+//! shared mechanics — trackers, front cursor, event log, telemetry, tail
+//! guard — and delegates freeze/unfreeze/hold to the configured policy.
 
-use crate::config::{EgeriaConfig, UnfreezePolicy};
+use crate::config::{EgeriaConfig, PolicyKind, UnfreezePolicy};
 use crate::plasticity::{PlasticityObservation, PlasticityTracker, TrackerSnapshot};
+use crate::policy::{build_policy, FreezePolicy, PolicyAction, PolicyState, PostCtx, PreCtx};
 use egeria_obs::Telemetry;
 use egeria_tensor::{Result, Tensor};
 
@@ -26,6 +30,9 @@ pub struct FreezerSnapshot {
     pub events: Vec<(usize, FreezeEvent)>,
     /// Per-module tracker states, in module order.
     pub trackers: Vec<TrackerSnapshot>,
+    /// The decision policy's own state (versioned; DESIGN §5i). Legacy
+    /// format-v1 checkpoints decode to [`PolicyState::legacy`].
+    pub policy: PolicyState,
 }
 
 /// A freezing decision produced by one plasticity evaluation.
@@ -45,7 +52,9 @@ pub struct FreezingEngine {
     trackers: Vec<PlasticityTracker>,
     front: usize,
     num_modules: usize,
-    policy: UnfreezePolicy,
+    unfreeze: UnfreezePolicy,
+    /// The freeze/unfreeze decision rule (DESIGN §5i).
+    policy: Box<dyn FreezePolicy>,
     base: EgeriaConfig,
     /// LR recorded when the current freeze run started (first module
     /// frozen); cleared on unfreeze.
@@ -61,15 +70,27 @@ pub struct FreezingEngine {
 }
 
 impl FreezingEngine {
-    /// Creates an engine for a model of `num_modules` layer modules.
+    /// Creates an engine for a model of `num_modules` layer modules,
+    /// driven by the policy the config selects ([`EgeriaConfig::policy`]).
     pub fn new(num_modules: usize, cfg: &EgeriaConfig) -> Self {
+        FreezingEngine::with_policy(num_modules, cfg, build_policy(cfg))
+    }
+
+    /// Creates an engine driven by an explicit policy instance (the A/B
+    /// scenario harness injects policies directly).
+    pub fn with_policy(
+        num_modules: usize,
+        cfg: &EgeriaConfig,
+        policy: Box<dyn FreezePolicy>,
+    ) -> Self {
         FreezingEngine {
             trackers: (0..num_modules)
                 .map(|_| PlasticityTracker::new(cfg.w, cfg.s, cfg.t))
                 .collect(),
             front: 0,
             num_modules,
-            policy: cfg.unfreeze,
+            unfreeze: cfg.unfreeze,
+            policy,
             base: *cfg,
             lr_at_first_freeze: None,
             relaxed: false,
@@ -77,6 +98,16 @@ impl FreezingEngine {
             evaluations: 0,
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// The stable short name of the driving policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The kind of the driving policy.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
     }
 
     /// Attaches a telemetry handle: every plasticity evaluation bumps
@@ -126,6 +157,14 @@ impl FreezingEngine {
 
     /// Folds a precomputed plasticity value (the async-controller path,
     /// where the SP loss was computed on the controller thread).
+    ///
+    /// Decision order is part of the determinism contract (pinned by the
+    /// golden run): bump the evaluation counter, ask the policy's
+    /// *pre-observe* hook whether to abort into an unfreeze (the LR-reboot
+    /// guard — the value is *not* folded, training restarts from fresh
+    /// history), otherwise fold into the front tracker and act on the
+    /// policy's *post-observe* decision. The tail guard is enforced here,
+    /// not in policies: a `Freeze` against the last module is a hold.
     pub fn observe_value(
         &mut self,
         p: f32,
@@ -133,40 +172,51 @@ impl FreezingEngine {
     ) -> Result<(Option<PlasticityObservation>, FreezeEvent)> {
         self.evaluations += 1;
         self.telemetry.counter("freezer.evaluations").inc();
-        if let Some(event) = self.check_unfreeze(lr) {
-            return Ok((None, event));
-        }
-        if !self.can_freeze() {
-            // Still record plasticity for traces, but never freeze the tail.
-            let obs = self.trackers[self.front].observe_value(p)?;
-            return Ok((Some(obs), FreezeEvent::None));
+        let pre = PreCtx {
+            front: self.front,
+            num_modules: self.num_modules,
+            evaluations: self.evaluations,
+            lr,
+            lr_at_first_freeze: self.lr_at_first_freeze,
+            relaxed: self.relaxed,
+            unfreeze: self.unfreeze,
+        };
+        if self.front > 0 && self.policy.pre_observe(&pre) == PolicyAction::UnfreezeAll {
+            self.unfreeze_now();
+            return Ok((None, FreezeEvent::Unfroze));
         }
         let obs = self.trackers[self.front].observe_value(p)?;
-        if obs.converged {
-            if self.lr_at_first_freeze.is_none() {
-                self.lr_at_first_freeze = Some(lr);
+        let can_freeze = self.can_freeze();
+        let action = {
+            let tracker = &self.trackers[self.front];
+            let ctx = PostCtx {
+                pre,
+                obs: &obs,
+                can_freeze,
+                raw_history: tracker.raw_history(),
+                smoothed_history: tracker.smoothed_history(),
+            };
+            self.policy.post_observe(&ctx)
+        };
+        match action {
+            PolicyAction::Freeze if can_freeze => {
+                if self.lr_at_first_freeze.is_none() {
+                    self.lr_at_first_freeze = Some(lr);
+                }
+                self.front += 1;
+                let event = FreezeEvent::Froze(self.front);
+                self.events.push((self.evaluations, event));
+                self.telemetry.counter("freezer.freezes").inc();
+                self.telemetry.gauge("freezer.front").set(self.front as f64);
+                self.policy.on_freeze(self.front, &obs);
+                Ok((Some(obs), event))
             }
-            self.front += 1;
-            let event = FreezeEvent::Froze(self.front);
-            self.events.push((self.evaluations, event));
-            self.telemetry.counter("freezer.freezes").inc();
-            self.telemetry.gauge("freezer.front").set(self.front as f64);
-            return Ok((Some(obs), event));
+            PolicyAction::UnfreezeAll if self.front > 0 => {
+                self.unfreeze_now();
+                Ok((Some(obs), FreezeEvent::Unfroze))
+            }
+            _ => Ok((Some(obs), FreezeEvent::None)),
         }
-        Ok((Some(obs), FreezeEvent::None))
-    }
-
-    /// Applies the LR-annealing unfreeze rule; returns the event if fired.
-    fn check_unfreeze(&mut self, lr: f32) -> Option<FreezeEvent> {
-        if self.policy != UnfreezePolicy::LrAnnealing || self.front == 0 {
-            return None;
-        }
-        let lr0 = self.lr_at_first_freeze?;
-        if lr > lr0 * 0.1 + f32::EPSILON {
-            return None;
-        }
-        self.unfreeze_now();
-        Some(FreezeEvent::Unfroze)
     }
 
     /// Unconditionally unfreezes everything (also the entry point for
@@ -182,6 +232,7 @@ impl FreezingEngine {
         self.events.push((self.evaluations, FreezeEvent::Unfroze));
         self.telemetry.counter("freezer.unfreezes").inc();
         self.telemetry.gauge("freezer.front").set(0.0);
+        self.policy.on_unfreeze();
     }
 
     /// Whether refreeze criteria are currently relaxed.
@@ -198,6 +249,7 @@ impl FreezingEngine {
             evaluations: self.evaluations,
             events: self.events.clone(),
             trackers: self.trackers.iter().map(|t| t.snapshot()).collect(),
+            policy: self.policy.snapshot(),
         }
     }
 
@@ -215,6 +267,9 @@ impl FreezingEngine {
                 self.num_modules
             )));
         }
+        // Validate the policy state before mutating anything so a rejected
+        // restore leaves the engine untouched.
+        self.policy.restore(&s.policy)?;
         self.front = s.front;
         self.lr_at_first_freeze = s.lr_at_first_freeze;
         self.relaxed = s.relaxed;

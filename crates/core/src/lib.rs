@@ -40,12 +40,14 @@ pub mod distributed;
 pub mod faults;
 pub mod freezer;
 pub mod plasticity;
+pub mod policy;
 pub mod reference;
 pub mod trainer;
 
 pub use api::{EgeriaController, EgeriaModule};
 pub use checkpoint::{CheckpointOptions, CheckpointStore, TrainerCheckpoint};
-pub use config::EgeriaConfig;
+pub use config::{EgeriaConfig, PolicyKind};
+pub use policy::{build_policy, FreezePolicy, PolicyAction, PolicyState};
 pub use egeria_obs::Telemetry;
 pub use faults::{FaultAction, FaultInjector, FaultSite};
 pub use trainer::{EgeriaTrainer, TrainReport};

@@ -12,7 +12,7 @@
 use crate::bootstrap::BootstrapMonitor;
 use crate::cache::{ActivationCache, CacheStats};
 use crate::checkpoint::{CheckpointOptions, CheckpointStore, TrainerCheckpoint};
-use crate::config::{ControllerMode, EgeriaConfig, UnfreezePolicy};
+use crate::config::{ControllerMode, EgeriaConfig, PolicyKind, UnfreezePolicy};
 use crate::controller::{system_load_probe, AsyncController};
 use crate::faults::{FaultInjector, FaultSite};
 use crate::freezer::{FreezeEvent, FreezingEngine};
@@ -265,7 +265,13 @@ impl EgeriaTrainer {
         val: Option<(&dyn Dataset, &DataLoader)>,
     ) -> Result<TrainReport> {
         let started = Instant::now();
-        let egeria_cfg = self.options.egeria;
+        let mut egeria_cfg = self.options.egeria;
+        // `EGERIA_FREEZE_POLICY` overrides the configured decision policy
+        // (README knob; see DESIGN §5i). Applied to this run's local copy
+        // only — the options keep what the caller configured.
+        if let (Some(cfg), Some(kind)) = (egeria_cfg.as_mut(), PolicyKind::from_env()) {
+            cfg.policy = kind;
+        }
         let telemetry = self.options.telemetry.clone();
         let mut report = TrainReport {
             model: self.model.name().to_string(),
@@ -423,18 +429,17 @@ impl EgeriaTrainer {
                             continue; // Stale: the front advanced meanwhile.
                         }
                         if let Some(p) = r.value {
-                            let (obs, event) = fr.observe_value(p, lr)?;
-                            self.apply_event(event, &mut cache)?;
-                            record_plasticity(&mut report, &telemetry, global_step, r.module, p, obs);
-                            record_event(
+                            self.fold_plasticity(
+                                fr,
+                                &mut cache,
                                 &mut report,
                                 &telemetry,
+                                p,
+                                lr,
+                                r.module,
                                 global_step,
-                                event,
-                                self.model.frozen_prefix(),
-                                obs.map(|o| o.smoothed),
-                            );
-                            evals_since_ref_update += 1;
+                                &mut evals_since_ref_update,
+                            )?;
                         }
                     }
                 }
@@ -483,20 +488,18 @@ impl EgeriaTrainer {
                             if let (Some(a_ref), Some(fr), Some(cfg)) =
                                 (a_ref, freezer.as_mut(), egeria_cfg.as_ref())
                             {
-                                let (obs, event) = fr.observe(&a_train, &a_ref, lr)?;
-                                if let Some(o) = &obs {
-                                    record_plasticity(&mut report, &telemetry, global_step, front, o.raw, obs);
-                                }
-                                self.apply_event(event, &mut cache)?;
-                                record_event(
+                                let p = egeria_analysis::sp_loss(&a_train, &a_ref)?;
+                                self.fold_plasticity(
+                                    fr,
+                                    &mut cache,
                                     &mut report,
                                     &telemetry,
+                                    p,
+                                    lr,
+                                    front,
                                     global_step,
-                                    event,
-                                    self.model.frozen_prefix(),
-                                    obs.map(|o| o.smoothed),
-                                );
-                                evals_since_ref_update += 1;
+                                    &mut evals_since_ref_update,
+                                )?;
                                 if cfg.reference_update_every > 0
                                     && evals_since_ref_update >= cfg.reference_update_every
                                 {
@@ -686,6 +689,46 @@ impl EgeriaTrainer {
         };
         report.wall_seconds = started.elapsed().as_secs_f64();
         Ok(report)
+    }
+
+    /// The one plasticity-fold entry point shared by the sync and
+    /// async-controller paths: fold the value into the freezer (which bumps
+    /// the evaluation telemetry and runs the policy's LR-reboot guard
+    /// exactly once), record the observation, apply the decision to the
+    /// model/cache, and record the event. Before this existed, the two
+    /// paths duplicated the sequence with divergent semantics (the async
+    /// drain recorded plasticity points even for unfreeze evaluations whose
+    /// value was never folded); policies now observe identical state
+    /// regardless of controller mode.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_plasticity(
+        &mut self,
+        freezer: &mut FreezingEngine,
+        cache: &mut Option<ActivationCache>,
+        report: &mut TrainReport,
+        telemetry: &Telemetry,
+        p: f32,
+        lr: f32,
+        module: usize,
+        global_step: usize,
+        evals_since_ref_update: &mut usize,
+    ) -> Result<()> {
+        let (obs, event) = freezer.observe_value(p, lr)?;
+        if let Some(o) = &obs {
+            record_plasticity(report, telemetry, global_step, module, o.raw, obs);
+        }
+        self.apply_event(event, cache)?;
+        record_event(
+            report,
+            telemetry,
+            global_step,
+            event,
+            self.model.frozen_prefix(),
+            obs.map(|o| o.smoothed),
+            freezer.policy_name(),
+        );
+        *evals_since_ref_update += 1;
+        Ok(())
     }
 
     fn apply_event(
@@ -969,6 +1012,7 @@ fn record_event(
     event: FreezeEvent,
     prefix: usize,
     value: Option<f32>,
+    policy: &'static str,
 ) {
     let kind = match event {
         FreezeEvent::None => return,
@@ -990,6 +1034,7 @@ fn record_event(
                 }),
             ),
             ("frozen_prefix", ArgValue::U64(prefix as u64)),
+            ("policy", ArgValue::Str(policy)),
         ];
         if let Some(v) = value {
             args.push(("value", ArgValue::F64(v as f64)));

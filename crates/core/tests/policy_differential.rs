@@ -1,0 +1,135 @@
+//! Differential test for the policy refactor (DESIGN §5i).
+//!
+//! `LegacyPaperFreezer` below is an independent, straight-line
+//! reimplementation of the *pre-trait* freezer's decision loop — the
+//! LR-reboot guard, the fold into the front tracker, the converged-freeze
+//! rule, the tail guard, and relaxed refreeze — written directly against
+//! [`PlasticityTracker`] with no `FreezePolicy` involved. Driving it and
+//! the real [`FreezingEngine`] (paper policy) over random plasticity/LR
+//! sequences and demanding identical decision traces pins the refactor's
+//! core claim: extracting the rule behind the trait changed *nothing*
+//! about what the paper policy decides. (The end-to-end variant of the
+//! same claim is `tests/golden_run.rs`, which pins the full training
+//! fingerprint.)
+
+use egeria_core::config::UnfreezePolicy;
+use egeria_core::freezer::{FreezeEvent, FreezingEngine};
+use egeria_core::plasticity::PlasticityTracker;
+use egeria_core::{EgeriaConfig, PolicyKind};
+use egeria_tensor::Rng;
+use proptest::prelude::*;
+
+/// The pre-refactor paper freezer, reimplemented from Algorithm 1.
+struct LegacyPaperFreezer {
+    trackers: Vec<PlasticityTracker>,
+    front: usize,
+    num_modules: usize,
+    unfreeze: UnfreezePolicy,
+    lr_at_first_freeze: Option<f32>,
+    cfg: EgeriaConfig,
+}
+
+impl LegacyPaperFreezer {
+    fn new(num_modules: usize, cfg: &EgeriaConfig) -> Self {
+        LegacyPaperFreezer {
+            trackers: (0..num_modules)
+                .map(|_| PlasticityTracker::new(cfg.w, cfg.s, cfg.t))
+                .collect(),
+            front: 0,
+            num_modules,
+            unfreeze: cfg.unfreeze,
+            lr_at_first_freeze: None,
+            cfg: *cfg,
+        }
+    }
+
+    fn observe_value(&mut self, p: f32, lr: f32) -> FreezeEvent {
+        // §4.2.2 LR-reboot guard, checked before the fold: a decayed LR
+        // reboots training, so this evaluation must not touch history.
+        if self.front > 0 && self.unfreeze == UnfreezePolicy::LrAnnealing {
+            if let Some(lr0) = self.lr_at_first_freeze {
+                if lr <= lr0 * 0.1 + f32::EPSILON {
+                    self.front = 0;
+                    self.lr_at_first_freeze = None;
+                    let (w, s) = self.cfg.relaxed_for_refreeze();
+                    for t in &mut self.trackers {
+                        t.relax(w, s);
+                    }
+                    return FreezeEvent::Unfroze;
+                }
+            }
+        }
+        let obs = self.trackers[self.front].observe_value(p).unwrap();
+        // Freeze on convergence, but never the tail module.
+        if obs.converged && self.front + 1 < self.num_modules {
+            if self.lr_at_first_freeze.is_none() {
+                self.lr_at_first_freeze = Some(lr);
+            }
+            self.front += 1;
+            return FreezeEvent::Froze(self.front);
+        }
+        FreezeEvent::None
+    }
+}
+
+/// Regime-switching plasticity values, deterministic in `seed`.
+fn plasticity_series(seed: u64, len: usize) -> Vec<f32> {
+    let mut rng = Rng::new(seed);
+    let mut level = 0.5 + rng.uniform() * 2.0;
+    (0..len)
+        .map(|_| {
+            if rng.below(8) == 0 {
+                level = 0.5 + rng.uniform() * 2.0;
+            }
+            (level * (1.0 + 0.05 * rng.normal())).max(0.01)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The trait-driven paper policy and the legacy replica must emit the
+    /// same event and sit on the same front at every single step, across
+    /// random sequences, module counts, tracker geometries, and an LR
+    /// schedule that exercises the reboot rule (including refreezes after
+    /// it — the relaxed-criteria path).
+    #[test]
+    fn trait_engine_matches_legacy_paper_decisions(
+        seed in any::<u64>(),
+        len in 20usize..120,
+        modules in 2usize..6,
+        w in 3usize..6,
+        s in 2usize..4,
+        drop_at in 5usize..100,
+        unfreeze_never in any::<bool>(),
+    ) {
+        let cfg = EgeriaConfig {
+            w,
+            s,
+            t: 5.0,
+            policy: PolicyKind::Paper,
+            unfreeze: if unfreeze_never {
+                UnfreezePolicy::Never
+            } else {
+                UnfreezePolicy::LrAnnealing
+            },
+            ..Default::default()
+        };
+        let mut engine = FreezingEngine::new(modules, &cfg);
+        let mut legacy = LegacyPaperFreezer::new(modules, &cfg);
+        for (i, &v) in plasticity_series(seed, len).iter().enumerate() {
+            let lr = if i < drop_at { 0.1 } else { 0.008 };
+            let (_, ev) = engine.observe_value(v, lr).unwrap();
+            let legacy_ev = legacy.observe_value(v, lr);
+            prop_assert_eq!(
+                ev, legacy_ev,
+                "decision diverged from the legacy rule at step {}", i
+            );
+            prop_assert_eq!(
+                engine.front(), legacy.front,
+                "front diverged from the legacy rule at step {}", i
+            );
+        }
+    }
+}

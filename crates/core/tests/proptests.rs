@@ -7,7 +7,7 @@ use egeria_core::checkpoint::{self, CheckpointStore, TrainerCheckpoint};
 use egeria_core::freezer::{FreezeEvent, FreezerSnapshot, FreezingEngine};
 use egeria_core::plasticity::{PlasticityTracker, TrackerSnapshot};
 use egeria_core::trainer::{EpochRecord, EventRecord, IterationRecord, PlasticityPoint};
-use egeria_core::EgeriaConfig;
+use egeria_core::{EgeriaConfig, PolicyState};
 use egeria_nn::optim::OptimizerState;
 use egeria_tensor::{Rng, Tensor};
 use proptest::prelude::*;
@@ -49,6 +49,14 @@ fn random_checkpoint(seed: u64) -> TrainerCheckpoint {
                 t: rng.uniform() * 2.0,
             })
             .collect(),
+        policy: PolicyState {
+            kind: ["paper", "learned", "interval", "never", "regression"]
+                [rng.below(5)]
+            .to_string(),
+            version: rng.below(3) as u32,
+            scalars: (0..rng.below(4)).map(|_| rng.normal()).collect(),
+            counters: (0..rng.below(4)).map(|_| rng.below(100) as u64).collect(),
+        },
     });
     let bootstrap = rng.flip().then(|| BootstrapSnapshot {
         losses: (0..rng.below(12)).map(|_| rng.uniform() * 4.0).collect(),
