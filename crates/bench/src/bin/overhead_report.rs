@@ -71,14 +71,14 @@ fn main() {
     {
         let out = run_workload(Kind::ResNet56, 42, Some(default_egeria(Kind::ResNet56)), Some(30))
             .expect("egeria run");
-        let ratio = out.report.cache_stats.disk_bytes as f64
+        let ratio = out.report.cache_stats.disk_bytes_written as f64
             / out.report.input_bytes.max(1) as f64
             // Normalize per epoch: disk stores one copy per sample, input
             // bytes accumulate over all epochs.
             * out.report.epochs.len() as f64;
         rows.push(format!(
             "cache_bytes,resnet56,{}",
-            out.report.cache_stats.disk_bytes
+            out.report.cache_stats.disk_bytes_written
         ));
         rows.push(format!("cache_to_input_ratio,resnet56,{ratio:.2}"));
         rows.push(format!(

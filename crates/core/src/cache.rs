@@ -5,10 +5,21 @@
 //! bounded in-process map here), and a prefetcher thread loads upcoming
 //! samples from disk ahead of the training loop, exploiting the loader's
 //! known-future batch order.
+//!
+//! Two disk backends sit behind one API (DESIGN §5j): **flat** writes one
+//! serialized tensor file per sample (the original layout), **chunked**
+//! delegates to [`egeria_store::ChunkStore`] — chunk grid, codec chain,
+//! sharded files, capacity-bounded eviction. A lossless chunked cache is
+//! bit-exact with the flat one, and both honour the same degradation
+//! matrix: cache trouble is a miss + recompute, never an abort. The
+//! backend is picked by [`crate::config::EgeriaConfig::cache_store`]
+//! (env-overridable via `EGERIA_CACHE_STORE`).
 
+use crate::config::CacheStoreKind;
 use crate::faults::{FaultAction, FaultInjector, FaultSite};
 use egeria_obs::Telemetry;
 use egeria_resil::health::HealthMonitor;
+use egeria_store::{ChunkStore, StoreConfig, StoreStats};
 use egeria_tensor::{serialize, Result, Tensor, TensorError};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -25,8 +36,14 @@ pub struct CacheStats {
     pub misses: usize,
     /// Samples currently resident in memory.
     pub mem_entries: usize,
-    /// Total bytes written to disk.
-    pub disk_bytes: u64,
+    /// Cumulative bytes ever written to disk (monotonic; survives
+    /// invalidation). The write-volume counter.
+    pub disk_bytes_written: u64,
+    /// Bytes currently live on disk: decremented on delete, invalidate,
+    /// quarantine, and eviction. The number a capacity bound is enforced
+    /// against — the old single `disk_bytes` conflated this with the
+    /// cumulative counter and never went down.
+    pub disk_bytes_live: u64,
     /// Samples loaded from disk by prefetch/get.
     pub disk_reads: usize,
     /// Disk writes that failed (ENOSPC etc.); the entry stays
@@ -56,6 +73,7 @@ impl CacheStats {
 /// recomputes the activation.
 pub struct ActivationCache {
     dir: PathBuf,
+    backend: Backend,
     mem: HashMap<u64, Tensor>,
     /// Batch-granularity eviction queue: the ids of the most recent batches.
     recent: VecDeque<Vec<u64>>,
@@ -64,28 +82,146 @@ pub struct ActivationCache {
     /// change invalidates everything.
     valid_prefix: Option<usize>,
     stats: CacheStats,
+    /// Flat backend only: per-id on-disk entry sizes, so deletions can
+    /// decrement [`CacheStats::disk_bytes_live`] exactly.
+    flat_sizes: HashMap<u64, u64>,
     faults: Option<Arc<FaultInjector>>,
     telemetry: Telemetry,
     health: Option<Arc<HealthMonitor>>,
 }
 
+/// The disk layer behind the cache.
+enum Backend {
+    /// One `sample_{id}.act` file per sample under `dir`.
+    Flat,
+    /// The egeria-store chunk/shard layout rooted at `dir`.
+    Chunked(Box<ChunkStore>),
+}
+
+/// What a backend disk lookup produced (used to keep the hit/miss/corrupt
+/// accounting identical across backends).
+enum DiskFetch {
+    Got(Tensor),
+    Absent,
+    /// The entry (flat) or its chunk (chunked) was quarantined.
+    Corrupt,
+}
+
 impl ActivationCache {
-    /// Creates a cache rooted at `dir` (created if missing), keeping the
-    /// most recent `mem_batches` batches in memory.
+    /// Creates a **flat-backend** cache rooted at `dir` (created if
+    /// missing), keeping the most recent `mem_batches` batches in memory.
     pub fn new(dir: impl Into<PathBuf>, mem_batches: usize) -> Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(ActivationCache {
             dir,
+            backend: Backend::Flat,
             mem: HashMap::new(),
             recent: VecDeque::new(),
             mem_batches: mem_batches.max(1),
             valid_prefix: None,
             stats: CacheStats::default(),
+            flat_sizes: HashMap::new(),
             faults: None,
             telemetry: Telemetry::disabled(),
             health: None,
         })
+    }
+
+    /// Creates a **chunked-backend** cache over an [`egeria_store`]
+    /// chunk/shard store rooted at `dir`. A corrupt manifest left in the
+    /// directory degrades to an empty store and counts one
+    /// `corrupt_entries` (the degraded-open row of the matrix).
+    pub fn with_store(
+        dir: impl Into<PathBuf>,
+        mem_batches: usize,
+        store_cfg: StoreConfig,
+    ) -> Result<Self> {
+        let dir = dir.into();
+        let store = ChunkStore::open(&dir, store_cfg)?;
+        let mut cache = ActivationCache {
+            dir,
+            backend: Backend::Chunked(Box::new(store)),
+            mem: HashMap::new(),
+            recent: VecDeque::new(),
+            mem_batches: mem_batches.max(1),
+            valid_prefix: None,
+            stats: CacheStats::default(),
+            flat_sizes: HashMap::new(),
+            faults: None,
+            telemetry: Telemetry::disabled(),
+            health: None,
+        };
+        if let Backend::Chunked(store) = &cache.backend {
+            if store.recovered_corrupt_manifest() {
+                cache.stats.corrupt_entries += 1;
+                cache.telemetry.counter("cache.corrupt_entries").inc();
+            }
+            // Adopt the persisted prefix: a resumed run whose frozen
+            // prefix matches keeps its cached activations instead of
+            // wiping them on the first put (flat can't do this — its
+            // layout stores no prefix — so resume always recomputes
+            // there).
+            cache.valid_prefix = store.valid_prefix().map(|p| p as usize);
+        }
+        cache.sync_disk_stats();
+        Ok(cache)
+    }
+
+    /// Builds the cache for a config, honouring the env overrides
+    /// (`EGERIA_CACHE_STORE`, `EGERIA_CACHE_CODEC`,
+    /// `EGERIA_CACHE_DISK_MB`). The trainer's entry point.
+    pub fn for_config(
+        dir: impl Into<PathBuf>,
+        cfg: &crate::config::EgeriaConfig,
+    ) -> Result<Self> {
+        let kind = CacheStoreKind::from_env().unwrap_or(cfg.cache_store);
+        match kind {
+            CacheStoreKind::Flat => ActivationCache::new(dir, cfg.cache_mem_batches),
+            CacheStoreKind::Chunked => {
+                let codec = egeria_store::StoreCodec::from_env().unwrap_or(cfg.cache_codec);
+                let disk_mb = crate::config::cache_disk_mb_from_env().or(cfg.cache_disk_mb);
+                let store_cfg = StoreConfig {
+                    codec,
+                    disk_cap_bytes: disk_mb.map(|mb| mb * 1024 * 1024),
+                    ..StoreConfig::default()
+                };
+                ActivationCache::with_store(dir, cfg.cache_mem_batches, store_cfg)
+            }
+        }
+    }
+
+    /// Which backend this cache runs on.
+    pub fn store_kind(&self) -> CacheStoreKind {
+        match &self.backend {
+            Backend::Flat => CacheStoreKind::Flat,
+            Backend::Chunked(_) => CacheStoreKind::Chunked,
+        }
+    }
+
+    /// Chunked-backend store counters (`None` on the flat backend).
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        match &self.backend {
+            Backend::Flat => None,
+            Backend::Chunked(store) => Some(store.stats()),
+        }
+    }
+
+    /// Flushes pending store writes and saves the store manifest (chunked
+    /// backend; a no-op on flat). Called at checkpoint boundaries so a
+    /// resumed run reopens a consistent store.
+    pub fn persist(&mut self) -> Result<()> {
+        if let Backend::Chunked(store) = &mut self.backend {
+            let outcome = store.persist()?;
+            if outcome.failed > 0 {
+                self.stats.write_errors += outcome.failed;
+                self.telemetry
+                    .counter("cache.write_errors")
+                    .add(outcome.failed as u64);
+            }
+            self.sync_disk_stats();
+        }
+        Ok(())
     }
 
     /// Attaches a health monitor: a quarantined entry marks the cache
@@ -96,8 +232,13 @@ impl ActivationCache {
 
     /// Attaches a telemetry handle; cache counters (`cache.hits`,
     /// `cache.misses`, `cache.corrupt_entries`, `cache.write_errors`,
-    /// `cache.prefetched`) mirror [`CacheStats`] into its registry.
+    /// `cache.prefetched`) mirror [`CacheStats`] into its registry. On
+    /// the chunked backend the store mirrors its own counters under the
+    /// `store.` prefix.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Backend::Chunked(store) = &mut self.backend {
+            store.set_telemetry(telemetry.clone());
+        }
         self.telemetry = telemetry;
     }
 
@@ -135,9 +276,19 @@ impl ActivationCache {
     }
 
     /// A disk entry failed validation: drop it so the slot is refilled by
-    /// the next full forward pass instead of failing forever.
+    /// the next full forward pass instead of failing forever. Flat deletes
+    /// the sample's file; chunked removes exactly its slot from the store.
     fn quarantine(&mut self, id: u64) {
-        let _ = fs::remove_file(self.path_of(id));
+        match &mut self.backend {
+            Backend::Flat => {
+                let _ = fs::remove_file(self.dir.join(format!("sample_{id}.act")));
+                if let Some(sz) = self.flat_sizes.remove(&id) {
+                    self.stats.disk_bytes_live = self.stats.disk_bytes_live.saturating_sub(sz);
+                }
+            }
+            Backend::Chunked(store) => store.delete_samples(&[id]),
+        }
+        self.sync_disk_stats();
         self.stats.corrupt_entries += 1;
         self.telemetry.counter("cache.corrupt_entries").inc();
         if let Some(h) = &self.health {
@@ -148,8 +299,101 @@ impl ActivationCache {
         );
     }
 
+    /// The store quarantined `n` chunks during a lookup; mirror them into
+    /// the cache's corruption accounting (chunk granularity: one corrupt
+    /// chunk counts once however many of its samples the lookup touched).
+    fn count_store_corruption(&mut self, n: u64) {
+        self.stats.corrupt_entries += n as usize;
+        self.telemetry.counter("cache.corrupt_entries").add(n);
+        if let Some(h) = &self.health {
+            h.degrade("cache-quarantine");
+        }
+        self.sync_disk_stats();
+    }
+
+    /// Refreshes the disk-footprint stats from the backend's accounting.
+    fn sync_disk_stats(&mut self) {
+        if let Backend::Chunked(store) = &self.backend {
+            let s = store.stats();
+            self.stats.disk_bytes_written = s.bytes_encoded;
+            self.stats.disk_bytes_live = s.live_bytes;
+        }
+    }
+
     fn path_of(&self, id: u64) -> PathBuf {
         self.dir.join(format!("sample_{id}.act"))
+    }
+
+    /// One sample's disk lookup, dispatched by backend, with the
+    /// hit/miss/corrupt accounting the two backends must share: a decode
+    /// failure quarantines (flat: the file; chunked: the chunk) and
+    /// reports [`DiskFetch::Corrupt`]; a clean read counts `disk_reads`.
+    fn fetch_from_disk(&mut self, id: u64) -> DiskFetch {
+        if matches!(self.backend, Backend::Flat) {
+            match self.read_entry(id) {
+                Some(bytes) => match serialize::from_bytes(&bytes) {
+                    Ok(t) => {
+                        self.stats.disk_reads += 1;
+                        DiskFetch::Got(t)
+                    }
+                    Err(_) => {
+                        self.quarantine(id);
+                        DiskFetch::Corrupt
+                    }
+                },
+                None => DiskFetch::Absent,
+            }
+        } else {
+            let (got, corrupt_delta) = {
+                let Backend::Chunked(store) = &mut self.backend else {
+                    unreachable!("backend checked above")
+                };
+                let before = store.stats().corrupt_chunks;
+                let got = store.get(id);
+                (got, store.stats().corrupt_chunks - before)
+            };
+            if corrupt_delta > 0 {
+                // The store already quarantined the chunk(s); mirror the
+                // count and report corrupt so the lookup reads as a miss.
+                self.count_store_corruption(corrupt_delta);
+                return DiskFetch::Corrupt;
+            }
+            match got {
+                Some(t) => {
+                    // Injected read corruption, consumed (as on flat) only
+                    // when an entry actually came off disk.
+                    if let Some(FaultAction::CorruptBytes) = self
+                        .faults
+                        .as_ref()
+                        .and_then(|f| f.check(FaultSite::CacheRead))
+                    {
+                        self.quarantine(id);
+                        return DiskFetch::Corrupt;
+                    }
+                    self.stats.disk_reads += 1;
+                    DiskFetch::Got(t)
+                }
+                None => DiskFetch::Absent,
+            }
+        }
+    }
+
+    /// Removes the given samples' disk entries (shape-audit quarantine),
+    /// keeping the live-byte accounting exact on both backends.
+    fn delete_disk_entries(&mut self, ids: &[u64]) {
+        match &mut self.backend {
+            Backend::Flat => {
+                for &id in ids {
+                    let _ = fs::remove_file(self.dir.join(format!("sample_{id}.act")));
+                    if let Some(sz) = self.flat_sizes.remove(&id) {
+                        self.stats.disk_bytes_live =
+                            self.stats.disk_bytes_live.saturating_sub(sz);
+                    }
+                }
+            }
+            Backend::Chunked(store) => store.delete_samples(ids),
+        }
+        self.sync_disk_stats();
     }
 
     /// The frozen-prefix length current entries are valid for.
@@ -163,13 +407,22 @@ impl ActivationCache {
         self.mem.clear();
         self.recent.clear();
         self.valid_prefix = None;
-        if let Ok(entries) = fs::read_dir(&self.dir) {
-            for e in entries.flatten() {
-                let _ = fs::remove_file(e.path());
+        match &mut self.backend {
+            Backend::Flat => {
+                if let Ok(entries) = fs::read_dir(&self.dir) {
+                    for e in entries.flatten() {
+                        let _ = fs::remove_file(e.path());
+                    }
+                }
+                self.flat_sizes.clear();
+            }
+            Backend::Chunked(store) => {
+                store.clear();
+                store.set_valid_prefix(None);
             }
         }
         self.stats.mem_entries = 0;
-        self.stats.disk_bytes = 0;
+        self.stats.disk_bytes_live = 0;
     }
 
     /// Stores one batch's frozen-prefix activation, computed at prefix
@@ -183,6 +436,9 @@ impl ActivationCache {
         if self.valid_prefix != Some(prefix) {
             self.invalidate();
             self.valid_prefix = Some(prefix);
+            if let Backend::Chunked(store) = &mut self.backend {
+                store.set_valid_prefix(Some(prefix as u64));
+            }
         }
         let b = *activation.dims().first().ok_or(TensorError::ShapeMismatch {
             op: "cache put",
@@ -198,31 +454,47 @@ impl ActivationCache {
         }
         for (row, &id) in ids.iter().enumerate() {
             let sample = activation.narrow(0, row, 1)?;
-            let bytes = serialize::to_bytes(&sample);
+            // The injected-write-failure check runs identically for both
+            // backends, *before* any backend write, so `write_errors`
+            // counts are backend-independent (the golden run pins them).
             let injected_fail = self
                 .faults
                 .as_ref()
                 .map(|f| f.should_fail(FaultSite::CacheWrite))
                 .unwrap_or(false);
             let write = if injected_fail {
-                Err(std::io::Error::other("injected cache write failure"))
+                Err(TensorError::Io("injected cache write failure".into()))
             } else {
-                fs::write(self.path_of(id), &bytes)
-            };
-            match write {
-                Ok(()) => self.stats.disk_bytes += bytes.len() as u64,
-                Err(e) => {
-                    if self.stats.write_errors == 0 {
-                        eprintln!(
-                            "egeria: cache write failed ({e}); continuing without disk persistence"
-                        );
+                match &mut self.backend {
+                    Backend::Flat => {
+                        let bytes = serialize::to_bytes(&sample);
+                        fs::write(self.path_of(id), &bytes)
+                            .map(|()| {
+                                self.stats.disk_bytes_written += bytes.len() as u64;
+                                self.stats.disk_bytes_live += bytes.len() as u64;
+                                if let Some(old) = self.flat_sizes.insert(id, bytes.len() as u64) {
+                                    // Overwrite: the old copy's bytes are gone.
+                                    self.stats.disk_bytes_live =
+                                        self.stats.disk_bytes_live.saturating_sub(old);
+                                }
+                            })
+                            .map_err(TensorError::from)
                     }
-                    self.stats.write_errors += 1;
-                    self.telemetry.counter("cache.write_errors").inc();
+                    Backend::Chunked(store) => store.put(id, &sample),
                 }
+            };
+            if let Err(e) = write {
+                if self.stats.write_errors == 0 {
+                    eprintln!(
+                        "egeria: cache write failed ({e}); continuing without disk persistence"
+                    );
+                }
+                self.stats.write_errors += 1;
+                self.telemetry.counter("cache.write_errors").inc();
             }
             self.mem.insert(id, sample);
         }
+        self.sync_disk_stats();
         self.recent.push_back(ids.to_vec());
         while self.recent.len() > self.mem_batches {
             if let Some(old) = self.recent.pop_front() {
@@ -241,9 +513,12 @@ impl ActivationCache {
 
     /// Loads the given samples from disk into memory ahead of use.
     /// Unreadable or corrupt entries are quarantined and skipped —
-    /// prefetching is best-effort and never fails the caller.
+    /// prefetching is best-effort and never fails the caller. On the
+    /// chunked backend the wanted ids go through the store's concurrent
+    /// shard readers in one coalesced fetch.
     pub fn prefetch(&mut self, ids: &[u64]) -> Result<usize> {
         let mut loaded = 0;
+        let mut wanted: Vec<u64> = Vec::new();
         for &id in ids {
             if self.mem.contains_key(&id) {
                 continue;
@@ -260,16 +535,50 @@ impl ActivationCache {
                 self.telemetry.counter("cache.prefetch_errors").inc();
                 continue;
             }
-            if let Some(bytes) = self.read_entry(id) {
-                match serialize::from_bytes(&bytes) {
-                    Ok(t) => {
-                        self.mem.insert(id, t);
-                        self.stats.disk_reads += 1;
-                        self.telemetry.counter("cache.prefetched").inc();
-                        loaded += 1;
+            wanted.push(id);
+        }
+        if matches!(self.backend, Backend::Flat) {
+            for id in wanted {
+                if let Some(bytes) = self.read_entry(id) {
+                    match serialize::from_bytes(&bytes) {
+                        Ok(t) => {
+                            self.mem.insert(id, t);
+                            self.stats.disk_reads += 1;
+                            self.telemetry.counter("cache.prefetched").inc();
+                            loaded += 1;
+                        }
+                        Err(_) => self.quarantine(id),
                     }
-                    Err(_) => self.quarantine(id),
                 }
+            }
+        } else {
+            let (results, corrupt_delta) = {
+                let Backend::Chunked(store) = &mut self.backend else {
+                    unreachable!("backend checked above")
+                };
+                let before = store.stats().corrupt_chunks;
+                let results = store.get_many(&wanted);
+                (results, store.stats().corrupt_chunks - before)
+            };
+            if corrupt_delta > 0 {
+                self.count_store_corruption(corrupt_delta);
+            }
+            for (&id, got) in wanted.iter().zip(results) {
+                let Some(t) = got else { continue };
+                // Injected read corruption, consumed (as on flat) only
+                // when an entry actually came off disk.
+                if let Some(FaultAction::CorruptBytes) = self
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.check(FaultSite::CacheRead))
+                {
+                    self.quarantine(id);
+                    continue;
+                }
+                self.mem.insert(id, t);
+                self.stats.disk_reads += 1;
+                self.telemetry.counter("cache.prefetched").inc();
+                loaded += 1;
             }
         }
         self.recent.push_back(ids.to_vec());
@@ -305,19 +614,9 @@ impl ActivationCache {
             let (part, from_disk) = if let Some(t) = self.mem.get(&id) {
                 (t.clone(), false)
             } else {
-                match self.read_entry(id) {
-                    Some(bytes) => match serialize::from_bytes(&bytes) {
-                        Ok(t) => {
-                            self.stats.disk_reads += 1;
-                            (t, true)
-                        }
-                        Err(_) => {
-                            self.quarantine(id);
-                            self.count_miss();
-                            return Ok(None);
-                        }
-                    },
-                    None => {
+                match self.fetch_from_disk(id) {
+                    DiskFetch::Got(t) => (t, true),
+                    DiskFetch::Absent | DiskFetch::Corrupt => {
                         self.count_miss();
                         return Ok(None);
                     }
@@ -348,9 +647,9 @@ impl ActivationCache {
                 if !from_disk {
                     self.mem.remove(&id);
                 }
-                for did in disk_ids.clone() {
-                    let _ = fs::remove_file(self.path_of(did));
-                    self.mem.remove(&did);
+                self.delete_disk_entries(&disk_ids);
+                for did in &disk_ids {
+                    self.mem.remove(did);
                 }
                 self.stats.corrupt_entries += 1;
                 self.telemetry.counter("cache.corrupt_entries").inc();
@@ -504,10 +803,32 @@ mod tests {
             c.put_batch(&[id], &act, 0).unwrap();
         }
         assert!(c.stats().mem_entries <= 2);
+        // Six distinct writes: written is cumulative, live matches because
+        // nothing has been deleted yet.
+        let per_entry = c.stats().disk_bytes_written / 6;
+        assert!(per_entry > 0);
+        assert_eq!(c.stats().disk_bytes_written, per_entry * 6);
+        assert_eq!(c.stats().disk_bytes_live, c.stats().disk_bytes_written);
         // Evicted entries still load from disk.
         let got = c.get_batch(&[0], 0).unwrap();
         assert!(got.is_some());
         assert!(c.stats().disk_reads >= 1);
+        // Quarantining one entry decrements live but never written: the
+        // old single `disk_bytes` counter conflated the two and only ever
+        // grew.
+        c.quarantine(0);
+        assert_eq!(c.stats().disk_bytes_live, per_entry * 5);
+        assert_eq!(c.stats().disk_bytes_written, per_entry * 6);
+        // Invalidation empties the disk: live drops to zero, written is
+        // still the cumulative write volume.
+        c.invalidate();
+        assert_eq!(c.stats().disk_bytes_live, 0);
+        assert_eq!(c.stats().disk_bytes_written, per_entry * 6);
+        // Overwriting an id counts the fresh bytes once in live.
+        c.put_batch(&[1], &act, 0).unwrap();
+        c.put_batch(&[1], &act, 0).unwrap();
+        assert_eq!(c.stats().disk_bytes_live, per_entry);
+        assert_eq!(c.stats().disk_bytes_written, per_entry * 8);
     }
 
     #[test]
@@ -717,6 +1038,182 @@ mod tests {
         c.put_batch(&[1], &act, 0).unwrap();
         assert!(c.get_batch(&[1], 0).unwrap().is_some());
         assert_eq!(health.level(), 0);
+    }
+
+    fn chunked_cache(tag: &str, mem_batches: usize) -> ActivationCache {
+        let cfg = StoreConfig {
+            chunk_samples: 4,
+            chunks_per_shard: 2,
+            ..StoreConfig::default()
+        };
+        ActivationCache::with_store(tmp_dir(tag), mem_batches, cfg).unwrap()
+    }
+
+    #[test]
+    fn chunked_put_then_get_round_trips() {
+        let mut c = chunked_cache("ck_rt", 5);
+        assert_eq!(c.store_kind(), CacheStoreKind::Chunked);
+        let mut rng = Rng::new(1);
+        let act = Tensor::randn(&[3, 2, 4, 4], &mut rng);
+        c.put_batch(&[10, 20, 30], &act, 2).unwrap();
+        let got = c.get_batch(&[10, 20, 30], 2).unwrap().unwrap();
+        assert_eq!(got, act, "lossless chunked reads must be bit-exact");
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn chunked_survives_reopen_and_reads_from_disk() {
+        let dir = tmp_dir("ck_reopen");
+        let cfg = StoreConfig {
+            chunk_samples: 4,
+            chunks_per_shard: 2,
+            ..StoreConfig::default()
+        };
+        let mut rng = Rng::new(3);
+        let act = Tensor::randn(&[2, 3], &mut rng);
+        {
+            let mut c = ActivationCache::with_store(&dir, 5, cfg).unwrap();
+            c.put_batch(&[1, 2], &act, 1).unwrap();
+            c.persist().unwrap();
+            assert!(c.stats().disk_bytes_live > 0);
+            assert_eq!(c.stats().disk_bytes_written, c.stats().disk_bytes_live);
+        }
+        let mut c = ActivationCache::with_store(&dir, 5, cfg).unwrap();
+        // The store's manifest carries the prefix across restarts, so a
+        // same-prefix put does NOT invalidate the inherited entries.
+        assert_eq!(c.valid_prefix(), Some(1));
+        assert!(c.stats().disk_bytes_live > 0, "inherited bytes count as live");
+        c.put_batch(&[3], &Tensor::ones(&[1, 3]), 1).unwrap();
+        let got = c.get_batch(&[1, 2], 1).unwrap().unwrap();
+        assert_eq!(got, act);
+        assert_eq!(c.stats().disk_reads, 2);
+    }
+
+    #[test]
+    fn chunked_corrupt_shard_quarantines_chunk_and_degrades_to_miss() {
+        let dir = tmp_dir("ck_corrupt");
+        let cfg = StoreConfig {
+            chunk_samples: 4,
+            chunks_per_shard: 2,
+            ..StoreConfig::default()
+        };
+        let act = Tensor::ones(&[1, 8]);
+        {
+            let mut c = ActivationCache::with_store(&dir, 1, cfg).unwrap();
+            // ids 0..4 land in chunk 0, ids 4..8 in chunk 1.
+            for id in 0..8u64 {
+                c.put_batch(&[id], &act, 0).unwrap();
+            }
+            c.persist().unwrap();
+        }
+        // Reopen so reads go to the shard file, not the store's decoded
+        // block cache.
+        let mut c = ActivationCache::with_store(&dir, 1, cfg).unwrap();
+        let live_before = c.stats().disk_bytes_live;
+        // Flip bytes in the middle of the shard file.
+        let shard = c.dir.join("shard_00000.egs");
+        let mut bytes = fs::read(&shard).unwrap();
+        let mid = bytes.len() / 2;
+        let end = (mid + 8).min(bytes.len());
+        for b in &mut bytes[mid..end] {
+            *b ^= 0xFF;
+        }
+        fs::write(&shard, &bytes).unwrap();
+        // One of the two chunks is hit; its lookup is a miss, the chunk is
+        // quarantined (counted once), and live bytes shrink. The other
+        // chunk's samples still read back — chunk granularity, not
+        // whole-cache.
+        let mut missed: Vec<u64> = Vec::new();
+        let mut hits = 0;
+        for id in 0..8u64 {
+            match c.get_batch(&[id], 0).unwrap() {
+                Some(t) => {
+                    assert_eq!(t, act);
+                    hits += 1;
+                }
+                None => missed.push(id),
+            }
+        }
+        assert_eq!(missed.len(), 4, "exactly one 4-sample chunk is lost");
+        assert_eq!(hits, 4);
+        assert_eq!(c.stats().corrupt_entries, 1, "one corrupt chunk counts once");
+        assert!(c.stats().degraded());
+        assert!(c.stats().disk_bytes_live < live_before);
+        // Refill the lost samples (the trainer's recompute) and recover.
+        for &id in &missed {
+            c.put_batch(&[id], &act, 0).unwrap();
+        }
+        c.persist().unwrap();
+        for id in 0..8u64 {
+            assert!(c.get_batch(&[id], 0).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn chunked_prefix_change_invalidates_store() {
+        let mut c = chunked_cache("ck_prefix", 5);
+        let act = Tensor::ones(&[1, 2]);
+        c.put_batch(&[1], &act, 1).unwrap();
+        c.persist().unwrap();
+        assert!(c.stats().disk_bytes_live > 0);
+        c.put_batch(&[2], &act, 2).unwrap();
+        assert!(c.get_batch(&[1], 2).unwrap().is_none());
+        assert!(c.get_batch(&[2], 2).unwrap().is_some());
+        let st = c.store_stats().unwrap();
+        assert_eq!(st.live_bytes, c.stats().disk_bytes_live);
+    }
+
+    #[test]
+    fn chunked_prefetch_coalesces_and_warms_memory() {
+        let dir = tmp_dir("ck_prefetch");
+        let cfg = StoreConfig {
+            chunk_samples: 4,
+            chunks_per_shard: 2,
+            ..StoreConfig::default()
+        };
+        let act = Tensor::ones(&[1, 4]);
+        {
+            let mut c = ActivationCache::with_store(&dir, 2, cfg).unwrap();
+            for id in 0..12u64 {
+                c.put_batch(&[id], &act, 0).unwrap();
+            }
+            c.persist().unwrap();
+        }
+        // Reopen: the decoded-block cache is cold, so the prefetch has to
+        // coalesce real shard reads.
+        let mut c = ActivationCache::with_store(&dir, 2, cfg).unwrap();
+        let before = c.stats().disk_reads;
+        // ids 0..8 span two chunks in the same shard: one coalesced fetch.
+        let loaded = c.prefetch(&[0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        assert_eq!(loaded, 8);
+        assert_eq!(c.stats().disk_reads, before + 8);
+        assert!(c.store_stats().unwrap().coalesced_reads >= 1);
+        let after = c.stats().disk_reads;
+        let _ = c.get_batch(&[6, 7], 0).unwrap().unwrap();
+        assert_eq!(c.stats().disk_reads, after, "prefetched ids hit memory");
+    }
+
+    #[test]
+    fn chunked_injected_faults_match_flat_counters() {
+        // The injected write fault fires before the backend write, and the
+        // injected read corruption consumes per entry read — so the
+        // golden-run counters are backend-independent.
+        let mut c = chunked_cache("ck_fault", 1);
+        let faults = FaultInjector::new();
+        faults.arm(FaultSite::CacheWrite, 0, 1, FaultAction::Fail);
+        faults.arm(FaultSite::CacheRead, 0, 1, FaultAction::CorruptBytes);
+        c.set_faults(Some(faults.clone()));
+        let act = Tensor::ones(&[1, 4]);
+        c.put_batch(&[1], &act, 0).unwrap(); // write fault: memory-only
+        assert_eq!(c.stats().write_errors, 1);
+        assert!(c.get_batch(&[1], 0).unwrap().is_some(), "memory still serves");
+        c.put_batch(&[2], &act, 0).unwrap(); // evicts 1 from memory
+        c.persist().unwrap();
+        // id 2 is on disk; the armed read fault corrupts it on the way in.
+        c.put_batch(&[3], &act, 0).unwrap(); // evicts 2 from memory
+        assert!(c.get_batch(&[2], 0).unwrap().is_none());
+        assert_eq!(c.stats().corrupt_entries, 1);
+        assert_eq!(faults.injected(FaultSite::CacheRead), 1);
     }
 
     #[test]

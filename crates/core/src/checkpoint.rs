@@ -8,20 +8,24 @@
 //! accumulators. The LR schedule and data order need no cursor state —
 //! both are pure functions of `(seed, epoch/step)`.
 //!
-//! On-disk container (little-endian), format version 2:
+//! On-disk container (little-endian), format version 3:
 //!
 //! ```text
 //! magic        u32  = 0x4B434745 ("EGCK")
-//! version      u8   = 2
+//! version      u8   = 3
 //! payload_len  u64
 //! crc32        u32  (IEEE CRC-32 of the payload)
 //! payload      (the encoded TrainerCheckpoint)
 //! ```
 //!
 //! Version history: v2 added the freeze-policy state block
-//! ([`crate::policy::PolicyState`]) to the freezer section. Version-1 files
-//! are still decodable — their freezer state upgrades with
-//! [`PolicyState::legacy`] (those runs were always paper-policy driven).
+//! ([`crate::policy::PolicyState`]) to the freezer section. v3 appended
+//! the activation-cache backend kind (`cache_store`) so a resumed run can
+//! detect a backend switch and wipe the incompatible cache layout instead
+//! of silently recomputing against garbage files. Older files are still
+//! decodable — v1 freezer state upgrades with [`PolicyState::legacy`]
+//! (those runs were always paper-policy driven), and v≤2 upgrades with
+//! `cache_store = "flat"` (the only backend that existed).
 //!
 //! Atomicity protocol: the file is written to `<name>.tmp`, fsynced, then
 //! renamed over the final name — a crash mid-save leaves at most a stale
@@ -49,7 +53,7 @@ use std::sync::Arc;
 pub const MAGIC: u32 = 0x4B43_4745;
 
 /// Current checkpoint container version.
-pub const FORMAT_VERSION: u8 = 2;
+pub const FORMAT_VERSION: u8 = 3;
 
 /// Oldest container version this binary still decodes.
 pub const MIN_FORMAT_VERSION: u8 = 1;
@@ -116,6 +120,10 @@ pub struct TrainerCheckpoint {
     pub events: Vec<EventRecord>,
     /// Input bytes accumulated so far.
     pub input_bytes: u64,
+    /// Activation-cache backend name (`"flat"` / `"chunked"`) the run was
+    /// using; a resumed run on a different backend wipes the cache dir
+    /// instead of reading a foreign layout. v≤2 files decode as `"flat"`.
+    pub cache_store: String,
 }
 
 // ---------------------------------------------------------------------------
@@ -284,6 +292,9 @@ fn encode_payload(ckpt: &TrainerCheckpoint, version: u8) -> Vec<u8> {
         out.put_u64_le(e.prefix as u64);
     }
     out.put_u64_le(ckpt.input_bytes);
+    if version >= 3 {
+        put_string(&mut out, &ckpt.cache_store);
+    }
     out
 }
 
@@ -552,6 +563,12 @@ fn decode_payload(payload: &[u8], version: u8) -> Result<TrainerCheckpoint> {
         });
     }
     let input_bytes = r.u64("input_bytes")?;
+    // v≤2 predates the chunked backend; those runs were always flat.
+    let cache_store = if version >= 3 {
+        r.string("cache_store")?
+    } else {
+        "flat".to_string()
+    };
     if !r.buf.is_empty() {
         return Err(TensorError::Corrupt(format!(
             "{} trailing bytes after checkpoint payload",
@@ -575,6 +592,7 @@ fn decode_payload(payload: &[u8], version: u8) -> Result<TrainerCheckpoint> {
         plasticity,
         events,
         input_bytes,
+        cache_store,
     })
 }
 
@@ -883,6 +901,7 @@ mod tests {
                 prefix: 1,
             }],
             input_bytes: 4096,
+            cache_store: "chunked".into(),
         }
     }
 
@@ -910,6 +929,7 @@ mod tests {
         assert_eq!(a.plasticity.len(), b.plasticity.len());
         assert_eq!(a.events.len(), b.events.len());
         assert_eq!(a.input_bytes, b.input_bytes);
+        assert_eq!(a.cache_store, b.cache_store);
     }
 
     #[test]
@@ -933,6 +953,19 @@ mod tests {
         assert_eq!(f.events, orig.events);
         assert_eq!(f.trackers, orig.trackers);
         assert_eq!(f.policy, PolicyState::legacy());
+    }
+
+    #[test]
+    fn format_v2_checkpoints_decode_as_flat_cache_store() {
+        let c = tiny_checkpoint();
+        let v2_bytes = to_bytes_versioned(&c, 2);
+        let back = from_bytes(&v2_bytes).unwrap();
+        // Everything up to the v3 field survives; the backend kind
+        // upgrades to the only one v2 runs could have used.
+        assert_eq!(back.model_name, c.model_name);
+        assert_eq!(back.freezer, c.freezer);
+        assert_eq!(back.input_bytes, c.input_bytes);
+        assert_eq!(back.cache_store, "flat");
     }
 
     #[test]

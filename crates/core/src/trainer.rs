@@ -293,7 +293,7 @@ impl EgeriaTrainer {
                         self.model.name()
                     ))
                 });
-                Some(ActivationCache::new(dir, c.cache_mem_batches)?)
+                Some(ActivationCache::for_config(dir, &c)?)
             }
             _ => None,
         };
@@ -348,6 +348,7 @@ impl EgeriaTrainer {
                     &mut report,
                     &mut global_step,
                     &mut evals_since_ref_update,
+                    &mut cache,
                 )?;
             }
         }
@@ -648,6 +649,17 @@ impl EgeriaTrainer {
                     .map(|o| o.every.max(1))
                     .unwrap_or(1);
                 if (epoch + 1) % every == 0 || epoch + 1 == self.options.epochs {
+                    // Flush the activation store alongside the model
+                    // checkpoint so a resumed run reopens a consistent
+                    // cache (chunked backend; flat is a no-op). Failure is
+                    // a degradation — the resume recomputes — never fatal.
+                    if let Some(c) = cache.as_mut() {
+                        if let Err(e) = c.persist() {
+                            eprintln!(
+                                "egeria: cache persist failed at epoch {epoch}: {e}; resume will recompute"
+                            );
+                        }
+                    }
                     let ckpt = self.build_checkpoint(
                         epoch + 1,
                         global_step,
@@ -656,6 +668,7 @@ impl EgeriaTrainer {
                         &freezer,
                         &refmgr,
                         &report,
+                        &cache,
                     );
                     let save_span = telemetry
                         .span("checkpoint_save")
@@ -672,7 +685,13 @@ impl EgeriaTrainer {
                 }
             }
         }
-        if let Some(c) = cache {
+        if let Some(mut c) = cache {
+            // Flush the chunked store at the run boundary (no-op on flat):
+            // the on-disk state stays consistent for a later resume and the
+            // reported disk-byte stats reflect what actually landed.
+            if let Err(e) = c.persist() {
+                eprintln!("egeria: cache persist failed at end of training: {e}");
+            }
             report.cache_stats = c.stats();
         }
         if let Some(rm) = refmgr {
@@ -771,6 +790,7 @@ impl EgeriaTrainer {
         freezer: &Option<FreezingEngine>,
         refmgr: &Option<ReferenceManager>,
         report: &TrainReport,
+        cache: &Option<ActivationCache>,
     ) -> TrainerCheckpoint {
         let params = self.model.params();
         let optimizer = self.optimizer.export_state(&params);
@@ -799,6 +819,10 @@ impl EgeriaTrainer {
             plasticity: report.plasticity.clone(),
             events: report.events.clone(),
             input_bytes: report.input_bytes,
+            cache_store: cache
+                .as_ref()
+                .map(|c| c.store_kind().name().to_string())
+                .unwrap_or_else(|| "flat".to_string()),
         }
     }
 
@@ -815,6 +839,7 @@ impl EgeriaTrainer {
         report: &mut TrainReport,
         global_step: &mut usize,
         evals_since_ref_update: &mut usize,
+        cache: &mut Option<ActivationCache>,
     ) -> Result<usize> {
         if ckpt.model_name != self.model.name() {
             return Err(TensorError::Corrupt(format!(
@@ -922,6 +947,21 @@ impl EgeriaTrainer {
                         }
                     }
                 }
+            }
+        }
+        // Cache backend continuity: if the run that wrote this checkpoint
+        // used a different cache backend, the on-disk layout in the cache
+        // dir belongs to the other world (flat sample files vs chunked
+        // shards). Wipe it so the resumed run starts from a clean cache
+        // instead of carrying dead files alongside the new layout.
+        if let Some(c) = cache.as_mut() {
+            if c.store_kind().name() != ckpt.cache_store {
+                eprintln!(
+                    "egeria: cache backend changed across resume ({} -> {}); invalidating cache",
+                    ckpt.cache_store,
+                    c.store_kind().name()
+                );
+                c.invalidate();
             }
         }
         // Report accumulators, so the final report covers the whole run.

@@ -117,6 +117,7 @@ fn random_checkpoint(seed: u64) -> TrainerCheckpoint {
             })
             .collect(),
         input_bytes: rng.below(1 << 30) as u64,
+        cache_store: if rng.flip() { "flat" } else { "chunked" }.to_string(),
     }
 }
 
@@ -126,6 +127,7 @@ fn checkpoints_equal(a: &TrainerCheckpoint, b: &TrainerCheckpoint) -> bool {
         && a.global_step == b.global_step
         && a.evals_since_ref_update == b.evals_since_ref_update
         && a.frozen_prefix == b.frozen_prefix
+        && a.cache_store == b.cache_store
         && a.params == b.params
         && a.state_buffers == b.state_buffers
         && a.optimizer.kind == b.optimizer.kind

@@ -167,6 +167,52 @@ impl ResilienceStat {
     }
 }
 
+/// Chunked activation-store (cache v2) aggregates from the `store.*`
+/// counters and gauges egeria-store mirrors into telemetry. All zero when
+/// the run used the flat cache backend.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheV2Stat {
+    /// Chunk blocks written to shard files (`store.chunks_written`).
+    pub chunks_written: u64,
+    /// Pre-codec payload bytes (`store.bytes_raw`).
+    pub bytes_raw: u64,
+    /// Post-codec bytes on disk (`store.bytes_encoded`).
+    pub bytes_encoded: u64,
+    /// Chunk blocks decoded from disk (`store.chunk_reads`).
+    pub chunk_reads: u64,
+    /// Multi-chunk reads served by one coalesced shard fetch
+    /// (`store.coalesced_reads`).
+    pub coalesced_reads: u64,
+    /// Chunks evicted by the capacity bound (`store.evicted_chunks`).
+    pub evicted_chunks: u64,
+    /// Bytes freed by eviction (`store.evicted_bytes`).
+    pub evicted_bytes: u64,
+    /// Chunks quarantined for corruption (`store.corrupt_chunks`).
+    pub corrupt_chunks: u64,
+    /// Shard compactions run (`store.compactions`).
+    pub compactions: u64,
+    /// Final live on-disk bytes (gauge `store.live_bytes`).
+    pub live_bytes: u64,
+    /// Final shard-file count (gauge `store.shard_files`).
+    pub shard_files: u64,
+}
+
+impl CacheV2Stat {
+    /// Raw-to-encoded compression ratio (1.0 when nothing was written).
+    pub fn codec_ratio(&self) -> f64 {
+        if self.bytes_encoded == 0 {
+            1.0
+        } else {
+            self.bytes_raw as f64 / self.bytes_encoded as f64
+        }
+    }
+
+    /// Whether the chunked store was active at all this run.
+    pub fn any(&self) -> bool {
+        self.chunks_written + self.chunk_reads + self.corrupt_chunks + self.live_bytes > 0
+    }
+}
+
 /// Everything `trace_report` prints, extracted from one JSONL trace.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
@@ -188,8 +234,12 @@ pub struct TraceSummary {
     pub serve: ServeBatchStat,
     /// Resilience-layer aggregates (breaker, watchdogs, health).
     pub resilience: ResilienceStat,
+    /// Chunked activation-store aggregates (cache v2; zero when flat).
+    pub cache_v2: CacheV2Stat,
     /// Final counter snapshot, name-sorted.
     pub counters: Vec<(String, u64)>,
+    /// Final gauge snapshot, name-sorted.
+    pub gauges: Vec<(String, f64)>,
 }
 
 fn arg_u64(obj: &Value, key: &str) -> Option<u64> {
@@ -293,6 +343,12 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                         .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
                         .collect();
                 }
+                if let Some(gauges) = obj.get("gauges").and_then(Value::as_obj) {
+                    summary.gauges = gauges
+                        .iter()
+                        .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                        .collect();
+                }
             }
             _ => {}
         }
@@ -331,6 +387,27 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
         summary.resilience = ResilienceStat {
             transitions,
             ..resil
+        };
+        let gauge = |name: &str| {
+            summary
+                .gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        summary.cache_v2 = CacheV2Stat {
+            chunks_written: get("store.chunks_written"),
+            bytes_raw: get("store.bytes_raw"),
+            bytes_encoded: get("store.bytes_encoded"),
+            chunk_reads: get("store.chunk_reads"),
+            coalesced_reads: get("store.coalesced_reads"),
+            evicted_chunks: get("store.evicted_chunks"),
+            evicted_bytes: get("store.evicted_bytes"),
+            corrupt_chunks: get("store.corrupt_chunks"),
+            compactions: get("store.compactions"),
+            live_bytes: gauge("store.live_bytes") as u64,
+            shard_files: gauge("store.shard_files") as u64,
         };
     }
 
@@ -508,6 +585,36 @@ pub fn render(summary: &TraceSummary) -> String {
             );
         }
     }
+    let _ = writeln!(out, "\n== cache v2 ==");
+    if !summary.cache_v2.any() {
+        let _ = writeln!(out, "(no chunked-store activity recorded; flat backend or cache off)");
+    } else {
+        let c = &summary.cache_v2;
+        let _ = writeln!(
+            out,
+            "codec: {} raw -> {} encoded bytes (ratio {:.2}x) over {} chunks",
+            c.bytes_raw,
+            c.bytes_encoded,
+            c.codec_ratio(),
+            c.chunks_written
+        );
+        let _ = writeln!(
+            out,
+            "reads: {} chunk decodes, {} coalesced shard fetches",
+            c.chunk_reads, c.coalesced_reads
+        );
+        let _ = writeln!(
+            out,
+            "eviction: {} chunks ({} bytes) evicted, {} compactions",
+            c.evicted_chunks, c.evicted_bytes, c.compactions
+        );
+        let _ = writeln!(out, "corrupt chunks quarantined: {}", c.corrupt_chunks);
+        let _ = writeln!(
+            out,
+            "footprint: {} live bytes across {} shard files",
+            c.live_bytes, c.shard_files
+        );
+    }
     let _ = writeln!(out, "\n== counters ==");
     for (name, v) in &summary.counters {
         let _ = writeln!(out, "{name} = {v}");
@@ -554,6 +661,16 @@ mod tests {
         }
         t.counter("serve.shed").add(2);
         t.counter("serve.fallbacks").add(5);
+        t.counter("store.chunks_written").add(10);
+        t.counter("store.bytes_raw").add(4000);
+        t.counter("store.bytes_encoded").add(1000);
+        t.counter("store.chunk_reads").add(6);
+        t.counter("store.coalesced_reads").add(2);
+        t.counter("store.evicted_chunks").add(1);
+        t.counter("store.evicted_bytes").add(100);
+        t.counter("store.corrupt_chunks").add(1);
+        t.gauge("store.live_bytes").set(900.0);
+        t.gauge("store.shard_files").set(2.0);
         t.counter("resil.breaker.trips").add(1);
         t.counter("resil.breaker.recoveries").add(1);
         t.counter("resil.watchdog.respawns").add(2);
@@ -625,6 +742,18 @@ mod tests {
         assert_eq!(s.resilience.transitions[0].edge, "degraded");
         assert_eq!(s.resilience.transitions[0].reason, "serve-breaker-open");
         assert_eq!(s.resilience.transitions[1].level, 0);
+        // Cache v2 aggregates from the store.* counters and gauges.
+        assert!(s.cache_v2.any());
+        assert_eq!(s.cache_v2.chunks_written, 10);
+        assert_eq!(s.cache_v2.bytes_raw, 4000);
+        assert_eq!(s.cache_v2.bytes_encoded, 1000);
+        assert!((s.cache_v2.codec_ratio() - 4.0).abs() < 1e-12);
+        assert_eq!(s.cache_v2.chunk_reads, 6);
+        assert_eq!(s.cache_v2.coalesced_reads, 2);
+        assert_eq!(s.cache_v2.evicted_chunks, 1);
+        assert_eq!(s.cache_v2.corrupt_chunks, 1);
+        assert_eq!(s.cache_v2.live_bytes, 900);
+        assert_eq!(s.cache_v2.shard_files, 2);
     }
 
     #[test]
@@ -638,6 +767,7 @@ mod tests {
             "== observed iteration split ==",
             "== serve batches ==",
             "== resilience ==",
+            "== cache v2 ==",
             "== counters ==",
         ] {
             assert!(text.contains(section), "missing {section}:\n{text}");
@@ -652,6 +782,8 @@ mod tests {
         assert!(text.contains("watchdog: 2 respawns, 0 budgets exhausted"));
         assert!(text.contains("health degraded: serve-breaker-open -> level 1"));
         assert!(text.contains("health recovered: serve-breaker-open -> level 0"));
+        assert!(text.contains("codec: 4000 raw -> 1000 encoded bytes (ratio 4.00x) over 10 chunks"));
+        assert!(text.contains("footprint: 900 live bytes across 2 shard files"));
     }
 
     #[test]

@@ -89,6 +89,11 @@ impl QTensor {
         &self.data
     }
 
+    /// Quantization scales (one entry per-tensor, or one per channel).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
     /// Tensor dims.
     pub fn dims(&self) -> &[usize] {
         &self.dims

@@ -1,0 +1,241 @@
+//! Chunk blocks: how a grid cell's samples are laid out in bytes.
+//!
+//! The store divides the sample-id axis into fixed cells of
+//! `chunk_samples` ids: chunk `c` owns ids `[c*chunk_samples,
+//! (c+1)*chunk_samples)`. One chunk serializes to one **block** — a slot
+//! directory plus the concatenated per-sample records — which then passes
+//! through the byte codec before landing inside a shard file.
+//!
+//! ## Block layout (before the byte codec)
+//!
+//! ```text
+//! magic          u32 LE   "EGCB" (0x4243_4745 on disk: 45 47 43 42)
+//! version        u8       1
+//! transform      u8       Transform::id of the per-sample records
+//! chunk_samples  u16 LE   grid cell width (validated against the store's)
+//! base_id        u64 LE   first sample id of the cell
+//! slot_count     u16 LE   number of populated slots
+//! directory      slot_count × { slot u16 LE, rec_len u32 LE }
+//!                (slots strictly ascending — deterministic bytes)
+//! records        concatenated, directory order
+//! ```
+//!
+//! Sparse cells are first-class: a shuffled sampler fills slots out of
+//! order and eviction may drop a cell before it fills. The directory
+//! makes absent slots free (a miss, not an error). Every field is bounds
+//! checked on decode; violations surface as [`TensorError::Corrupt`] and
+//! the store maps that to quarantining this one chunk.
+
+use crate::codec::Transform;
+use egeria_tensor::{Result, TensorError};
+use std::collections::BTreeMap;
+
+/// `"EGCB"` little-endian.
+pub const CHUNK_MAGIC: u32 = u32::from_le_bytes(*b"EGCB");
+/// Current block layout version.
+pub const CHUNK_VERSION: u8 = 1;
+
+/// A decoded chunk block: the populated slots of one grid cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkBlock {
+    /// Per-sample record transform the payloads were written with.
+    pub transform: Transform,
+    /// First sample id of the grid cell.
+    pub base_id: u64,
+    /// Grid cell width the writer used.
+    pub chunk_samples: u16,
+    /// slot → encoded sample record. BTreeMap keeps encode deterministic.
+    pub records: BTreeMap<u16, Vec<u8>>,
+}
+
+impl ChunkBlock {
+    /// Serializes the block (byte codec not yet applied).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload: usize = self.records.values().map(|r| r.len() + 6).sum();
+        let mut out = Vec::with_capacity(18 + payload);
+        out.extend_from_slice(&CHUNK_MAGIC.to_le_bytes());
+        out.push(CHUNK_VERSION);
+        out.push(self.transform.id());
+        out.extend_from_slice(&self.chunk_samples.to_le_bytes());
+        out.extend_from_slice(&self.base_id.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u16).to_le_bytes());
+        for (&slot, rec) in &self.records {
+            out.extend_from_slice(&slot.to_le_bytes());
+            out.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+        }
+        for rec in self.records.values() {
+            out.extend_from_slice(rec);
+        }
+        out
+    }
+
+    /// Parses and validates a block.
+    pub fn decode(bytes: &[u8]) -> Result<ChunkBlock> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.u32("magic")?;
+        if magic != CHUNK_MAGIC {
+            return Err(TensorError::Corrupt(format!(
+                "chunk: bad magic {magic:#010x}"
+            )));
+        }
+        let version = r.u8("version")?;
+        if version != CHUNK_VERSION {
+            return Err(TensorError::Corrupt(format!(
+                "chunk: unsupported version {version}"
+            )));
+        }
+        let tid = r.u8("transform")?;
+        let transform = Transform::from_id(tid)
+            .ok_or_else(|| TensorError::Corrupt(format!("chunk: unknown transform {tid}")))?;
+        let chunk_samples = r.u16("chunk_samples")?;
+        if chunk_samples == 0 {
+            return Err(TensorError::Corrupt("chunk: zero-width grid cell".into()));
+        }
+        let base_id = r.u64("base_id")?;
+        let slot_count = r.u16("slot_count")?;
+        if slot_count > chunk_samples {
+            return Err(TensorError::Corrupt(format!(
+                "chunk: {slot_count} slots in a {chunk_samples}-wide cell"
+            )));
+        }
+        let mut dir = Vec::with_capacity(slot_count as usize);
+        let mut prev: Option<u16> = None;
+        for _ in 0..slot_count {
+            let slot = r.u16("slot")?;
+            if slot >= chunk_samples {
+                return Err(TensorError::Corrupt(format!(
+                    "chunk: slot {slot} outside {chunk_samples}-wide cell"
+                )));
+            }
+            if prev.is_some_and(|p| slot <= p) {
+                return Err(TensorError::Corrupt("chunk: slots not ascending".into()));
+            }
+            prev = Some(slot);
+            let len = r.u32("rec_len")? as usize;
+            dir.push((slot, len));
+        }
+        let mut records = BTreeMap::new();
+        for (slot, len) in dir {
+            let rec = r.take(len, "record payload")?;
+            records.insert(slot, rec.to_vec());
+        }
+        if r.pos != bytes.len() {
+            return Err(TensorError::Corrupt(format!(
+                "chunk: {} trailing bytes",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(ChunkBlock {
+            transform,
+            base_id,
+            chunk_samples,
+            records,
+        })
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| TensorError::Corrupt(format!("chunk: truncated {what}")))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> ChunkBlock {
+        let mut records = BTreeMap::new();
+        records.insert(0u16, vec![1u8, 2, 3]);
+        records.insert(5u16, vec![]);
+        records.insert(63u16, vec![9u8; 100]);
+        ChunkBlock {
+            transform: Transform::Exact,
+            base_id: 640,
+            chunk_samples: 64,
+            records,
+        }
+    }
+
+    #[test]
+    fn round_trips_sparse_slots() {
+        let b = sample_block();
+        let enc = b.encode();
+        assert_eq!(ChunkBlock::decode(&enc).unwrap(), b);
+    }
+
+    #[test]
+    fn empty_cell_round_trips() {
+        let b = ChunkBlock {
+            transform: Transform::F16,
+            base_id: 0,
+            chunk_samples: 32,
+            records: BTreeMap::new(),
+        };
+        assert_eq!(ChunkBlock::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        assert_eq!(sample_block().encode(), sample_block().encode());
+    }
+
+    #[test]
+    fn corrupt_blocks_error_not_panic() {
+        let enc = sample_block().encode();
+        assert!(ChunkBlock::decode(&[]).is_err());
+        assert!(ChunkBlock::decode(&enc[..enc.len() - 1]).is_err(), "truncated");
+        let mut bad = enc.clone();
+        bad[0] ^= 0xFF;
+        assert!(ChunkBlock::decode(&bad).is_err(), "magic");
+        let mut bad = enc.clone();
+        bad[4] = 99;
+        assert!(ChunkBlock::decode(&bad).is_err(), "version");
+        let mut bad = enc.clone();
+        bad[5] = 99;
+        assert!(ChunkBlock::decode(&bad).is_err(), "transform");
+        // Every single-byte flip either errors or decodes; never panics.
+        for i in 0..enc.len() {
+            let mut b = enc.clone();
+            b[i] ^= 0x55;
+            let _ = ChunkBlock::decode(&b);
+        }
+        // Trailing garbage is rejected.
+        let mut b = enc.clone();
+        b.push(0);
+        assert!(ChunkBlock::decode(&b).is_err());
+    }
+}

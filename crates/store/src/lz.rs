@@ -1,0 +1,246 @@
+//! The LZ-class lossless codec of the chunk pipeline.
+//!
+//! A dependency-free LZSS with a single-slot hash table over 4-byte
+//! prefixes and greedy parsing — chosen for decode simplicity and
+//! deterministic output (no heuristics that depend on allocator state or
+//! timing; identical input bytes always produce identical output bytes,
+//! which the golden-run fingerprint relies on transitively).
+//!
+//! ## Wire format
+//!
+//! ```text
+//! raw_len   u64 LE        (decompressed size, validated on decode)
+//! tokens:
+//!   ctrl 0x00..=0x7F      literal run of (ctrl + 1) bytes, verbatim
+//!   ctrl 0x80..=0xFF      match: len = (ctrl & 0x7F) + MIN_MATCH,
+//!                         followed by dist u16 LE (1..=65535, backwards)
+//! ```
+//!
+//! Matches may overlap their own output (dist < len), RLE-style, and the
+//! decoder copies byte-by-byte to honour that. Every token is bounds
+//! checked against `raw_len` and the bytes produced so far; any violation
+//! surfaces as [`TensorError::Corrupt`], never a panic — the store maps
+//! that to chunk quarantine.
+
+use egeria_tensor::{Result, TensorError};
+
+/// Shortest match worth encoding (a token costs 3 bytes).
+pub const MIN_MATCH: usize = 4;
+/// Longest match one token can carry.
+pub const MAX_MATCH: usize = MIN_MATCH + 0x7F;
+/// Longest backwards distance (u16).
+pub const MAX_DIST: usize = u16::MAX as usize;
+/// Longest literal run one control byte can carry.
+const MAX_LITERALS: usize = 0x80;
+
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(window: &[u8]) -> usize {
+    let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn push_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    for run in lits.chunks(MAX_LITERALS) {
+        out.push((run.len() - 1) as u8);
+        out.extend_from_slice(run);
+    }
+}
+
+/// Compresses `input`. Worst case (incompressible data) grows the buffer
+/// by one control byte per 128 literals plus the 8-byte header.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+    let n = input.len();
+    let mut head = vec![u32::MAX; 1 << HASH_BITS];
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i + MIN_MATCH <= n {
+        let h = hash4(&input[i..]);
+        let cand = head[h] as usize;
+        head[h] = i as u32;
+        let dist = i.wrapping_sub(cand);
+        if cand != u32::MAX as usize
+            && (1..=MAX_DIST).contains(&dist)
+            && input[cand..cand + MIN_MATCH] == input[i..i + MIN_MATCH]
+        {
+            let mut len = MIN_MATCH;
+            let cap = (n - i).min(MAX_MATCH);
+            while len < cap && input[cand + len] == input[i + len] {
+                len += 1;
+            }
+            push_literals(&mut out, &input[lit_start..i]);
+            out.push(0x80 | (len - MIN_MATCH) as u8);
+            out.extend_from_slice(&(dist as u16).to_le_bytes());
+            // Seed the table across the matched span so the next match
+            // can start anywhere inside it.
+            let stop = (i + len).min(n.saturating_sub(MIN_MATCH - 1));
+            let mut j = i + 1;
+            while j < stop {
+                head[hash4(&input[j..])] = j as u32;
+                j += 1;
+            }
+            i += len;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    push_literals(&mut out, &input[lit_start..]);
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`], validating the header
+/// length, every token, and the final size.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() < 8 {
+        return Err(TensorError::Corrupt("lz: buffer shorter than header".into()));
+    }
+    let raw_len = u64::from_le_bytes([
+        data[0], data[1], data[2], data[3], data[4], data[5], data[6], data[7],
+    ]) as usize;
+    // A match token (3 bytes) yields at most MAX_MATCH bytes, a literal
+    // token at most its own size; a header declaring more than the token
+    // stream could possibly produce is corrupt — and must be rejected
+    // *before* the allocation it would size.
+    if raw_len > (data.len() - 8).saturating_mul(MAX_MATCH) {
+        return Err(TensorError::Corrupt(format!(
+            "lz: declared length {raw_len} impossible for {} token bytes",
+            data.len() - 8
+        )));
+    }
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 8usize;
+    while i < data.len() {
+        let ctrl = data[i];
+        i += 1;
+        if ctrl < 0x80 {
+            let run = ctrl as usize + 1;
+            let end = i.checked_add(run).filter(|&e| e <= data.len()).ok_or_else(|| {
+                TensorError::Corrupt("lz: literal run past end of buffer".into())
+            })?;
+            out.extend_from_slice(&data[i..end]);
+            i = end;
+        } else {
+            let len = (ctrl & 0x7F) as usize + MIN_MATCH;
+            if i + 2 > data.len() {
+                return Err(TensorError::Corrupt("lz: truncated match token".into()));
+            }
+            let dist = u16::from_le_bytes([data[i], data[i + 1]]) as usize;
+            i += 2;
+            if dist == 0 || dist > out.len() {
+                return Err(TensorError::Corrupt(format!(
+                    "lz: match distance {dist} exceeds {} produced bytes",
+                    out.len()
+                )));
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+        if out.len() > raw_len {
+            return Err(TensorError::Corrupt(format!(
+                "lz: output overran declared length {raw_len}"
+            )));
+        }
+    }
+    if out.len() != raw_len {
+        return Err(TensorError::Corrupt(format!(
+            "lz: produced {} bytes, header declares {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(&[]);
+        round_trip(&[1]);
+        round_trip(&[1, 2, 3]);
+        round_trip(&[0; 4]);
+    }
+
+    #[test]
+    fn repetitive_data_shrinks() {
+        let data = vec![7u8; 4096];
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 8, "RLE-ish input must compress hard");
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_patterns_round_trip() {
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.extend_from_slice(&(i % 37).to_le_bytes());
+        }
+        data.extend_from_slice(&[0u8; 300]);
+        data.extend((0..255u8).cycle().take(1000));
+        round_trip(&data);
+    }
+
+    #[test]
+    fn incompressible_data_survives() {
+        // Xorshift noise: nothing to match, pure literal runs.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / MAX_LITERALS + 16);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_is_rle() {
+        let mut data = vec![1u8, 2, 3, 4];
+        data.extend(std::iter::repeat_n([1u8, 2, 3, 4], 50).flatten());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn corrupt_buffers_error_not_panic() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[0, 0, 0]).is_err());
+        // Declared length 10 but no tokens.
+        let mut buf = 10u64.to_le_bytes().to_vec();
+        assert!(decompress(&buf).is_err());
+        // Match referring before the start of the output.
+        buf = 4u64.to_le_bytes().to_vec();
+        buf.push(0x80);
+        buf.extend_from_slice(&5u16.to_le_bytes());
+        assert!(decompress(&buf).is_err());
+        // Literal run past the end.
+        buf = 4u64.to_le_bytes().to_vec();
+        buf.push(0x7F);
+        buf.push(1);
+        assert!(decompress(&buf).is_err());
+        // A valid compressed buffer with a flipped byte errors or
+        // mismatches, never panics.
+        let good = compress(&[9u8; 100]);
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            let _ = decompress(&bad);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the codec chain contract (DESIGN §5j):
+//!
+//! * byte-shuffle is a bijection for every plane width, including widths
+//!   that do not divide the buffer length;
+//! * the LZ stage round-trips arbitrary bytes bit-exactly — both
+//!   incompressible noise and the run/match-heavy inputs the encoder
+//!   actually takes branches on;
+//! * every [`ByteCodec`] chain (shuffle+LZ at widths 4/2/1, raw) is the
+//!   identity end to end;
+//! * [`Transform::Exact`] reproduces arbitrary tensors **bit-for-bit**
+//!   (the lossless-is-bit-exact rule the golden run rests on);
+//! * [`Transform::F16`] decode equals `egeria_quant::fake::fake_f16`
+//!   bitwise — storage adds no rounding beyond the documented one;
+//! * [`Transform::Int8`] decode stays within the documented per-tensor
+//!   tolerance: |x − x̂| ≤ scale/2 with scale = max_abs/127.
+
+use egeria_quant::fake::fake_f16;
+use egeria_store::codec::{ByteCodec, Transform};
+use egeria_store::lz;
+use egeria_store::shuffle::{shuffle, unshuffle};
+use egeria_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Arbitrary raw bytes, biased toward the shapes the LZ encoder has real
+/// branches for: incompressible noise, short motifs tiled past
+/// `MAX_MATCH` (match emission splits), and zero spans with nonzero
+/// islands (the post-ReLU case).
+fn byte_buffers() -> impl Strategy<Value = Vec<u8>> {
+    (0u8..3, prop::collection::vec(any::<u8>(), 0..768), 1usize..64).prop_map(
+        |(mode, raw, reps)| match mode {
+            0 => raw,
+            1 => {
+                let motif_len = raw.len().clamp(1, 12);
+                if raw.is_empty() {
+                    vec![0xA5; reps]
+                } else {
+                    raw[..motif_len].repeat(reps)
+                }
+            }
+            _ => raw
+                .into_iter()
+                .map(|b| if b < 232 { 0 } else { b })
+                .collect(),
+        },
+    )
+}
+
+/// Small tensors with finite values spanning the f16 normal, subnormal,
+/// and overflow ranges, plus exact zeros. Values are drawn from a seeded
+/// stream so one strategy covers all the magnitude regimes per tensor.
+fn tensors() -> impl Strategy<Value = Tensor> {
+    (1usize..5, 1usize..9, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut rng = TestRng::new(seed);
+        let data: Vec<f32> = (0..r * c)
+            .map(|_| {
+                let u = (rng.unit_f64() - 0.5) as f32;
+                match rng.next_u64() % 8 {
+                    0 => 0.0,
+                    1 => u * 2.0e-6, // f16-subnormal territory
+                    2 => u * 2.0e5,  // overflows f16 range
+                    _ => u * 2.0e3,
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, &[r, c]).expect("proptest tensor")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn shuffle_round_trips_every_width(bytes in byte_buffers(), width in 1usize..9) {
+        prop_assert_eq!(unshuffle(&shuffle(&bytes, width), width), bytes);
+    }
+
+    #[test]
+    fn lz_round_trips_bit_exact(bytes in byte_buffers()) {
+        let enc = lz::compress(&bytes);
+        prop_assert_eq!(lz::decompress(&enc).expect("decompress"), bytes);
+    }
+
+    #[test]
+    fn byte_codec_chain_is_identity(bytes in byte_buffers()) {
+        for codec in [
+            ByteCodec::Raw,
+            ByteCodec::ShuffleLz { width: 4 },
+            ByteCodec::ShuffleLz { width: 2 },
+            ByteCodec::ShuffleLz { width: 1 },
+        ] {
+            let enc = codec.encode(&bytes);
+            prop_assert_eq!(codec.decode(&enc).expect("decode"), bytes.clone(), "{:?}", codec);
+        }
+    }
+
+    #[test]
+    fn exact_transform_is_bit_exact(t in tensors()) {
+        let rec = Transform::Exact.encode_sample(&t).expect("encode");
+        let back = Transform::Exact.decode_sample(&rec).expect("decode");
+        prop_assert_eq!(back.dims(), t.dims());
+        for (a, b) in back.data().iter().zip(t.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f16_transform_matches_fake_f16_bitwise(t in tensors()) {
+        let rec = Transform::F16.encode_sample(&t).expect("encode");
+        let back = Transform::F16.decode_sample(&rec).expect("decode");
+        let want = fake_f16(&t);
+        for (i, (a, b)) in back.data().iter().zip(want.data()).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "elem {}: {} vs {}", i, a, b);
+        }
+    }
+
+    #[test]
+    fn int8_transform_error_within_half_scale(t in tensors()) {
+        let rec = Transform::Int8.encode_sample(&t).expect("encode");
+        let back = Transform::Int8.decode_sample(&rec).expect("decode");
+        let max_abs = t.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        // Half-a-step quantization error, with a hair of slack for the
+        // f32 arithmetic computing the bound itself.
+        let tol = scale * 0.5 * (1.0 + 1.0e-5);
+        for (i, (a, b)) in back.data().iter().zip(t.data()).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= tol,
+                "elem {}: decoded {} vs {} exceeds tol {}",
+                i, a, b, tol
+            );
+        }
+    }
+}

@@ -92,10 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nevents: {:?}", report.events);
     println!(
-        "cache: {} hits / {} misses, {:.1} KiB on disk",
+        "cache: {} hits / {} misses, {:.1} KiB live on disk",
         report.cache_stats.hits,
         report.cache_stats.misses,
-        report.cache_stats.disk_bytes as f64 / 1024.0
+        report.cache_stats.disk_bytes_live as f64 / 1024.0
     );
     Ok(())
 }

@@ -103,8 +103,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nfreeze/unfreeze events: {:?}", report.events);
     println!(
-        "cache: {} hits, {} misses, {} bytes on disk",
-        report.cache_stats.hits, report.cache_stats.misses, report.cache_stats.disk_bytes
+        "cache: {} hits, {} misses, {} bytes live on disk",
+        report.cache_stats.hits, report.cache_stats.misses, report.cache_stats.disk_bytes_live
     );
 
     if let Some(prefix) = trace_prefix {
